@@ -1,0 +1,221 @@
+// Command relaxtune tunes the physical design of one of the built-in
+// databases for a workload, using the relaxation-based algorithm (and
+// optionally the bottom-up baseline for comparison).
+//
+// Usage:
+//
+//	relaxtune -db tpch -workload tpch22 -budget 64 -views=false
+//	relaxtune -db ds1 -workload /path/to/workload.sql -budget 128
+//	relaxtune -db bench -gen 12 -updates 0.3 -budget 32 -baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/plan"
+	"repro/tuner"
+)
+
+func main() {
+	var (
+		dbName   = flag.String("db", "tpch", "database: tpch, ds1, or bench")
+		sf       = flag.Float64("sf", 0.001, "database scale factor")
+		workload = flag.String("workload", "tpch22", "workload: 'tpch22', a .sql file path, or '' with -gen")
+		gen      = flag.Int("gen", 0, "generate a random workload with this many statements")
+		updates  = flag.Float64("updates", 0, "fraction of generated statements that modify data")
+		seed     = flag.Int64("seed", 42, "workload generation seed")
+		budgetMB = flag.Int64("budget", 0, "storage budget in MB (0 = unconstrained)")
+		views    = flag.Bool("views", true, "consider materialized views")
+		iters    = flag.Int("iters", 120, "maximum relaxation iterations")
+		timeout  = flag.Duration("time", 0, "tuning time budget (0 = unbounded)")
+		baseline = flag.Bool("baseline", false, "also run the bottom-up baseline advisor")
+		frontier = flag.Bool("frontier", false, "print the full space/cost frontier")
+		jsonOut  = flag.String("json", "", "write a JSON tuning report to this path")
+		whatIf   = flag.String("whatif", "", "skip tuning; evaluate the CREATE INDEX/VIEW script at this path")
+		explain  = flag.Bool("explain", false, "print each query's plan under the recommended configuration")
+	)
+	flag.Parse()
+
+	db, err := database(*dbName, *sf)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := loadWorkload(db, *workload, *gen, *updates, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("database: %s\nworkload: %s\n\n", db.Summary(), w)
+
+	opts := tuner.Options{
+		SpaceBudget:   *budgetMB << 20,
+		NoViews:       !*views,
+		MaxIterations: *iters,
+		TimeBudget:    *timeout,
+	}
+
+	if *whatIf != "" {
+		runWhatIf(db, w, opts, *whatIf)
+		return
+	}
+
+	session, err := tuner.NewSession(db, w, opts)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res, err := session.Tune()
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res, *frontier)
+	fmt.Printf("relaxation tuning took %s (%d optimizer calls)\n\n", time.Since(start).Round(time.Millisecond), res.OptimizerCalls)
+
+	if *explain {
+		printPlans(res)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := session.BuildReport(w.Name, res).WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonOut)
+	}
+
+	if *baseline {
+		bres, err := tuner.TuneBottomUp(db, w, tuner.BaselineOptions{
+			SpaceBudget: *budgetMB << 20,
+			NoViews:     !*views,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bottom-up baseline: cost %.1f -> %.1f (improvement %.1f%%), %d candidates, took %s\n",
+			bres.Initial.Cost, bres.Best.Cost, bres.ImprovementPct(), bres.Candidates, bres.Elapsed.Round(time.Millisecond))
+	}
+}
+
+func database(name string, sf float64) (*tuner.Database, error) {
+	switch strings.ToLower(name) {
+	case "tpch":
+		return tuner.TPCH(sf), nil
+	case "ds1":
+		return tuner.DS1(sf), nil
+	case "bench":
+		return tuner.Bench(sf), nil
+	default:
+		return nil, fmt.Errorf("unknown database %q (want tpch, ds1, or bench)", name)
+	}
+}
+
+func loadWorkload(db *tuner.Database, spec string, gen int, updates float64, seed int64) (*tuner.Workload, error) {
+	if gen > 0 {
+		opts := tuner.GenOptions{
+			Seed: seed, NumQueries: gen, MaxJoins: 4,
+			UpdateFraction: updates, GroupByProb: 0.45, OrderByProb: 0.35,
+			Name: "generated",
+		}
+		return tuner.GenerateWorkload(db, opts)
+	}
+	if spec == "tpch22" {
+		if db.Name != "tpch" {
+			return nil, fmt.Errorf("the tpch22 workload requires -db tpch")
+		}
+		return tuner.TPCH22Workload()
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("reading workload file: %w", err)
+	}
+	return tuner.ParseWorkload(spec, db.Name, string(data))
+}
+
+func printResult(res *tuner.Result, showFrontier bool) {
+	fmt.Printf("initial configuration: cost %.1f, size %.1f MB\n",
+		res.Initial.Cost, float64(res.Initial.SizeBytes)/(1<<20))
+	fmt.Printf("optimal configuration: cost %.1f, size %.1f MB (unconstrained bound)\n",
+		res.Optimal.Cost, float64(res.Optimal.SizeBytes)/(1<<20))
+	fmt.Printf("recommendation:        cost %.1f, size %.1f MB (improvement %.1f%%)\n\n",
+		res.Best.Cost, float64(res.Best.SizeBytes)/(1<<20), res.ImprovementPct())
+
+	fmt.Println("recommended structures:")
+	for _, v := range res.Best.Config.Views() {
+		fmt.Printf("  VIEW  %s := %s\n", v.Name, v.SQL())
+	}
+	for _, ix := range res.Best.Config.Indexes() {
+		req := ""
+		if ix.Required {
+			req = "  (required)"
+		}
+		fmt.Printf("  INDEX %s%s\n", ix.ID(), req)
+	}
+	fmt.Println()
+	if migration := tuner.MigrationDDL(res.Initial.Config, res.Best.Config); migration != "" {
+		fmt.Println("migration script (current design -> recommendation):")
+		for _, line := range strings.Split(strings.TrimSpace(migration), "\n") {
+			fmt.Println("  " + line)
+		}
+		fmt.Println()
+	}
+	if showFrontier {
+		fmt.Println("space/cost frontier (by-product of the search):")
+		for _, p := range res.Frontier {
+			fmt.Printf("  %8.2f MB  %10.1f\n", float64(p.SizeBytes)/(1<<20), p.Cost)
+		}
+		fmt.Println()
+	}
+}
+
+// runWhatIf evaluates a user-supplied configuration script instead of
+// tuning.
+func runWhatIf(db *tuner.Database, w *tuner.Workload, opts tuner.Options, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	session, err := tuner.NewSession(db, w, opts)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := session.ParseConfigurationScript(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := session.WhatIf(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("what-if configuration: %d indexes, %d views, %.1f MB\n",
+		cfg.NumIndexes(), cfg.NumViews(), float64(res.Target.SizeBytes)/(1<<20))
+	fmt.Printf("workload cost: %.1f -> %.1f (improvement %.1f%%)\n\n",
+		res.Base.Cost, res.Target.Cost, res.ImprovementPct)
+	fmt.Printf("%-14s %12s %12s %9s\n", "query", "base", "what-if", "impr")
+	for _, d := range res.PerQuery {
+		fmt.Printf("%-14s %12.1f %12.1f %8.1f%%\n", d.ID, d.BaseCost, d.TargetCost, d.ImprovementPct())
+	}
+}
+
+// printPlans renders each query's plan under the best configuration.
+func printPlans(res *tuner.Result) {
+	fmt.Println("plans under the recommended configuration:")
+	for i, r := range res.Best.Results {
+		if r.Plan == nil {
+			continue
+		}
+		fmt.Printf("-- query %d (cost %.2f):\n%s\n", i+1, r.TotalCost(), plan.Format(r.Plan.Root))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "relaxtune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Quickstart: tune a small ad-hoc workload over the TPC-H database and
+// print the recommended physical design.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/tuner"
+)
+
+func main() {
+	// 1. Build a database (schema + synthetic statistics). Scale factor
+	//    0.001 keeps everything instant.
+	db := tuner.TPCH(0.001)
+
+	// 2. Describe the workload as plain SQL.
+	workloadSQL := `
+		SELECT o_orderpriority, COUNT(*)
+		FROM orders
+		WHERE o_orderdate >= 9131 AND o_orderdate < 9496
+		GROUP BY o_orderpriority;
+
+		SELECT c_name, o_orderkey, o_totalprice
+		FROM customer, orders
+		WHERE c_custkey = o_custkey AND o_totalprice > 400000
+		ORDER BY o_totalprice DESC;
+
+		SELECT l_shipmode, SUM(l_extendedprice)
+		FROM lineitem
+		WHERE l_shipdate BETWEEN 9131 AND 9496
+		GROUP BY l_shipmode;
+	`
+	w, err := tuner.ParseWorkload("quickstart", "tpch", workloadSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Tune with a 2 MB storage budget for auxiliary structures.
+	res, err := tuner.Tune(db, w, tuner.Options{
+		SpaceBudget:   2 << 20,
+		MaxIterations: 80,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	fmt.Printf("workload cost: %.1f -> %.1f (improvement %.1f%%)\n",
+		res.Initial.Cost, res.Best.Cost, res.ImprovementPct())
+	fmt.Printf("optimal (unconstrained) bound: %.1f at %.1f MB\n\n",
+		res.Optimal.Cost, float64(res.Optimal.SizeBytes)/(1<<20))
+
+	fmt.Println("recommended structures:")
+	for _, v := range res.Best.Config.Views() {
+		fmt.Printf("  CREATE VIEW %s AS %s\n", v.Name, v.SQL())
+	}
+	for _, ix := range res.Best.Config.Indexes() {
+		if ix.Required {
+			continue // primary-key indexes already exist
+		}
+		fmt.Printf("  CREATE INDEX %s\n", ix.ID())
+	}
+}

@@ -1,0 +1,64 @@
+// space_sweep compares the relaxation-based tuner against the bottom-up
+// baseline across a range of storage budgets (the Figure 10 experiment),
+// showing that relaxation degrades gracefully as space shrinks while the
+// greedy bottom-up tool can regress non-monotonically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/tuner"
+)
+
+func main() {
+	db := tuner.Bench(0.001)
+	w, err := tuner.GenerateWorkload(db, tuner.GenOptions{
+		Seed: 7, NumQueries: 10, MaxJoins: 3,
+		GroupByProb: 0.4, OrderByProb: 0.3, Name: "sweep",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session, err := tuner.NewSession(db, w, tuner.Options{NoViews: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	optCfg, err := session.OptimalConfiguration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	optSize := session.Opt.Sizer().ConfigBytes(optCfg)
+	minSize := session.Opt.Sizer().ConfigBytes(tuner.BaseConfiguration(db))
+	initial, err := session.Evaluate(tuner.BaseConfiguration(db))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\nbudget sweep between %.1f MB (existing) and %.1f MB (optimal)\n\n",
+		w, mb(minSize), mb(optSize))
+	fmt.Printf("%8s %12s %18s %18s\n", "space%", "budget", "relaxation impr", "bottom-up impr")
+
+	for _, pct := range []int{10, 25, 50, 75, 100} {
+		budget := minSize + (optSize-minSize)*int64(pct)/100
+		ptt, err := tuner.Tune(db, w, tuner.Options{
+			NoViews: true, SpaceBudget: budget, MaxIterations: 100,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctt, err := tuner.TuneBottomUp(db, w, tuner.BaselineOptions{
+			NoViews: true, SpaceBudget: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d%% %9.1f MB %17.1f%% %17.1f%%\n",
+			pct, mb(budget),
+			tuner.Improvement(initial.Cost, ptt.Best.Cost),
+			tuner.Improvement(initial.Cost, ctt.Best.Cost))
+	}
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

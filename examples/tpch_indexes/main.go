@@ -1,0 +1,75 @@
+// tpch_indexes reproduces the Figure 4 scenario interactively: tune the
+// 22-query TPC-H workload for indexes under a storage constraint and
+// print the space/cost frontier the relaxation search produces as a
+// by-product — the information a DBA can use to decide whether buying
+// more disk is worth it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/tuner"
+)
+
+func main() {
+	db := tuner.TPCH(0.002)
+	w, err := tuner.TPCH22Workload()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First find the optimal configuration's size to position the budget.
+	session, err := tuner.NewSession(db, w, tuner.Options{NoViews: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	optCfg, err := session.OptimalConfiguration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	optSize := session.Opt.Sizer().ConfigBytes(optCfg)
+	budget := optSize * 30 / 100
+
+	res, err := tuner.Tune(db, w, tuner.Options{
+		NoViews:       true,
+		SpaceBudget:   budget,
+		MaxIterations: 150,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("TPC-H 22 queries, indexes only\n")
+	fmt.Printf("  initial: %8.1f time-units at %6.1f MB\n", res.Initial.Cost, mb(res.Initial.SizeBytes))
+	fmt.Printf("  optimal: %8.1f time-units at %6.1f MB\n", res.Optimal.Cost, mb(res.Optimal.SizeBytes))
+	fmt.Printf("  budget:  %6.1f MB -> best %8.1f time-units at %6.1f MB (%.1f%% improvement)\n\n",
+		mb(budget), res.Best.Cost, mb(res.Best.SizeBytes), res.ImprovementPct())
+
+	// The frontier, deduplicated to the best cost seen per size bucket,
+	// tells the DBA what extra disk would buy (Figure 4's reading).
+	type pt struct {
+		size int64
+		cost float64
+	}
+	bySize := map[int64]float64{}
+	for _, p := range res.Frontier {
+		bucket := p.SizeBytes / (64 << 10) // 64 KB buckets
+		if c, ok := bySize[bucket]; !ok || p.Cost < c {
+			bySize[bucket] = p.Cost
+		}
+	}
+	var pts []pt
+	for b, c := range bySize {
+		pts = append(pts, pt{size: b * (64 << 10), cost: c})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].size < pts[j].size })
+
+	fmt.Println("space/cost frontier (what more disk would buy):")
+	for _, p := range pts {
+		fmt.Printf("  %7.2f MB  %10.1f time-units\n", mb(p.size), p.cost)
+	}
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

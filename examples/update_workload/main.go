@@ -1,0 +1,78 @@
+// update_workload demonstrates §3.6: tuning a mixed SELECT/UPDATE
+// workload. Index maintenance makes "more indexes" no longer free, so
+// the tuner keeps relaxing even after the configuration fits, dropping
+// structures whose update cost outweighs their query benefit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/tuner"
+)
+
+func main() {
+	db := tuner.DS1(0.001)
+
+	workloadSQL := `
+		SELECT st_region, SUM(sf_amount), COUNT(*)
+		FROM sales_fact, dim_store
+		WHERE sf_storekey = st_storekey AND sf_datekey >= 10227
+		GROUP BY st_region;
+
+		SELECT p_category, SUM(sf_amount)
+		FROM sales_fact, dim_product
+		WHERE sf_productkey = p_productkey AND p_price > 1000
+		GROUP BY p_category;
+
+		SELECT cu_segment, SUM(sf_profit)
+		FROM sales_fact, dim_customer
+		WHERE sf_custkey = cu_custkey AND cu_income > 200000
+		GROUP BY cu_segment;
+
+		UPDATE sales_fact SET sf_amount = sf_amount * 1.01 WHERE sf_datekey >= 10500;
+		UPDATE sales_fact SET sf_profit = sf_profit - 1 WHERE sf_quantity > 90;
+		INSERT INTO sales_fact VALUES (0, 0, 0, 0, 0, 0, 0, 0, 0);
+		DELETE FROM returns_fact WHERE rf_datekey < 8400;
+	`
+	w, err := tuner.ParseWorkload("sales-mix", "ds1", workloadSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tune twice: pretending updates are free (SELECTs only) vs. the full
+	// mixed workload, to show how maintenance costs change the answer.
+	selectOnly := &tuner.Workload{Name: w.Name + "-selects", Database: w.Database}
+	for _, q := range w.Queries {
+		if !q.IsUpdate() {
+			selectOnly.Queries = append(selectOnly.Queries, q)
+		}
+	}
+
+	for _, run := range []struct {
+		label string
+		w     *tuner.Workload
+	}{
+		{"SELECT portion only", selectOnly},
+		{"full mixed workload", w},
+	} {
+		res, err := tuner.Tune(db, run.w, tuner.Options{
+			SpaceBudget:   8 << 20,
+			MaxIterations: 80,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		extra := 0
+		for _, ix := range res.Best.Config.Indexes() {
+			if !ix.Required {
+				extra++
+			}
+		}
+		fmt.Printf("%-20s cost %9.1f -> %9.1f (improvement %5.1f%%), %d auxiliary indexes, %d views\n",
+			run.label, res.Initial.Cost, res.Best.Cost, res.ImprovementPct(),
+			extra, res.Best.Config.NumViews())
+	}
+	fmt.Println("\nwith updates in the mix the tuner recommends fewer (or cheaper-to-maintain)")
+	fmt.Println("structures on the updated tables — §3.6's select/update-shell separation at work")
+}

@@ -1,0 +1,61 @@
+// validate_estimates materializes synthetic TPC-H rows, executes a
+// workload for real, and compares true result sizes against the
+// optimizer's cardinality estimates — the consistency check that makes
+// the tuner's cost-based recommendations trustworthy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/sqlx"
+)
+
+func main() {
+	db, store := datagen.TPCHData(0.002)
+	o := optimizer.New(db)
+	cfg := datagen.BaseConfiguration(db)
+
+	queries := []string{
+		"SELECT o_orderkey FROM orders WHERE o_orderdate < 9131",
+		"SELECT l_orderkey FROM lineitem WHERE l_quantity < 10",
+		"SELECT l_orderkey FROM lineitem WHERE l_shipdate BETWEEN 9131 AND 9496",
+		"SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority",
+		"SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode",
+		"SELECT o_orderkey, c_name FROM orders, customer WHERE o_custkey = c_custkey",
+		"SELECT l_orderkey FROM lineitem, orders WHERE l_orderkey = o_orderkey AND o_orderdate < 8500",
+		"SELECT s_name, COUNT(*) FROM supplier, nation WHERE s_nationkey = n_nationkey GROUP BY s_name",
+	}
+
+	fmt.Printf("%-4s %12s %12s %8s  %s\n", "#", "estimated", "actual", "ratio", "query")
+	for i, src := range queries {
+		stmt, err := sqlx.Parse(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := optimizer.Bind(db, stmt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := o.Optimize(q, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := exec.ExecuteQuery(store, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := p.Root.OutRows()
+		actual := float64(res.Len())
+		ratio := 0.0
+		if actual > 0 {
+			ratio = est / actual
+		}
+		fmt.Printf("%-4d %12.0f %12.0f %8.2f  %s\n", i+1, est, actual, ratio, src)
+	}
+	fmt.Println("\nratios near 1.0 mean the histogram/containment model that drives all")
+	fmt.Println("tuning decisions agrees with ground truth on this synthetic data")
+}

@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/workloads"
+)
+
+func TestBottomUpTPCHIndexesOnly(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	tn, err := core.NewTuner(db, w, core.Options{NoViews: true})
+	if err != nil {
+		t.Fatalf("tuner: %v", err)
+	}
+	res, err := Tune(tn, Options{NoViews: true})
+	if err != nil {
+		t.Fatalf("tune: %v", err)
+	}
+	t.Logf("initial=%.1f best=%.1f improvement=%.1f%% candidates=%d calls=%d steps=%d",
+		res.Initial.Cost, res.Best.Cost, res.ImprovementPct(), res.Candidates, res.OptimizerCalls, len(res.Progress))
+	if res.Best.Cost > res.Initial.Cost {
+		t.Errorf("baseline made things worse: %.1f > %.1f", res.Best.Cost, res.Initial.Cost)
+	}
+	if res.ImprovementPct() < 10 {
+		t.Errorf("baseline found almost no improvement: %.1f%%", res.ImprovementPct())
+	}
+	if len(res.Progress) == 0 {
+		t.Error("no progress trace recorded")
+	}
+	// Progress best-so-far must be non-increasing.
+	for i := 1; i < len(res.Progress); i++ {
+		if res.Progress[i].BestCost > res.Progress[i-1].BestCost+1e-9 {
+			t.Errorf("best-so-far increased at step %d", i)
+		}
+	}
+}
+
+func TestBottomUpVsRelaxationUnconstrained(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	tn, err := core.NewTuner(db, w, core.Options{NoViews: true})
+	if err != nil {
+		t.Fatalf("tuner: %v", err)
+	}
+	ctt, err := Tune(tn, Options{NoViews: true})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	ptt, err := tn.Tune()
+	if err != nil {
+		t.Fatalf("relaxation: %v", err)
+	}
+	pttImpr := core.Improvement(ptt.Initial.Cost, ptt.Best.Cost)
+	cttImpr := ctt.ImprovementPct()
+	t.Logf("PTT improvement=%.1f%% (cost %.1f), CTT improvement=%.1f%% (cost %.1f)",
+		pttImpr, ptt.Best.Cost, cttImpr, ctt.Best.Cost)
+	// Unconstrained, the relaxation tuner starts at the optimal
+	// configuration; it must never lose to the bottom-up baseline.
+	if ptt.Best.Cost > ctt.Best.Cost*1.0001 {
+		t.Errorf("PTT (%.2f) worse than CTT (%.2f) without constraints", ptt.Best.Cost, ctt.Best.Cost)
+	}
+}

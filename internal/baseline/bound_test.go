@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/workloads"
+)
+
+// TestStopAtBoundSavesWork demonstrates the Figure 3 advisory: armed with
+// the relaxation tuner's optimal-configuration bound, the bottom-up tool
+// can stop early with almost no quality loss.
+func TestStopAtBoundSavesWork(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bound comes from the relaxation tuner's §2 pass.
+	boundTuner, err := core.NewTuner(db, w, core.Options{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCfg, err := boundTuner.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := boundTuner.Evaluate(optCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tn1, err := core.NewTuner(db, w, core.Options{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded, err := Tune(tn1, Options{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tn2, err := core.NewTuner(db, w, core.Options{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Tune(tn2, Options{
+		NoViews:       true,
+		CostBound:     optimal.Cost,
+		StopWithinPct: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bounded.StoppedAtBound {
+		t.Skip("bound not reached at this scale; nothing to verify")
+	}
+	if len(bounded.Progress) >= len(unbounded.Progress) {
+		t.Errorf("bounded run should take fewer steps: %d >= %d",
+			len(bounded.Progress), len(unbounded.Progress))
+	}
+	// Quality loss bounded by the stopping slack.
+	if bounded.Best.Cost > optimal.Cost*1.10+1e-9 {
+		t.Errorf("stopped too early: %.1f > %.1f×1.10", bounded.Best.Cost, optimal.Cost)
+	}
+}
+
+func TestBudgetedBaselineRespectsBudget(t *testing.T) {
+	db := datagen.Bench(0.001)
+	w, err := workloads.Generate(db, workloads.DefaultGenOptions("b", 11, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := core.NewTuner(db, w, core.Options{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCfg, err := tn.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Midpoint between the (unavoidable) base size and the optimal size.
+	baseSize := tn.Opt.Sizer().ConfigBytes(tn.Base)
+	optSize := tn.Opt.Sizer().ConfigBytes(optCfg)
+	budget := baseSize + (optSize-baseSize)/2
+	tn2, err := core.NewTuner(db, w, core.Options{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(tn2, Options{NoViews: true, SpaceBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.SizeBytes > budget {
+		t.Errorf("baseline violated the budget: %d > %d", res.Best.SizeBytes, budget)
+	}
+	if res.Best.SizeBytes <= baseSize {
+		t.Error("baseline should have added at least one structure within the budget")
+	}
+}

@@ -1,0 +1,97 @@
+package catalog
+
+import (
+	"testing"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	cols := []Column{
+		{Name: "id", Type: TypeInt, AvgWidth: 4, Stats: &ColumnStats{Distinct: 1000, Min: 1, Max: 1000, Numeric: true}},
+		{Name: "name", Type: TypeVarchar, AvgWidth: 20, Stats: &ColumnStats{Distinct: 900}},
+		{Name: "price", Type: TypeFloat, AvgWidth: 8, Stats: &ColumnStats{Distinct: 500, Min: 0, Max: 100, Numeric: true}},
+	}
+	tb, err := NewTable("items", 1000, cols, []string{"id"})
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tb
+}
+
+func TestTableLookupsCaseInsensitive(t *testing.T) {
+	tb := sampleTable(t)
+	if tb.Column("ID") == nil || tb.Column("Name") == nil {
+		t.Error("column lookup should be case-insensitive")
+	}
+	if tb.Column("nope") != nil {
+		t.Error("missing column should be nil")
+	}
+	if tb.ColumnIndex("price") != 2 {
+		t.Errorf("ColumnIndex: %d", tb.ColumnIndex("price"))
+	}
+	if tb.ColumnIndex("nope") != -1 {
+		t.Error("missing ColumnIndex should be -1")
+	}
+}
+
+func TestTableRowWidth(t *testing.T) {
+	tb := sampleTable(t)
+	if got := tb.RowWidth(); got != 32 {
+		t.Errorf("RowWidth = %d, want 32", got)
+	}
+}
+
+func TestNewTableRejectsDuplicatesAndBadPK(t *testing.T) {
+	cols := []Column{{Name: "a", Type: TypeInt, AvgWidth: 4}, {Name: "A", Type: TypeInt, AvgWidth: 4}}
+	if _, err := NewTable("t", 1, cols, nil); err == nil {
+		t.Error("duplicate columns (case-insensitive) should fail")
+	}
+	cols = []Column{{Name: "a", Type: TypeInt, AvgWidth: 4}}
+	if _, err := NewTable("t", 1, cols, []string{"missing"}); err == nil {
+		t.Error("unknown primary key column should fail")
+	}
+}
+
+func TestDatabaseRegistry(t *testing.T) {
+	db := NewDatabase("test")
+	tb := sampleTable(t)
+	if err := db.AddTable(tb); err != nil {
+		t.Fatalf("AddTable: %v", err)
+	}
+	if err := db.AddTable(tb); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if db.Table("ITEMS") == nil {
+		t.Error("table lookup should be case-insensitive")
+	}
+	if db.TotalRows() != 1000 {
+		t.Errorf("TotalRows: %d", db.TotalRows())
+	}
+	if db.DataSize() != 1000*32 {
+		t.Errorf("DataSize: %d", db.DataSize())
+	}
+	if len(db.Tables()) != 1 {
+		t.Errorf("Tables: %d", len(db.Tables()))
+	}
+}
+
+func TestDatabaseValidate(t *testing.T) {
+	db := NewDatabase("test")
+	bad, err := NewTable("bad", 10, []Column{{Name: "a", Type: TypeInt, AvgWidth: 0}}, nil)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	db.MustAddTable(bad)
+	if err := db.Validate(); err == nil {
+		t.Error("zero-width column should fail validation")
+	}
+}
+
+func TestFixedWidth(t *testing.T) {
+	if FixedWidth(TypeInt) != 4 || FixedWidth(TypeFloat) != 8 || FixedWidth(TypeDate) != 4 {
+		t.Error("fixed widths wrong")
+	}
+	if FixedWidth(TypeVarchar) != 0 {
+		t.Error("varchar should have no fixed width")
+	}
+}

@@ -1,0 +1,242 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultHistogramBuckets is the number of buckets built per column.
+const DefaultHistogramBuckets = 32
+
+// Default selectivities used when statistics cannot answer a predicate;
+// these mirror the classical System-R magic constants.
+const (
+	DefaultEqSelectivity    = 0.005
+	DefaultRangeSelectivity = 1.0 / 3.0
+	DefaultLikeSelectivity  = 0.10
+	DefaultOtherSelectivity = 1.0 / 3.0
+)
+
+// ColumnStats summarizes a column's value distribution. Numeric and date
+// columns carry min/max and an equi-depth histogram; varchar columns carry
+// distinct counts only (equality selectivity) and fall back to defaults for
+// range predicates.
+type ColumnStats struct {
+	Distinct  int64
+	Min, Max  float64 // meaningful for numeric/date columns only
+	Numeric   bool
+	Histogram *Histogram // nil when not built (e.g. varchar)
+}
+
+// Validate checks internal consistency.
+func (s *ColumnStats) Validate() error {
+	if s.Distinct < 0 {
+		return errors.New("negative distinct count")
+	}
+	if s.Numeric && s.Min > s.Max {
+		return fmt.Errorf("min %g > max %g", s.Min, s.Max)
+	}
+	if s.Histogram != nil {
+		return s.Histogram.Validate()
+	}
+	return nil
+}
+
+// EqSelectivity estimates the fraction of rows with column = v.
+func (s *ColumnStats) EqSelectivity(v float64, isNumber bool) float64 {
+	if s == nil {
+		return DefaultEqSelectivity
+	}
+	if s.Numeric && isNumber && s.Histogram != nil {
+		return clampSel(s.Histogram.EqFraction(v))
+	}
+	if s.Distinct > 0 {
+		return clampSel(1 / float64(s.Distinct))
+	}
+	return DefaultEqSelectivity
+}
+
+// LtSelectivity estimates the fraction of rows with column < v (or <= v
+// when inclusive is true).
+func (s *ColumnStats) LtSelectivity(v float64, inclusive bool) float64 {
+	if s == nil || !s.Numeric {
+		return DefaultRangeSelectivity
+	}
+	if s.Histogram != nil {
+		f := s.Histogram.LtFraction(v)
+		if inclusive {
+			f += s.Histogram.EqFraction(v)
+		}
+		return clampSel(f)
+	}
+	if s.Max <= s.Min {
+		return DefaultRangeSelectivity
+	}
+	return clampSel((v - s.Min) / (s.Max - s.Min))
+}
+
+// GtSelectivity estimates the fraction of rows with column > v (or >= v).
+func (s *ColumnStats) GtSelectivity(v float64, inclusive bool) float64 {
+	lt := s.LtSelectivity(v, !inclusive)
+	return clampSel(1 - lt)
+}
+
+// InSelectivity estimates the fraction matching an IN list of n constants.
+func (s *ColumnStats) InSelectivity(n int) float64 {
+	if s == nil || s.Distinct <= 0 {
+		return clampSel(float64(n) * DefaultEqSelectivity)
+	}
+	return clampSel(float64(n) / float64(s.Distinct))
+}
+
+func clampSel(f float64) float64 {
+	if math.IsNaN(f) || f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Histogram is an equi-depth histogram over numeric values. Bucket i spans
+// (Bounds[i], Bounds[i+1]] with Fracs[i] of the rows and DistinctIn[i]
+// distinct values; the overall minimum equals Bounds[0] and is included in
+// bucket 0.
+type Histogram struct {
+	Bounds     []float64
+	Fracs      []float64
+	DistinctIn []float64
+}
+
+// BuildHistogram builds an equi-depth histogram with at most buckets
+// buckets from a sample of values. It returns nil for an empty sample.
+func BuildHistogram(sample []float64, buckets int) *Histogram {
+	if len(sample) == 0 || buckets <= 0 {
+		return nil
+	}
+	vals := make([]float64, len(sample))
+	copy(vals, sample)
+	sort.Float64s(vals)
+	n := len(vals)
+	if buckets > n {
+		buckets = n
+	}
+	h := &Histogram{}
+	h.Bounds = append(h.Bounds, vals[0])
+	start := 0
+	for b := 0; b < buckets; b++ {
+		end := (b + 1) * n / buckets
+		if end <= start {
+			continue
+		}
+		// Extend the bucket so no value straddles a boundary.
+		for end < n && vals[end] == vals[end-1] {
+			end++
+		}
+		if end > n {
+			end = n
+		}
+		seg := vals[start:end]
+		h.Bounds = append(h.Bounds, seg[len(seg)-1])
+		h.Fracs = append(h.Fracs, float64(len(seg))/float64(n))
+		h.DistinctIn = append(h.DistinctIn, float64(countDistinctSorted(seg)))
+		start = end
+		if start >= n {
+			break
+		}
+	}
+	return h
+}
+
+func countDistinctSorted(vals []float64) int {
+	d := 0
+	for i, v := range vals {
+		if i == 0 || vals[i-1] != v {
+			d++
+		}
+	}
+	return d
+}
+
+// Validate checks structural invariants.
+func (h *Histogram) Validate() error {
+	if len(h.Bounds) != len(h.Fracs)+1 || len(h.Fracs) != len(h.DistinctIn) {
+		return errors.New("histogram: inconsistent lengths")
+	}
+	total := 0.0
+	for i, f := range h.Fracs {
+		if f < 0 {
+			return errors.New("histogram: negative bucket fraction")
+		}
+		if h.Bounds[i] > h.Bounds[i+1] {
+			return errors.New("histogram: bounds not sorted")
+		}
+		if h.DistinctIn[i] < 1 {
+			return errors.New("histogram: bucket with no distinct values")
+		}
+		total += f
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return fmt.Errorf("histogram: fractions sum to %g, want 1", total)
+	}
+	return nil
+}
+
+// EqFraction estimates the fraction of rows equal to v, assuming uniformity
+// among a bucket's distinct values.
+func (h *Histogram) EqFraction(v float64) float64 {
+	if len(h.Fracs) == 0 || v < h.Bounds[0] || v > h.Bounds[len(h.Bounds)-1] {
+		return 0
+	}
+	b := h.bucketOf(v)
+	return h.Fracs[b] / h.DistinctIn[b]
+}
+
+// LtFraction estimates the fraction of rows strictly below v using linear
+// interpolation within the containing bucket.
+func (h *Histogram) LtFraction(v float64) float64 {
+	if len(h.Fracs) == 0 {
+		return DefaultRangeSelectivity
+	}
+	if v <= h.Bounds[0] {
+		return 0
+	}
+	last := h.Bounds[len(h.Bounds)-1]
+	if v > last {
+		return 1
+	}
+	b := h.bucketOf(v)
+	f := 0.0
+	for i := 0; i < b; i++ {
+		f += h.Fracs[i]
+	}
+	lo, hi := h.Bounds[b], h.Bounds[b+1]
+	if hi > lo {
+		f += h.Fracs[b] * (v - lo) / (hi - lo)
+	}
+	return clampSel(f)
+}
+
+// bucketOf returns the index of the bucket containing v; v must lie within
+// the histogram's range.
+func (h *Histogram) bucketOf(v float64) int {
+	// Find first bound >= v; value v belongs to the bucket ending at that
+	// bound (bucket i spans (Bounds[i], Bounds[i+1]]).
+	i := sort.SearchFloat64s(h.Bounds[1:], v)
+	if i >= len(h.Fracs) {
+		i = len(h.Fracs) - 1
+	}
+	return i
+}
+
+// TotalDistinct estimates the number of distinct values covered.
+func (h *Histogram) TotalDistinct() float64 {
+	d := 0.0
+	for _, x := range h.DistinctIn {
+		d += x
+	}
+	return d
+}

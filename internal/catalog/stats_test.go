@@ -1,0 +1,181 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func uniformSample(r *rand.Rand, n int, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + r.Float64()*(hi-lo)
+	}
+	return out
+}
+
+func TestBuildHistogramValidates(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	h := BuildHistogram(uniformSample(r, 5000, 0, 100), 32)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestBuildHistogramEmptyAndTiny(t *testing.T) {
+	if BuildHistogram(nil, 32) != nil {
+		t.Error("empty sample should yield nil")
+	}
+	h := BuildHistogram([]float64{5}, 32)
+	if h == nil || h.Validate() != nil {
+		t.Error("single-value histogram should validate")
+	}
+	if got := h.EqFraction(5); got != 1 {
+		t.Errorf("EqFraction(5) = %g, want 1", got)
+	}
+}
+
+func TestHistogramLtFractionEndpoints(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	h := BuildHistogram(uniformSample(r, 2000, 10, 20), 16)
+	if got := h.LtFraction(10); got != 0 {
+		t.Errorf("LtFraction(min) = %g, want 0", got)
+	}
+	if got := h.LtFraction(25); got != 1 {
+		t.Errorf("LtFraction(beyond max) = %g, want 1", got)
+	}
+	mid := h.LtFraction(15)
+	if mid < 0.35 || mid > 0.65 {
+		t.Errorf("LtFraction(midpoint) = %g, expected near 0.5 for uniform data", mid)
+	}
+}
+
+// Property: LtFraction is monotone non-decreasing and stays in [0,1].
+func TestHistogramLtFractionMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	h := BuildHistogram(uniformSample(r, 3000, -50, 50), 24)
+	cfg := &quick.Config{MaxCount: 500, Values: func(vals []reflect.Value, r *rand.Rand) {
+		a := -60 + r.Float64()*130
+		b := -60 + r.Float64()*130
+		if a > b {
+			a, b = b, a
+		}
+		vals[0], vals[1] = reflect.ValueOf(a), reflect.ValueOf(b)
+	}}
+	if err := quick.Check(func(a, b float64) bool {
+		fa, fb := h.LtFraction(a), h.LtFraction(b)
+		return fa >= 0 && fb <= 1 && fa <= fb+1e-9
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EqFraction is non-negative and bounded by the containing
+// bucket's fraction.
+func TestHistogramEqFractionBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	sample := uniformSample(r, 2000, 0, 1000)
+	// Make values discrete so equality matches occur.
+	for i := range sample {
+		sample[i] = math.Round(sample[i])
+	}
+	h := BuildHistogram(sample, 16)
+	for v := 0.0; v <= 1000; v += 37 {
+		f := h.EqFraction(v)
+		if f < 0 || f > 1 {
+			t.Fatalf("EqFraction(%g) = %g out of range", v, f)
+		}
+	}
+	if h.EqFraction(-5) != 0 || h.EqFraction(2000) != 0 {
+		t.Error("out-of-range equality should be 0")
+	}
+}
+
+// Property: bucket fractions sum to 1 and distinct counts are plausible.
+func TestHistogramMassConservation(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 100 + r.Intn(5000)
+		sample := uniformSample(r, n, 0, float64(1+r.Intn(10000)))
+		h := BuildHistogram(sample, 1+r.Intn(64))
+		if h == nil {
+			t.Fatal("nil histogram")
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sorted := append([]float64(nil), sample...)
+		sort.Float64s(sorted)
+		trueDistinct := 1
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i] != sorted[i-1] {
+				trueDistinct++
+			}
+		}
+		if got := h.TotalDistinct(); math.Abs(got-float64(trueDistinct)) > 1 {
+			t.Errorf("seed %d: TotalDistinct %g != %d", seed, got, trueDistinct)
+		}
+	}
+}
+
+func TestColumnStatsSelectivities(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sample := uniformSample(r, 4000, 0, 100)
+	s := &ColumnStats{
+		Distinct: 100, Min: 0, Max: 100, Numeric: true,
+		Histogram: BuildHistogram(sample, 32),
+	}
+	if got := s.LtSelectivity(50, false); got < 0.4 || got > 0.6 {
+		t.Errorf("LtSelectivity(50) = %g", got)
+	}
+	if got := s.GtSelectivity(50, false); got < 0.4 || got > 0.6 {
+		t.Errorf("GtSelectivity(50) = %g", got)
+	}
+	// lt + gt must cover everything (within the point mass at 50).
+	lt := s.LtSelectivity(50, false)
+	gt := s.GtSelectivity(50, true)
+	if math.Abs(lt+gt-1) > 1e-9 {
+		t.Errorf("lt + ge = %g, want 1", lt+gt)
+	}
+}
+
+func TestColumnStatsFallbacks(t *testing.T) {
+	var nilStats *ColumnStats
+	if got := nilStats.EqSelectivity(1, true); got != DefaultEqSelectivity {
+		t.Errorf("nil eq: %g", got)
+	}
+	if got := nilStats.LtSelectivity(1, true); got != DefaultRangeSelectivity {
+		t.Errorf("nil lt: %g", got)
+	}
+	str := &ColumnStats{Distinct: 40}
+	if got := str.EqSelectivity(0, false); math.Abs(got-1.0/40) > 1e-12 {
+		t.Errorf("string eq: %g", got)
+	}
+	if got := str.InSelectivity(4); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("in: %g", got)
+	}
+}
+
+func TestColumnStatsValidate(t *testing.T) {
+	bad := &ColumnStats{Distinct: -1}
+	if bad.Validate() == nil {
+		t.Error("negative distinct should fail")
+	}
+	bad2 := &ColumnStats{Distinct: 1, Numeric: true, Min: 10, Max: 0}
+	if bad2.Validate() == nil {
+		t.Error("min > max should fail")
+	}
+}
+
+func TestInSelectivityClamped(t *testing.T) {
+	s := &ColumnStats{Distinct: 3}
+	if got := s.InSelectivity(10); got != 1 {
+		t.Errorf("oversized IN list should clamp to 1, got %g", got)
+	}
+}

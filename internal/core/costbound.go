@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/sqlx"
+	"repro/internal/storage"
+)
+
+// scaledEstimateMargin pads linearly scaled access-cost estimates so the
+// §3.3.2 bound stays an upper bound despite per-access cost floors the
+// scaling cannot see.
+const scaledEstimateMargin = 1.15
+
+// Delta is the estimated effect of one transformation: an upper bound on
+// the workload cost increase (which can be negative for update workloads)
+// and the exact storage saving.
+type Delta struct {
+	// DT is the §3.3.2 upper bound on cost increase in time units.
+	DT float64
+	// DS is the space saved in bytes (Space(C) − Space(C')).
+	DS int64
+}
+
+// BoundDelta computes (ΔT, ΔS) for applying tr to ec.Config without
+// re-optimizing any workload query (§3.3.2). The only optimizer calls it
+// may trigger are one-time cached CBV computations for view removals.
+// Merged views in tr must already carry estimated cardinalities.
+func (t *Tuner) BoundDelta(ec *EvaluatedConfig, tr *physical.Transformation) (Delta, error) {
+	cfgAfter := tr.Apply(ec.Config)
+	sizer := t.Opt.Sizer()
+	d := Delta{DS: ec.SizeBytes - sizer.ConfigBytes(cfgAfter)}
+
+	removedIdx := map[string]bool{}
+	for _, id := range tr.RemovedIndexIDs() {
+		if !cfgAfter.HasIndex(id) {
+			removedIdx[id] = true
+		}
+	}
+	removedViews := map[string]bool{}
+	for _, vn := range tr.RemovedViewNames() {
+		if cfgAfter.View(vn) == nil {
+			removedViews[vn] = true
+			// Cascaded view indexes count as removed too.
+			for _, ix := range ec.Config.IndexesOn(vn) {
+				removedIdx[ix.ID()] = true
+			}
+		}
+	}
+	if len(removedIdx) == 0 && len(removedViews) == 0 {
+		return d, nil
+	}
+
+	for i, tq := range t.Queries {
+		res := ec.Results[i]
+		w := tq.Query.Weight
+		if res.Plan != nil {
+			for _, u := range res.Plan.Usages {
+				if !removedIdx[u.Index.ID()] && !(u.ViewName != "" && removedViews[u.ViewName]) {
+					continue
+				}
+				inc, err := t.usageBound(ec, cfgAfter, tr, u)
+				if err != nil {
+					return Delta{}, err
+				}
+				d.DT += w * inc
+			}
+		}
+		// Update-shell deltas are exact and optimizer-free.
+		if tq.Bound.IsUpdate() {
+			newShell := t.Opt.UpdateShellCost(tq.Bound, cfgAfter, res.AffectedRows)
+			d.DT += w * (newShell - res.UpdateCost)
+		}
+	}
+	return d, nil
+}
+
+// usageBound bounds the cost increase of one index usage when its index
+// disappears under tr (§3.3.2's per-usage procedure).
+func (t *Tuner) usageBound(ec *EvaluatedConfig, cfgAfter *physical.Configuration, tr *physical.Transformation, u *plan.IndexUsage) (float64, error) {
+	old := u.AccessCost.Total()
+	switch tr.Kind {
+	case physical.TransMergeIndexes, physical.TransPrefixIndex, physical.TransPromoteClustered:
+		return t.replacementCost(ec, cfgAfter, u, tr.NewIdx[0]) - old, nil
+	case physical.TransSplitIndexes:
+		common, r1, r2 := physical.SplitIndexes(tr.I1, tr.I2)
+		if common == nil {
+			return 0, nil
+		}
+		resid := r1
+		if u.Index.ID() == tr.I2.ID() {
+			resid = r2
+		}
+		newCost := t.replacementCost(ec, cfgAfter, u, common)
+		if resid != nil {
+			newCost += t.replacementCost(ec, cfgAfter, u, resid)
+			// Rid intersection of the two partial results.
+			newCost += t.Opt.Model().CPUHash * 2 * u.Rows
+		}
+		return newCost - old, nil
+	case physical.TransRemoveIndex:
+		return t.removalBound(ec, cfgAfter, u) - old, nil
+	case physical.TransMergeViews:
+		return t.viewMergeBound(ec, cfgAfter, tr, u) - old, nil
+	case physical.TransRemoveView:
+		cbv, err := t.costFromBase(tr.V1)
+		if err != nil {
+			return 0, err
+		}
+		return cbv + t.viewScanCost(tr.V1) - old, nil
+	default:
+		return 0, nil
+	}
+}
+
+// replacementCost bounds the cost of re-answering u's request with ir
+// (§3.3.2): scans scale linearly with size; seeks scale with the shared
+// key prefix's selectivity and size; missing columns add rid lookups;
+// incompatible orders add a sort.
+func (t *Tuner) replacementCost(ec *EvaluatedConfig, cfgAfter *physical.Configuration, u *plan.IndexUsage, ir *physical.Index) float64 {
+	sizer := t.Opt.Sizer()
+	model := t.Opt.Model()
+	szI := float64(sizer.IndexBytes(u.Index, ec.Config))
+	szR := float64(sizer.IndexBytes(ir, cfgAfter))
+	if szI <= 0 {
+		szI = 1
+	}
+	old := u.AccessCost.Total()
+	var newCost float64
+	if !u.Seek {
+		newCost = old * szR / szI
+	} else {
+		// Longest common column prefix between the seek columns used on I
+		// and IR's keys.
+		n := 0
+		for n < len(u.SeekCols) && n < len(ir.Keys) && strings.EqualFold(u.SeekCols[n], ir.Keys[n]) {
+			n++
+		}
+		sIR := 1.0
+		for i := 0; i < n && i < len(u.SeekColSels); i++ {
+			sIR *= u.SeekColSels[i]
+		}
+		sI := u.Selectivity
+		if sI <= 0 {
+			sI = 1e-9
+		}
+		newCost = old * (sIR * szR) / (sI * szI)
+	}
+	// Linear scaling misses per-access floors (B-tree descent, minimum
+	// page touches); pad the estimate so it stays an upper bound.
+	newCost = newCost*scaledEstimateMargin + float64(t.Opt.Sizer().IndexHeight(ir, cfgAfter))*model.RandPage
+	// Rid lookups when IR cannot provide every needed column.
+	if !ir.Clustered && !ir.Covers(u.NeededCols) {
+		rows, pages := t.primaryShape(ec, cfgAfter, ir.Table)
+		newCost += model.RidLookupCost(rows, pages, u.Rows).Total()
+	}
+	// Sort when the exploited order is incompatible with IR's keys.
+	if len(u.OrderCols) > 0 && u.Index.SharedKeyPrefixLen(ir) < len(u.OrderCols) {
+		newCost += model.SortCost(u.Rows, u.Rows*64/storage.PageSize).Total()
+	}
+	return newCost
+}
+
+// removalBound bounds the cost of losing u.Index entirely: the cheapest
+// replacement among the surviving indexes on the same relation, or a
+// primary-structure scan.
+func (t *Tuner) removalBound(ec *EvaluatedConfig, cfgAfter *physical.Configuration, u *plan.IndexUsage) float64 {
+	best := t.primaryScanCost(ec, cfgAfter, u)
+	for _, ir := range cfgAfter.IndexesOn(u.Index.Table) {
+		if c := t.replacementCost(ec, cfgAfter, u, ir); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// primaryScanCost is the fallback of scanning the relation's primary
+// structure (clustered index or heap) plus any required sort.
+func (t *Tuner) primaryScanCost(ec *EvaluatedConfig, cfgAfter *physical.Configuration, u *plan.IndexUsage) float64 {
+	model := t.Opt.Model()
+	rows, pages := t.primaryShape(ec, cfgAfter, u.Index.Table)
+	// Scan CPU plus one residual-filter pass (the scan plan re-applies
+	// the predicates the original seek evaluated implicitly).
+	cost := float64(pages)*model.SeqPage + 2*float64(rows)*model.CPURow
+	if len(u.OrderCols) > 0 {
+		cost += model.SortCost(u.Rows, u.Rows*64/storage.PageSize).Total()
+	}
+	return cost
+}
+
+// primaryShape returns the row and page counts of a relation's primary
+// structure under cfgAfter.
+func (t *Tuner) primaryShape(ec *EvaluatedConfig, cfgAfter *physical.Configuration, table string) (int64, int64) {
+	sizer := t.Opt.Sizer()
+	if cl := cfgAfter.ClusteredOn(table); cl != nil {
+		return sizer.IndexRows(cl, cfgAfter), sizer.IndexLeafPages(cl, cfgAfter)
+	}
+	if v := cfgAfter.View(table); v != nil {
+		return v.EstRows, storage.HeapPages(v.EstRows, v.RowWidth())
+	}
+	tb := t.DB.Table(table)
+	if tb == nil {
+		return 1, 1
+	}
+	return tb.Rows, storage.HeapPages(tb.Rows, tb.RowWidth())
+}
+
+// viewMergeBound bounds the cost of answering u (an access to an index on
+// V1 or V2) with the corresponding promoted index on VM, adding the
+// compensating filter and group-by operations the rewriting needs.
+func (t *Tuner) viewMergeBound(ec *EvaluatedConfig, cfgAfter *physical.Configuration, tr *physical.Transformation, u *plan.IndexUsage) float64 {
+	model := t.Opt.Model()
+	src := tr.V1
+	if u.ViewName == tr.V2.Name {
+		src = tr.V2
+	}
+	ir := physical.PromoteIndexToView(u.Index, src, tr.VM)
+	if ir == nil {
+		// The index could not be promoted: fall back to the clustered
+		// index of the merged view.
+		if cl := cfgAfter.ClusteredOn(tr.VM.Name); cl != nil {
+			ir = cl
+		} else {
+			// Worst case: treat like view removal.
+			cbv, err := t.costFromBase(src)
+			if err != nil {
+				cbv = u.AccessCost.Total() * 10
+			}
+			return cbv + t.viewScanCost(src)
+		}
+	}
+	newCost := t.replacementCost(ec, cfgAfter, u, ir)
+	// Rows surviving in VM that correspond to this access: scale by the
+	// cardinality ratio (VM is a superset of V1/V2 rows).
+	scaledRows := u.Rows
+	if src.EstRows > 0 && tr.VM.EstRows > src.EstRows {
+		scaledRows = u.Rows * float64(tr.VM.EstRows) / float64(src.EstRows)
+	}
+	// Compensating filter for predicates VM no longer applies (widened or
+	// dropped ranges, dropped joins, dropped other conjuncts).
+	if len(src.Ranges) > 0 || len(src.Joins) != len(tr.VM.Joins) || len(src.Others) != len(tr.VM.Others) {
+		newCost += model.CPURow * scaledRows
+	}
+	// Compensating group-by when the grouping changed.
+	if !sameGrouping(src, tr.VM) {
+		newCost += model.HashAggCost(scaledRows).Total()
+	}
+	return newCost
+}
+
+func sameGrouping(a, b *physical.View) bool {
+	if len(a.GroupBy) != len(b.GroupBy) {
+		return false
+	}
+	for _, g := range a.GroupBy {
+		found := false
+		for _, h := range b.GroupBy {
+			if g == h {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// viewScanCost is the cost of scanning the view's rows once (the implied
+// plan after view removal replaces each index usage with a scan of V).
+func (t *Tuner) viewScanCost(v *physical.View) float64 {
+	model := t.Opt.Model()
+	pages := storage.HeapPages(v.EstRows, v.RowWidth())
+	return float64(pages)*model.SeqPage + float64(v.EstRows)*model.CPURow
+}
+
+// costFromBase returns CBV: the cost of computing the view's definition
+// under the base configuration (§3.3.2's view-removal bound), cached by
+// view signature.
+func (t *Tuner) costFromBase(v *physical.View) (float64, error) {
+	sig := v.Signature()
+	if c, ok := t.cbvCache[sig]; ok {
+		return c, nil
+	}
+	stmt, err := sqlx.Parse(v.SQL())
+	if err != nil {
+		return 0, fmt.Errorf("core: rendering view %s for CBV: %w", v.Name, err)
+	}
+	bound, err := optimizer.Bind(t.DB, stmt)
+	if err != nil {
+		return 0, fmt.Errorf("core: binding view %s for CBV: %w", v.Name, err)
+	}
+	p, err := t.Opt.Optimize(bound, t.Base)
+	if err != nil {
+		return 0, fmt.Errorf("core: optimizing view %s for CBV: %w", v.Name, err)
+	}
+	t.cbvCache[sig] = p.Cost.Total()
+	return p.Cost.Total(), nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/physical"
+)
+
+// TestBoundDeltaIsUpperBound validates the central §3.3.2 guarantee: the
+// transformation cost bound, computed without re-optimizing, is an upper
+// bound on the actual cost increase observed when the relaxed
+// configuration is evaluated for real.
+func TestBoundDeltaIsUpperBound(t *testing.T) {
+	tn := tpchTuner(t, Options{NoViews: true})
+	optCfg, err := tn.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := tn.Evaluate(optCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := physical.Enumerate(optCfg, physical.EnumerateOptions{
+		NoViews:    true,
+		HeapTables: tn.heapTables,
+	})
+	if len(trs) == 0 {
+		t.Fatal("no transformations to test")
+	}
+	rng := rand.New(rand.NewSource(5))
+	rng.Shuffle(len(trs), func(i, j int) { trs[i], trs[j] = trs[j], trs[i] })
+	if len(trs) > 40 {
+		trs = trs[:40]
+	}
+	checked := 0
+	for _, tr := range trs {
+		d, err := tn.BoundDelta(ec, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		after, ok, err := tn.EvaluateIncremental(ec, tr.Apply(optCfg), tr.RemovedIndexIDs(), tr.RemovedViewNames(), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if !ok {
+			continue
+		}
+		actual := after.Cost - ec.Cost
+		if actual > d.DT+1e-6+0.001*ec.Cost {
+			t.Errorf("%s: actual increase %.3f exceeds bound %.3f", tr, actual, d.DT)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("too few transformations checked: %d", checked)
+	}
+}
+
+// TestBoundDeltaWithViews exercises the view-merge and view-removal
+// bounds the same way.
+func TestBoundDeltaWithViews(t *testing.T) {
+	tn := tpchTuner(t, Options{})
+	optCfg, err := tn.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := tn.Evaluate(optCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := physical.Enumerate(optCfg, physical.EnumerateOptions{
+		HeapTables: tn.heapTables,
+		WidthOf:    tn.viewWidthFn(),
+	})
+	var viewTrs []*physical.Transformation
+	for _, tr := range trs {
+		if tr.Kind == physical.TransMergeViews || tr.Kind == physical.TransRemoveView {
+			if tr.VM != nil && tr.VM.EstRows == 0 {
+				tr.VM.EstRows = tn.Opt.EstimateViewRows(tr.VM)
+			}
+			viewTrs = append(viewTrs, tr)
+		}
+	}
+	if len(viewTrs) == 0 {
+		t.Fatal("no view transformations enumerated")
+	}
+	rng := rand.New(rand.NewSource(11))
+	rng.Shuffle(len(viewTrs), func(i, j int) { viewTrs[i], viewTrs[j] = viewTrs[j], viewTrs[i] })
+	if len(viewTrs) > 25 {
+		viewTrs = viewTrs[:25]
+	}
+	violations, checked := 0, 0
+	for _, tr := range viewTrs {
+		d, err := tn.BoundDelta(ec, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		after, ok, err := tn.EvaluateIncremental(ec, tr.Apply(optCfg), tr.RemovedIndexIDs(), tr.RemovedViewNames(), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if !ok {
+			continue
+		}
+		checked++
+		actual := after.Cost - ec.Cost
+		if actual > d.DT+1e-6+0.02*ec.Cost {
+			violations++
+			t.Logf("%s: actual %.3f > bound %.3f", tr, actual, d.DT)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+	// View bounds involve approximations (merged-view cardinalities,
+	// compensation costs); allow a small violation rate but not a broken
+	// estimator.
+	if violations*5 > checked {
+		t.Errorf("view bound violated too often: %d of %d", violations, checked)
+	}
+}
+
+// TestBoundDeltaSpaceSavings: ΔS equals the measured size difference.
+func TestBoundDeltaSpaceSavings(t *testing.T) {
+	tn := tpchTuner(t, Options{NoViews: true})
+	optCfg, err := tn.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := tn.Evaluate(optCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := physical.Enumerate(optCfg, physical.EnumerateOptions{NoViews: true, HeapTables: tn.heapTables})
+	for _, tr := range trs[:20] {
+		d, err := tn.BoundDelta(ec, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := tr.Apply(optCfg)
+		want := ec.SizeBytes - tn.Opt.Sizer().ConfigBytes(after)
+		if d.DS != want {
+			t.Errorf("%s: ΔS = %d, want %d", tr, d.DS, want)
+		}
+	}
+}
+
+// TestCostFromBaseCached: CBV computations are cached by signature.
+func TestCostFromBaseCached(t *testing.T) {
+	tn := tpchTuner(t, Options{})
+	optCfg, err := tn.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := optCfg.Views()
+	if len(views) == 0 {
+		t.Skip("no views in optimal configuration")
+	}
+	v := views[0]
+	before := tn.Opt.Stats().OptimizeCalls
+	c1, err := tn.costFromBase(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := tn.Opt.Stats().OptimizeCalls
+	c2, err := tn.costFromBase(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := tn.Opt.Stats().OptimizeCalls
+	if c1 != c2 {
+		t.Errorf("cached CBV differs: %g vs %g", c1, c2)
+	}
+	if mid == before {
+		t.Error("first CBV should call the optimizer")
+	}
+	if after != mid {
+		t.Error("second CBV should hit the cache")
+	}
+}

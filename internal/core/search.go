@@ -1,0 +1,528 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+)
+
+// FrontierPoint is one (space, cost) observation made during the search;
+// the set of points is the by-product distribution of configurations the
+// paper highlights (Figure 4).
+type FrontierPoint struct {
+	Iteration int
+	SizeBytes int64
+	Cost      float64
+	Fits      bool
+}
+
+// Result is the outcome of a relaxation-based tuning session.
+type Result struct {
+	// Initial is the base configuration (existing indexes only).
+	Initial *EvaluatedConfig
+	// Optimal is the §2 optimal configuration (unconstrained lower bound
+	// for SELECT-only workloads).
+	Optimal *EvaluatedConfig
+	// Best is the recommended configuration under the space constraint.
+	Best *EvaluatedConfig
+	// Frontier records every configuration evaluated during the search.
+	Frontier []FrontierPoint
+	// TransCensus is the number of candidate transformations available at
+	// each iteration (Figure 6).
+	TransCensus []int
+	Iterations  int
+	// OptimizerCalls, IndexRequests, ViewRequests count optimizer work.
+	OptimizerCalls int64
+	IndexRequests  int64
+	ViewRequests   int64
+	Elapsed        time.Duration
+}
+
+// ImprovementPct returns the paper's improvement metric for the final
+// recommendation relative to the initial configuration.
+func (r *Result) ImprovementPct() float64 {
+	if r.Best == nil || r.Initial == nil {
+		return 0
+	}
+	return Improvement(r.Initial.Cost, r.Best.Cost)
+}
+
+// searchNode is one configuration in the pool CP of Figure 5.
+type searchNode struct {
+	eval   *EvaluatedConfig
+	parent *searchNode
+	// realizedPenalty is the actual ΔT/ΔS observed when this node was
+	// produced from its parent (heuristic 2 of §3.4).
+	realizedPenalty float64
+	trans           []*physical.Transformation
+	deltas          map[string]Delta
+	penalties       map[string]float64
+	tried           map[string]bool
+}
+
+func (n *searchNode) untried() int {
+	c := 0
+	for _, tr := range n.trans {
+		if !n.tried[tr.ID()] {
+			c++
+		}
+	}
+	return c
+}
+
+// Tune runs the full relaxation-based algorithm (Figure 5 instantiated
+// with the §3.4 heuristics) and returns the recommendation plus all
+// by-products.
+func (t *Tuner) Tune() (*Result, error) {
+	start := time.Now()
+	stats0 := t.Opt.Stats()
+	res := &Result{}
+
+	initial, err := t.Evaluate(t.Base)
+	if err != nil {
+		return nil, err
+	}
+	res.Initial = initial
+
+	optimalCfg, err := t.OptimalConfiguration()
+	if err != nil {
+		return nil, err
+	}
+	optimal, err := t.Evaluate(optimalCfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Optimal = optimal
+
+	hasUpdates := t.hasUpdates()
+	budget := t.Options.SpaceBudget
+	unconstrained := budget <= 0
+	if unconstrained && !hasUpdates {
+		// §2/§4.1: with no constraints and no updates the optimal
+		// configuration is the answer; no search is needed.
+		res.Best = optimal
+		res.Frontier = append(res.Frontier,
+			FrontierPoint{SizeBytes: optimal.SizeBytes, Cost: optimal.Cost, Fits: true})
+		t.fillStats(res, stats0, start)
+		return res, nil
+	}
+	effBudget := budget
+	if unconstrained {
+		effBudget = math.MaxInt64
+	}
+
+	fits := func(ec *EvaluatedConfig) bool { return ec.SizeBytes <= effBudget }
+	var cbest *EvaluatedConfig
+	if fits(initial) {
+		cbest = initial
+	}
+	if fits(optimal) && (cbest == nil || optimal.Cost < cbest.Cost) {
+		cbest = optimal
+	}
+
+	root := t.newSearchNode(optimal, nil, 0)
+	pool := []*searchNode{root}
+	seen := map[string]bool{optimalCfg.Fingerprint(): true}
+	res.Frontier = append(res.Frontier,
+		FrontierPoint{SizeBytes: optimal.SizeBytes, Cost: optimal.Cost, Fits: fits(optimal)})
+
+	maxIter := t.Options.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	last := root
+
+	for iter := 0; iter < maxIter; iter++ {
+		if t.Options.TimeBudget > 0 && time.Since(start) > t.Options.TimeBudget {
+			break
+		}
+		node := t.pickNode(pool, last, effBudget, hasUpdates)
+		if node == nil {
+			break // no configuration has an applicable transformation left
+		}
+		res.TransCensus = append(res.TransCensus, poolCensus(pool))
+
+		ranked := t.rankTransformations(node, effBudget, hasUpdates)
+		if len(ranked) == 0 {
+			// Exhausted this node; try another next iteration.
+			node.tried = allTried(node)
+			last = nil
+			continue
+		}
+		chosen := t.selectNonConflicting(ranked)
+		cfgNew := node.eval.Config
+		var removedIdx, removedViews []string
+		for _, tr := range chosen {
+			node.tried[tr.ID()] = true
+			cfgNew = tr.Apply(cfgNew)
+			removedIdx = append(removedIdx, tr.RemovedIndexIDs()...)
+			removedViews = append(removedViews, tr.RemovedViewNames()...)
+		}
+		res.Iterations++
+
+		fp := cfgNew.Fingerprint()
+		if seen[fp] {
+			last = node
+			continue
+		}
+		seen[fp] = true
+
+		cutoff := 0.0
+		if cbest != nil {
+			cutoff = cbest.Cost
+		}
+		// Shortcut evaluation only prunes when the new configuration
+		// could never beat the incumbent: relaxations only grow cost, so
+		// a config above the incumbent's cost is a dead end (§3.5) —
+		// except under updates, where removals can reduce cost.
+		if hasUpdates {
+			cutoff = 0
+		}
+		evalNew, ok, err := t.EvaluateIncremental(node.eval, cfgNew, removedIdx, removedViews, cutoff)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			last = node
+			continue
+		}
+		if t.Options.ShrinkUnused {
+			if shrunk, serr := t.shrinkUnused(evalNew); serr != nil {
+				return nil, serr
+			} else if shrunk != nil {
+				evalNew = shrunk
+			}
+		}
+		realized := realizedPenalty(node.eval, evalNew)
+		child := t.newSearchNode(evalNew, node, realized)
+		pool = append(pool, child)
+		res.Frontier = append(res.Frontier,
+			FrontierPoint{Iteration: res.Iterations, SizeBytes: evalNew.SizeBytes, Cost: evalNew.Cost, Fits: fits(evalNew)})
+		if fits(evalNew) && (cbest == nil || evalNew.Cost < cbest.Cost) {
+			cbest = evalNew
+		}
+		last = child
+	}
+
+	if cbest == nil {
+		cbest = initial // nothing fit: fall back to the existing design
+	}
+	res.Best = cbest
+	t.fillStats(res, stats0, start)
+	return res, nil
+}
+
+func (t *Tuner) fillStats(res *Result, stats0 optimizer.Stats, start time.Time) {
+	now := t.Opt.Stats()
+	res.OptimizerCalls = now.OptimizeCalls - stats0.OptimizeCalls
+	res.IndexRequests = now.IndexRequests - stats0.IndexRequests
+	res.ViewRequests = now.ViewRequests - stats0.ViewRequests
+	res.Elapsed = time.Since(start)
+}
+
+// selectNonConflicting picks the minimal-penalty transformation plus, in
+// the §3.5 multiple-transformations variation, further low-penalty
+// transformations whose inputs are disjoint from everything already
+// chosen (merging I1 and I2 after removing I1 would be contradictory).
+func (t *Tuner) selectNonConflicting(ranked []candidate) []*physical.Transformation {
+	limit := t.Options.MultiTransform
+	if limit < 2 {
+		return []*physical.Transformation{ranked[0].tr}
+	}
+	touched := map[string]bool{}
+	note := func(tr *physical.Transformation) {
+		for _, id := range tr.RemovedIndexIDs() {
+			touched[id] = true
+		}
+		for _, vn := range tr.RemovedViewNames() {
+			touched["v:"+vn] = true
+		}
+	}
+	conflicts := func(tr *physical.Transformation) bool {
+		for _, id := range tr.RemovedIndexIDs() {
+			if touched[id] {
+				return true
+			}
+		}
+		for _, vn := range tr.RemovedViewNames() {
+			if touched["v:"+vn] {
+				return true
+			}
+		}
+		return false
+	}
+	out := []*physical.Transformation{ranked[0].tr}
+	note(ranked[0].tr)
+	for _, c := range ranked[1:] {
+		if len(out) >= limit {
+			break
+		}
+		if conflicts(c.tr) {
+			continue
+		}
+		out = append(out, c.tr)
+		note(c.tr)
+	}
+	return out
+}
+
+// shrinkUnused implements the §3.5 shrinking variation: structures no
+// plan reads are dropped from the configuration. Returns nil when
+// nothing shrinks. Plans stay valid because only unused structures go.
+func (t *Tuner) shrinkUnused(ec *EvaluatedConfig) (*EvaluatedConfig, error) {
+	used := map[string]bool{}
+	usedViews := map[string]bool{}
+	for _, res := range ec.Results {
+		if res.Plan == nil {
+			continue
+		}
+		for _, id := range res.Plan.UsedIndexIDs() {
+			used[id] = true
+		}
+		for _, vn := range res.Plan.UsedViews {
+			usedViews[vn] = true
+		}
+	}
+	shrunk := ec.Config.Clone()
+	changed := false
+	for _, v := range ec.Config.Views() {
+		if !usedViews[v.Name] {
+			shrunk.RemoveView(v.Name)
+			changed = true
+		}
+	}
+	for _, ix := range ec.Config.Indexes() {
+		if ix.Required || used[ix.ID()] {
+			continue
+		}
+		// Keep the clustered index of a surviving view (it stores the
+		// view's rows even when plans read a secondary view index).
+		if ix.Clustered && shrunk.View(ix.Table) != nil {
+			continue
+		}
+		if shrunk.RemoveIndex(ix.ID()) {
+			changed = true
+		}
+	}
+	if !changed {
+		return nil, nil
+	}
+	out, ok, err := t.EvaluateIncremental(ec, shrunk, nil, nil, 0)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return out, nil
+}
+
+// realizedPenalty is the observed ΔT/ΔS of one relaxation step.
+func realizedPenalty(parent, child *EvaluatedConfig) float64 {
+	dT := child.Cost - parent.Cost
+	dS := float64(parent.SizeBytes - child.SizeBytes)
+	if dS < 1 {
+		dS = 1
+	}
+	return dT / dS
+}
+
+func allTried(n *searchNode) map[string]bool {
+	m := map[string]bool{}
+	for _, tr := range n.trans {
+		m[tr.ID()] = true
+	}
+	return m
+}
+
+func poolCensus(pool []*searchNode) int {
+	total := 0
+	for _, n := range pool {
+		total += n.untried()
+	}
+	return total
+}
+
+// newSearchNode enumerates the node's transformations eagerly (the census
+// of Figure 6 needs them) and estimates merged-view cardinalities.
+func (t *Tuner) newSearchNode(ec *EvaluatedConfig, parent *searchNode, realized float64) *searchNode {
+	opts := physical.EnumerateOptions{
+		NoViews:    t.Options.NoViews,
+		HeapTables: t.heapTables,
+		WidthOf:    t.viewWidthFn(),
+	}
+	trans := physical.Enumerate(ec.Config, opts)
+	for _, tr := range trans {
+		if tr.Kind == physical.TransMergeViews && tr.VM.EstRows == 0 {
+			tr.VM.EstRows = t.Opt.EstimateViewRows(tr.VM)
+		}
+	}
+	return &searchNode{
+		eval:            ec,
+		parent:          parent,
+		realizedPenalty: realized,
+		trans:           trans,
+		deltas:          map[string]Delta{},
+		penalties:       map[string]float64{},
+		tried:           map[string]bool{},
+	}
+}
+
+// pickNode implements §3.4's configuration-selection heuristics (with the
+// §3.6 modification for update workloads):
+//  1. keep relaxing the last configuration while it exceeds the budget
+//     (or, with updates, while it improved on its parent);
+//  2. otherwise revisit the chain node whose relaxation realized the
+//     largest penalty;
+//  3. otherwise pick the cheapest configuration with work left.
+func (t *Tuner) pickNode(pool []*searchNode, last *searchNode, budget int64, hasUpdates bool) *searchNode {
+	if last != nil && last.untried() > 0 {
+		over := last.eval.SizeBytes > budget
+		improved := hasUpdates && last.parent != nil && last.eval.Cost < last.parent.eval.Cost
+		if over || improved {
+			return last
+		}
+	}
+	if !t.Options.DisableChainCorrection && last != nil {
+		var best *searchNode
+		for n := last; n != nil; n = n.parent {
+			if n.untried() == 0 {
+				continue
+			}
+			if best == nil || n.realizedPenalty > best.realizedPenalty {
+				best = n
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	var best *searchNode
+	for _, n := range pool {
+		if n.untried() == 0 {
+			continue
+		}
+		if best == nil || n.eval.Cost < best.eval.Cost {
+			best = n
+		}
+	}
+	return best
+}
+
+// pickTransformation evaluates penalties for the node's untried
+// transformations and returns the minimum-penalty one (§3.4), applying
+// the §3.6 skyline filter for update workloads.
+func (t *Tuner) pickTransformation(node *searchNode, budget int64, hasUpdates bool, cbest *EvaluatedConfig) *physical.Transformation {
+	cands := t.rankTransformations(node, budget, hasUpdates)
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[0].tr
+}
+
+// rankTransformations returns the node's untried transformations sorted
+// by increasing penalty.
+func (t *Tuner) rankTransformations(node *searchNode, budget int64, hasUpdates bool) []candidate {
+	var cands []candidate
+	spaceOver := node.eval.SizeBytes - budget
+	fitsAlready := spaceOver <= 0
+
+	for _, tr := range node.trans {
+		id := tr.ID()
+		if node.tried[id] {
+			continue
+		}
+		d, ok := node.deltas[id]
+		if !ok {
+			var err error
+			d, err = t.BoundDelta(node.eval, tr)
+			if err != nil {
+				node.tried[id] = true
+				continue
+			}
+			node.deltas[id] = d
+		}
+		// Useless moves: no space saved and no cost benefit.
+		if d.DS <= 0 && d.DT >= 0 {
+			continue
+		}
+		var pen float64
+		switch {
+		case t.Options.PlainPenalty:
+			if d.DS <= 0 {
+				continue
+			}
+			pen = d.DT / float64(d.DS)
+		case fitsAlready:
+			// Already under budget (update workloads keep relaxing):
+			// space is irrelevant, rank by ΔT alone (§3.6).
+			pen = d.DT
+			if d.DT >= 0 {
+				continue // only cost-reducing moves are useful now
+			}
+		default:
+			denom := float64(d.DS)
+			if over := float64(spaceOver); over < denom {
+				denom = over
+			}
+			if denom <= 0 {
+				continue
+			}
+			pen = d.DT / denom
+		}
+		cands = append(cands, candidate{tr: tr, delta: d, penalty: pen})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	if hasUpdates && !t.Options.DisableSkyline {
+		cands = skyline(cands)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].penalty < cands[j].penalty })
+	return cands
+}
+
+// candidate pairs a transformation with its estimated deltas and penalty.
+type candidate struct {
+	tr      *physical.Transformation
+	delta   Delta
+	penalty float64
+}
+
+// skyline keeps only non-dominated candidates: tr2 dominates tr1 when it
+// costs no more (ΔT ≤) and saves at least as much space (ΔS ≥), strictly
+// better in one dimension (§3.6 fixes the penalty function's poor
+// behaviour when comparing two negative-cost transformations).
+func skyline(cands []candidate) []candidate {
+	var out []candidate
+	for i, c := range cands {
+		dominated := false
+		for j, d := range cands {
+			if i == j {
+				continue
+			}
+			if d.delta.DT <= c.delta.DT && d.delta.DS >= c.delta.DS &&
+				(d.delta.DT < c.delta.DT || d.delta.DS > c.delta.DS) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return cands
+	}
+	return out
+}
+
+// hasUpdates reports whether the workload modifies data.
+func (t *Tuner) hasUpdates() bool {
+	for _, tq := range t.Queries {
+		if tq.Bound.IsUpdate() {
+			return true
+		}
+	}
+	return false
+}

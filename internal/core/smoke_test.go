@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/workloads"
+)
+
+func TestSmokeTPCHOptimalConfiguration(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	tn, err := NewTuner(db, w, Options{})
+	if err != nil {
+		t.Fatalf("tuner: %v", err)
+	}
+	base, err := tn.Evaluate(tn.Base)
+	if err != nil {
+		t.Fatalf("evaluate base: %v", err)
+	}
+	cfg, err := tn.OptimalConfiguration()
+	if err != nil {
+		t.Fatalf("optimal: %v", err)
+	}
+	opt, err := tn.Evaluate(cfg)
+	if err != nil {
+		t.Fatalf("evaluate optimal: %v", err)
+	}
+	t.Logf("base: cost=%.1f size=%dMB", base.Cost, base.SizeBytes>>20)
+	t.Logf("optimal: cost=%.1f size=%dMB indexes=%d views=%d",
+		opt.Cost, opt.SizeBytes>>20, cfg.NumIndexes(), cfg.NumViews())
+	if opt.Cost > base.Cost {
+		t.Errorf("optimal configuration cost %.1f exceeds base %.1f", opt.Cost, base.Cost)
+	}
+	if opt.SizeBytes <= base.SizeBytes {
+		t.Errorf("optimal configuration is not larger than base (%d <= %d)", opt.SizeBytes, base.SizeBytes)
+	}
+}
+
+func TestSmokeTPCHTuneConstrained(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	tn, err := NewTuner(db, w, Options{NoViews: true, MaxIterations: 40})
+	if err != nil {
+		t.Fatalf("tuner: %v", err)
+	}
+	optimalCfg, err := tn.OptimalConfiguration()
+	if err != nil {
+		t.Fatalf("optimal: %v", err)
+	}
+	optSize := tn.Opt.Sizer().ConfigBytes(optimalCfg)
+	tn2, err := NewTuner(db, w, Options{NoViews: true, MaxIterations: 40, SpaceBudget: optSize / 2})
+	if err != nil {
+		t.Fatalf("tuner2: %v", err)
+	}
+	res, err := tn2.Tune()
+	if err != nil {
+		t.Fatalf("tune: %v", err)
+	}
+	t.Logf("initial cost=%.1f optimal cost=%.1f best cost=%.1f size=%d/%d iters=%d calls=%d",
+		res.Initial.Cost, res.Optimal.Cost, res.Best.Cost, res.Best.SizeBytes, optSize/2, res.Iterations, res.OptimizerCalls)
+	if res.Best.SizeBytes > optSize/2 && res.Best != res.Initial {
+		t.Errorf("best config does not fit budget: %d > %d", res.Best.SizeBytes, optSize/2)
+	}
+	if res.Best.Cost > res.Initial.Cost {
+		t.Errorf("recommendation worse than initial: %.1f > %.1f", res.Best.Cost, res.Initial.Cost)
+	}
+}

@@ -1,0 +1,227 @@
+// Package core implements the paper's contribution: the relaxation-based
+// physical design tuner.
+//
+// Section 2: the optimizer is instrumented so that every index and view
+// request yields the optimal physical structures for that request; the
+// union over all requests is a time-wise optimal configuration.
+//
+// Section 3: the search starts from that optimal configuration and
+// repeatedly relaxes it — merging, splitting, prefixing, promoting, and
+// removing indexes and views — guided by the penalty heuristic
+// ΔT / min(Space(C)−B, ΔS), where ΔT is an upper bound on the cost
+// increase computed without optimizer calls (§3.3.2). Only queries whose
+// plans used a removed structure are re-optimized (§3.3.2), updates are
+// handled by select/update-shell separation with a transformation skyline
+// (§3.6), and shortcut evaluation prunes hopeless configurations (§3.5).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/workloads"
+)
+
+// Options configure a tuning session. The zero value means: no space
+// constraint, no time bound, views enabled, all paper heuristics on.
+type Options struct {
+	// SpaceBudget is the storage constraint B in bytes (0 = unconstrained).
+	SpaceBudget int64
+	// MaxIterations bounds the number of relaxation steps (0 = default).
+	MaxIterations int
+	// TimeBudget bounds wall-clock tuning time (0 = unbounded).
+	TimeBudget time.Duration
+	// NoViews restricts tuning to indexes only.
+	NoViews bool
+
+	// Ablation switches (all false = the paper's algorithm).
+
+	// DisableSkyline turns off the §3.6 transformation skyline for update
+	// workloads.
+	DisableSkyline bool
+	// DisableShortcut turns off §3.5 shortcut evaluation.
+	DisableShortcut bool
+	// PlainPenalty uses ΔT/ΔS without the min(Space(C)−B, ΔS) clamp.
+	PlainPenalty bool
+	// DisableChainCorrection turns off heuristic 2 of §3.4 (revisiting
+	// the chain configuration with the largest realized penalty).
+	DisableChainCorrection bool
+	// FullReoptimize re-optimizes every query on every evaluation instead
+	// of only those that used removed structures (ablation for the
+	// optimality-principle optimization).
+	FullReoptimize bool
+
+	// Variations of §3.5 (off by default, like the paper's main runs).
+
+	// MultiTransform applies up to this many non-conflicting minimal-
+	// penalty transformations per iteration (0 or 1 = single
+	// transformation). Converges faster but compounds estimation error.
+	MultiTransform int
+	// ShrinkUnused drops structures no query plan reads after each
+	// relaxation step, pruning the search space at some quality risk.
+	ShrinkUnused bool
+}
+
+// TunedQuery pairs a workload statement with its bound form.
+type TunedQuery struct {
+	Query *workloads.Query
+	Bound *optimizer.BoundQuery
+}
+
+// Tuner is a tuning session over one database and workload.
+type Tuner struct {
+	DB      *catalog.Database
+	Opt     *optimizer.Optimizer
+	Base    *physical.Configuration
+	Queries []*TunedQuery
+	Options Options
+
+	heapTables map[string]bool
+	// cbvCache caches the §3.3.2 cost of computing a view from the base
+	// configuration (CBV), keyed by view signature.
+	cbvCache map[string]float64
+	// evalCache deduplicates configuration evaluations by fingerprint.
+	evalCache map[string]*EvaluatedConfig
+}
+
+// NewTuner binds the workload against db and prepares a session. The base
+// configuration (required primary-key indexes) is derived from the
+// catalog.
+func NewTuner(db *catalog.Database, w *workloads.Workload, opts Options) (*Tuner, error) {
+	t := &Tuner{
+		DB:         db,
+		Opt:        optimizer.New(db),
+		Base:       datagen.BaseConfiguration(db),
+		Options:    opts,
+		heapTables: datagen.HeapTables(db),
+		cbvCache:   map[string]float64{},
+		evalCache:  map[string]*EvaluatedConfig{},
+	}
+	for _, q := range w.Queries {
+		b, err := optimizer.Bind(db, q.Stmt)
+		if err != nil {
+			return nil, fmt.Errorf("core: binding %s: %w", q.ID, err)
+		}
+		t.Queries = append(t.Queries, &TunedQuery{Query: q, Bound: b})
+	}
+	return t, nil
+}
+
+// EvaluatedConfig is a configuration together with its per-query results
+// and aggregate metrics.
+type EvaluatedConfig struct {
+	Config *physical.Configuration
+	// Results holds one entry per workload query (same order as
+	// Tuner.Queries).
+	Results []*optimizer.QueryResult
+	// Cost is the weighted total expected execution cost.
+	Cost float64
+	// SizeBytes is the configuration's storage consumption.
+	SizeBytes int64
+}
+
+// Evaluate optimizes every workload query under cfg and returns the
+// complete evaluation.
+func (t *Tuner) Evaluate(cfg *physical.Configuration) (*EvaluatedConfig, error) {
+	if hit, ok := t.evalCache[cfg.Fingerprint()]; ok {
+		return hit, nil
+	}
+	ec := &EvaluatedConfig{Config: cfg, SizeBytes: t.Opt.Sizer().ConfigBytes(cfg)}
+	for _, tq := range t.Queries {
+		res, err := t.Opt.OptimizeFull(tq.Bound, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %s: %w", tq.Query.ID, err)
+		}
+		ec.Results = append(ec.Results, res)
+		ec.Cost += tq.Query.Weight * res.TotalCost()
+	}
+	t.evalCache[cfg.Fingerprint()] = ec
+	return ec, nil
+}
+
+// EvaluateIncremental evaluates cfg reusing the parent's plans for every
+// query that did not use a removed structure (the optimality-principle
+// optimization of §3 and §3.3.2). Update-shell costs are always
+// recomputed against cfg since they depend on all present indexes. When
+// cutoff > 0 and the running total exceeds it, evaluation aborts
+// (shortcut evaluation, §3.5) and returns (nil, false, nil).
+func (t *Tuner) EvaluateIncremental(parent *EvaluatedConfig, cfg *physical.Configuration, removedIdx, removedViews []string, cutoff float64) (*EvaluatedConfig, bool, error) {
+	if hit, ok := t.evalCache[cfg.Fingerprint()]; ok {
+		return hit, true, nil
+	}
+	ec := &EvaluatedConfig{Config: cfg, SizeBytes: t.Opt.Sizer().ConfigBytes(cfg)}
+	for i, tq := range t.Queries {
+		var res *optimizer.QueryResult
+		prev := parent.Results[i]
+		if !t.Options.FullReoptimize && !usesAny(prev, removedIdx, removedViews) {
+			// The plan is still valid and, by the optimality principle,
+			// still optimal under the relaxed configuration.
+			res = &optimizer.QueryResult{
+				Plan:         prev.Plan,
+				SelectCost:   prev.SelectCost,
+				AffectedRows: prev.AffectedRows,
+			}
+			if tq.Bound.IsUpdate() {
+				res.UpdateCost = t.Opt.UpdateShellCost(tq.Bound, cfg, res.AffectedRows)
+			}
+		} else {
+			var err error
+			res, err = t.Opt.OptimizeFull(tq.Bound, cfg)
+			if err != nil {
+				return nil, false, fmt.Errorf("core: re-optimizing %s: %w", tq.Query.ID, err)
+			}
+		}
+		ec.Results = append(ec.Results, res)
+		ec.Cost += tq.Query.Weight * res.TotalCost()
+		if cutoff > 0 && !t.Options.DisableShortcut && ec.Cost > cutoff {
+			return nil, false, nil
+		}
+	}
+	t.evalCache[cfg.Fingerprint()] = ec
+	return ec, true, nil
+}
+
+// usesAny reports whether the query result reads any of the removed
+// indexes or views.
+func usesAny(res *optimizer.QueryResult, removedIdx, removedViews []string) bool {
+	if res.Plan == nil {
+		return false
+	}
+	for _, id := range removedIdx {
+		if res.Plan.UsesIndex(id) {
+			return true
+		}
+	}
+	for _, v := range removedViews {
+		if res.Plan.UsesView(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Improvement computes the paper's quality metric:
+// 100 × (1 − cost(W,CR)/cost(W,CI)).
+func Improvement(initial, recommended float64) float64 {
+	if initial <= 0 {
+		return 0
+	}
+	return 100 * (1 - recommended/initial)
+}
+
+// widthOf returns the average width of a base column, for view merging.
+func (t *Tuner) widthOf(col string, table string) int {
+	tb := t.DB.Table(table)
+	if tb == nil {
+		return 8
+	}
+	c := tb.Column(col)
+	if c == nil {
+		return 8
+	}
+	return c.AvgWidth
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/workloads"
+)
+
+// TestWeightsSteerRecommendation: under a tight budget, the tuner must
+// favour the heavily weighted query's structures.
+func TestWeightsSteerRecommendation(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	sqls := []string{
+		// Benefits from an orders(o_orderdate) structure.
+		"SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderdate < 8400",
+		// Benefits from a lineitem(l_quantity) structure.
+		"SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity < 3",
+	}
+	tuneWith := func(wOrders, wLineitem float64) (ordersBytes, lineitemBytes int64) {
+		w, err := workloads.FromStatements("weighted", "tpch", sqls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Queries[0].Weight = wOrders
+		w.Queries[1].Weight = wLineitem
+		tn, err := NewTuner(db, w, Options{NoViews: true, MaxIterations: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		optCfg, err := tn.OptimalConfiguration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseSize := tn.Opt.Sizer().ConfigBytes(tn.Base)
+		// Budget exactly the largest auxiliary structure (plus slack):
+		// the tuner can afford the expensive index OR cheaper ones, and
+		// the weights decide which queries deserve it.
+		var largest int64
+		for _, ix := range optCfg.Indexes() {
+			if ix.Required {
+				continue
+			}
+			if sz := tn.Opt.Sizer().IndexBytes(ix, optCfg); sz > largest {
+				largest = sz
+			}
+		}
+		budget := baseSize + largest + largest/4
+		tn2, err := NewTuner(db, w, Options{NoViews: true, MaxIterations: 80, SpaceBudget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tn2.Tune()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ix := range res.Best.Config.Indexes() {
+			if ix.Required {
+				continue
+			}
+			sz := tn2.Opt.Sizer().IndexBytes(ix, res.Best.Config)
+			switch ix.Table {
+			case "orders":
+				ordersBytes += sz
+			case "lineitem":
+				lineitemBytes += sz
+			}
+		}
+		return ordersBytes, lineitemBytes
+	}
+
+	oHeavy, _ := tuneWith(50, 1)
+	_, lHeavy := tuneWith(1, 50)
+	if oHeavy == 0 {
+		t.Error("heavy orders weight should keep orders structures")
+	}
+	if lHeavy == 0 {
+		t.Error("heavy lineitem weight should keep lineitem structures")
+	}
+}
+
+// TestCompressPreservesTotalCost: compressing duplicate statements into
+// weights leaves the evaluated workload cost unchanged.
+func TestCompressPreservesTotalCost(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	sql := "SELECT o_orderkey FROM orders WHERE o_orderdate < 8400"
+	w, err := workloads.FromStatements("dup", "tpch", []string{sql, sql, sql,
+		"SELECT l_orderkey FROM lineitem WHERE l_quantity < 5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed := workloads.Compress(w)
+	if len(compressed.Queries) != 2 {
+		t.Fatalf("compressed to %d queries", len(compressed.Queries))
+	}
+	if compressed.TotalWeight() != w.TotalWeight() {
+		t.Error("compression must preserve total weight")
+	}
+	tn1, err := NewTuner(db, w, Options{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn2, err := NewTuner(db, compressed, Options{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := tn1.Evaluate(tn1.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := tn2.Evaluate(tn2.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := e1.Cost - e2.Cost; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cost changed under compression: %g vs %g", e1.Cost, e2.Cost)
+	}
+}

@@ -1,0 +1,66 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+)
+
+// Bench builds the stand-in for the paper's synthetic "Bench" database: a
+// family of generic tables t1..t8 with varied widths, cardinalities, and
+// correlated integer domains, half of them stored as heaps. The generated
+// workloads over it exercise many index shapes without TPC-H's specific
+// join structure.
+func Bench(sf float64) *catalog.Database {
+	return buildDatabase("bench", benchSpecs(sf))
+}
+
+// benchSpecs defines the schema and statistical shape of every table.
+func benchSpecs(sf float64) []tableSpec {
+	i, f, v, d := catalog.TypeInt, catalog.TypeFloat, catalog.TypeVarchar, catalog.TypeDate
+	var specs []tableSpec
+	rowCounts := []int64{
+		scaled(2_000_000, sf, 2000),
+		scaled(1_000_000, sf, 1000),
+		scaled(500_000, sf, 500),
+		scaled(250_000, sf, 250),
+		scaled(120_000, sf, 120),
+		scaled(60_000, sf, 60),
+		scaled(30_000, sf, 30),
+		scaled(10_000, sf, 10),
+	}
+	for t, rows := range rowCounts {
+		name := fmt.Sprintf("t%d", t+1)
+		cols := []colSpec{
+			{name: "id", typ: i, min: 1, max: float64(rows)},
+			// Shared join domain: every table's fk column joins to the
+			// next smaller table's id.
+			{name: "fk", typ: i, distinct: fkDomain(rowCounts, t), min: 1, max: float64(fkDomain(rowCounts, t))},
+			{name: "a", typ: i, distinct: 100, min: 0, max: 99, skew: 0.3},
+			{name: "b", typ: i, distinct: 1000, min: 0, max: 999},
+			{name: "c", typ: i, distinct: 10, min: 0, max: 9, skew: 0.6},
+			{name: "d", typ: f, distinct: rows / 3, min: 0, max: 1e6, skew: 0.4},
+			{name: "e", typ: f, distinct: rows / 5, min: -1000, max: 1000},
+			{name: "ts", typ: d, distinct: 3650, min: DateMin, max: DateMax},
+			{name: "pad1", typ: v, width: 20 + 6*t},
+			{name: "pad2", typ: v, width: 40},
+		}
+		specs = append(specs, tableSpec{
+			name: name,
+			rows: rows,
+			pk:   []string{"id"},
+			heap: t%2 == 1, // every other table is a heap
+			cols: cols,
+		})
+	}
+	return specs
+}
+
+// fkDomain returns the id domain of the next smaller table (or this one
+// for the last table).
+func fkDomain(rowCounts []int64, t int) int64 {
+	if t+1 < len(rowCounts) {
+		return rowCounts[t+1]
+	}
+	return rowCounts[t]
+}

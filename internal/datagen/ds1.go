@@ -1,0 +1,114 @@
+package datagen
+
+import "repro/internal/catalog"
+
+// DS1 builds the stand-in for the paper's real decision-support customer
+// database: a star schema with one large fact table, several dimensions,
+// and skewed measure columns. Substitution note: the paper's DS1 is a
+// proprietary customer database; this generator preserves its role in the
+// experiments (a second schema family with different join and predicate
+// structure than TPC-H).
+func DS1(sf float64) *catalog.Database {
+	return buildDatabase("ds1", ds1Specs(sf))
+}
+
+// ds1Specs defines the schema and statistical shape of every table.
+func ds1Specs(sf float64) []tableSpec {
+	i, f, v, d := catalog.TypeInt, catalog.TypeFloat, catalog.TypeVarchar, catalog.TypeDate
+	stores := scaled(1_000, sf, 20)
+	products := scaled(60_000, sf, 100)
+	customers := scaled(400_000, sf, 400)
+	promos := scaled(2_000, sf, 30)
+	sales := scaled(8_000_000, sf, 8000)
+	returns := scaled(800_000, sf, 800)
+
+	specs := []tableSpec{
+		{
+			name: "dim_date", rows: 2557, pk: []string{"d_datekey"},
+			cols: []colSpec{
+				{name: "d_datekey", typ: d, min: DateMin, max: DateMax},
+				{name: "d_year", typ: i, distinct: 7, min: 1992, max: 1998},
+				{name: "d_quarter", typ: i, distinct: 4, min: 1, max: 4},
+				{name: "d_month", typ: i, distinct: 12, min: 1, max: 12},
+				{name: "d_week", typ: i, distinct: 53, min: 1, max: 53},
+				{name: "d_dayofweek", typ: i, distinct: 7, min: 1, max: 7},
+				{name: "d_holidayflag", typ: i, distinct: 2, min: 0, max: 1},
+			},
+		},
+		{
+			name: "dim_store", rows: stores, pk: []string{"st_storekey"},
+			cols: []colSpec{
+				{name: "st_storekey", typ: i, min: 1, max: float64(stores)},
+				{name: "st_name", typ: v, width: 20},
+				{name: "st_city", typ: v, distinct: 250, width: 16},
+				{name: "st_state", typ: v, distinct: 50, width: 2},
+				{name: "st_region", typ: i, distinct: 8, min: 1, max: 8},
+				{name: "st_sqft", typ: i, distinct: stores / 2, min: 5000, max: 120000},
+				{name: "st_opendate", typ: d, distinct: stores, min: DateMin - 7300, max: DateMax},
+			},
+		},
+		{
+			name: "dim_product", rows: products, pk: []string{"p_productkey"},
+			cols: []colSpec{
+				{name: "p_productkey", typ: i, min: 1, max: float64(products)},
+				{name: "p_name", typ: v, width: 30},
+				{name: "p_category", typ: i, distinct: 40, min: 1, max: 40},
+				{name: "p_subcategory", typ: i, distinct: 400, min: 1, max: 400},
+				{name: "p_brandkey", typ: i, distinct: 1200, min: 1, max: 1200},
+				{name: "p_price", typ: f, distinct: products / 5, min: 0.5, max: 2500, skew: 0.6},
+				{name: "p_cost", typ: f, distinct: products / 5, min: 0.2, max: 1800, skew: 0.6},
+			},
+		},
+		{
+			name: "dim_customer", rows: customers, pk: []string{"cu_custkey"},
+			cols: []colSpec{
+				{name: "cu_custkey", typ: i, min: 1, max: float64(customers)},
+				{name: "cu_name", typ: v, width: 22},
+				{name: "cu_city", typ: v, distinct: 1500, width: 16},
+				{name: "cu_state", typ: v, distinct: 50, width: 2},
+				{name: "cu_segment", typ: i, distinct: 6, min: 1, max: 6},
+				{name: "cu_income", typ: f, distinct: customers / 3, min: 8000, max: 450000, skew: 0.7},
+				{name: "cu_birthdate", typ: d, distinct: 20000, min: -18000, max: 3000},
+			},
+		},
+		{
+			name: "dim_promotion", rows: promos, pk: []string{"pr_promokey"},
+			cols: []colSpec{
+				{name: "pr_promokey", typ: i, min: 1, max: float64(promos)},
+				{name: "pr_name", typ: v, width: 24},
+				{name: "pr_channel", typ: i, distinct: 6, min: 1, max: 6},
+				{name: "pr_discountpct", typ: f, distinct: 20, min: 0, max: 0.5},
+				{name: "pr_startdate", typ: d, distinct: promos, min: DateMin, max: DateMax},
+			},
+		},
+		{
+			name: "sales_fact", rows: sales, pk: []string{"sf_saleskey"},
+			cols: []colSpec{
+				{name: "sf_saleskey", typ: i, min: 1, max: float64(sales)},
+				{name: "sf_datekey", typ: d, distinct: 2557, min: DateMin, max: DateMax},
+				{name: "sf_storekey", typ: i, distinct: stores, min: 1, max: float64(stores), skew: 0.5},
+				{name: "sf_productkey", typ: i, distinct: products, min: 1, max: float64(products), skew: 0.8},
+				{name: "sf_custkey", typ: i, distinct: customers, min: 1, max: float64(customers), skew: 0.4},
+				{name: "sf_promokey", typ: i, distinct: promos, min: 1, max: float64(promos), skew: 0.9},
+				{name: "sf_quantity", typ: i, distinct: 100, min: 1, max: 100, skew: 0.7},
+				{name: "sf_amount", typ: f, distinct: sales / 6, min: 0.5, max: 30000, skew: 0.8},
+				{name: "sf_profit", typ: f, distinct: sales / 6, min: -2000, max: 9000, skew: 0.5},
+			},
+		},
+		{
+			// A second, smaller fact table stored as a heap: exercises
+			// promotion-to-clustered during relaxation.
+			name: "returns_fact", rows: returns, pk: []string{"rf_returnkey"}, heap: true,
+			cols: []colSpec{
+				{name: "rf_returnkey", typ: i, min: 1, max: float64(returns)},
+				{name: "rf_datekey", typ: d, distinct: 2557, min: DateMin, max: DateMax},
+				{name: "rf_storekey", typ: i, distinct: stores, min: 1, max: float64(stores)},
+				{name: "rf_productkey", typ: i, distinct: products, min: 1, max: float64(products), skew: 0.6},
+				{name: "rf_custkey", typ: i, distinct: customers, min: 1, max: float64(customers)},
+				{name: "rf_reason", typ: i, distinct: 30, min: 1, max: 30},
+				{name: "rf_amount", typ: f, distinct: returns / 4, min: 0.5, max: 12000, skew: 0.7},
+			},
+		},
+	}
+	return specs
+}

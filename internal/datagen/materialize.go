@@ -1,0 +1,194 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+)
+
+// MaxMaterializedRows caps the rows generated per table by the *Data
+// constructors; materialization targets validation at tiny scale factors.
+const MaxMaterializedRows = 200_000
+
+// TPCHData builds the TPC-H-style database together with materialized
+// rows. Unlike TPCH, the returned catalog's statistics are derived from
+// the generated rows themselves, so optimizer estimates can be validated
+// against exact execution results.
+func TPCHData(sf float64) (*catalog.Database, *exec.Store) {
+	return materialize("tpch", tpchSpecs(sf))
+}
+
+// DS1Data is the materialized variant of DS1.
+func DS1Data(sf float64) (*catalog.Database, *exec.Store) {
+	return materialize("ds1", ds1Specs(sf))
+}
+
+// BenchData is the materialized variant of Bench.
+func BenchData(sf float64) (*catalog.Database, *exec.Store) {
+	return materialize("bench", benchSpecs(sf))
+}
+
+func materialize(name string, specs []tableSpec) (*catalog.Database, *exec.Store) {
+	rng := rand.New(rand.NewSource(Seed + int64(len(name))*7919 + 1))
+	db := catalog.NewDatabase(name)
+	store := exec.NewStore()
+	for _, sp := range specs {
+		t, rel := materializeTable(rng, sp)
+		db.MustAddTable(t)
+		store.Put(t.Name, rel)
+	}
+	if err := db.Validate(); err != nil {
+		panic(fmt.Sprintf("datagen: materialized database invalid: %v", err))
+	}
+	return db, store
+}
+
+// materializeTable generates actual rows from the spec's distributions
+// and derives the catalog statistics from those rows.
+func materializeTable(rng *rand.Rand, sp tableSpec) (*catalog.Table, *exec.Relation) {
+	n := sp.rows
+	if n > MaxMaterializedRows {
+		n = MaxMaterializedRows
+	}
+	colNames := make([]string, len(sp.cols))
+	data := make([][]exec.Value, len(sp.cols))
+	cols := make([]catalog.Column, len(sp.cols))
+	for ci, cs := range sp.cols {
+		colNames[ci] = sp.name + "." + cs.name
+		vals := generateColumn(rng, n, cs)
+		data[ci] = vals
+		cols[ci] = columnFromData(cs, vals)
+	}
+	t, err := catalog.NewTable(sp.name, n, cols, sp.pk)
+	if err != nil {
+		panic(fmt.Sprintf("datagen: %v", err))
+	}
+	t.Heap = sp.heap
+	rel := exec.NewRelation(colNames)
+	for r := int64(0); r < n; r++ {
+		row := make(exec.Row, len(sp.cols))
+		for ci := range sp.cols {
+			row[ci] = data[ci][r]
+		}
+		rel.Append(row)
+	}
+	return t, rel
+}
+
+// generateColumn draws n values from the column's distribution. The id
+// column convention (distinct == rows) generates a dense unique domain so
+// primary keys behave like keys.
+func generateColumn(rng *rand.Rand, n int64, cs colSpec) []exec.Value {
+	out := make([]exec.Value, n)
+	if cs.typ == catalog.TypeVarchar {
+		if len(cs.values) > 0 {
+			for i := range out {
+				out[i] = exec.Str(cs.values[rng.Intn(len(cs.values))])
+			}
+			return out
+		}
+		distinct := cs.distinct
+		if distinct <= 0 || distinct > n {
+			distinct = n
+		}
+		if distinct < 1 {
+			distinct = 1
+		}
+		for i := range out {
+			v := rng.Int63n(distinct)
+			out[i] = exec.Str(fmt.Sprintf("%s_%0*d", cs.name, padWidth(cs.width, cs.name), v))
+		}
+		return out
+	}
+	distinct := cs.distinct
+	unique := distinct <= 0 || distinct >= n
+	span := cs.max - cs.min
+	if unique {
+		// Dense shuffled domain (key-like columns).
+		perm := rng.Perm(int(n))
+		step := 1.0
+		if n > 1 && span > 0 {
+			step = span / float64(n-1)
+		}
+		for i := range out {
+			out[i] = exec.Num(cs.min + float64(perm[i])*step)
+		}
+		return out
+	}
+	for i := range out {
+		var u float64
+		if cs.skew > 0 {
+			u = math.Pow(rng.Float64(), 1+cs.skew*3)
+		} else {
+			u = rng.Float64()
+		}
+		v := cs.min + u*span
+		if distinct > 1 && span > 0 {
+			step := span / float64(distinct-1)
+			v = cs.min + math.Round((v-cs.min)/step)*step
+		} else if span <= 0 {
+			v = cs.min
+		}
+		out[i] = exec.Num(v)
+	}
+	return out
+}
+
+// padWidth sizes generated strings so their average width approximates
+// the spec's.
+func padWidth(width int, name string) int {
+	w := width - len(name) - 1
+	if w < 3 {
+		w = 3
+	}
+	return w
+}
+
+// columnFromData derives catalog statistics from generated values.
+func columnFromData(cs colSpec, vals []exec.Value) catalog.Column {
+	col := catalog.Column{Name: cs.name, Type: cs.typ}
+	if len(vals) == 0 {
+		col.AvgWidth = 4
+		col.Stats = &catalog.ColumnStats{Distinct: 1}
+		return col
+	}
+	if cs.typ == catalog.TypeVarchar {
+		distinct := map[string]bool{}
+		totalLen := 0
+		for _, v := range vals {
+			distinct[v.S] = true
+			totalLen += len(v.S)
+		}
+		col.AvgWidth = totalLen / len(vals)
+		if col.AvgWidth < 1 {
+			col.AvgWidth = 1
+		}
+		col.Stats = &catalog.ColumnStats{Distinct: int64(len(distinct))}
+		return col
+	}
+	col.AvgWidth = catalog.FixedWidth(cs.typ)
+	nums := make([]float64, len(vals))
+	for i, v := range vals {
+		nums[i] = v.F
+	}
+	sorted := append([]float64(nil), nums...)
+	sort.Float64s(sorted)
+	distinct := int64(1)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			distinct++
+		}
+	}
+	col.Stats = &catalog.ColumnStats{
+		Distinct:  distinct,
+		Min:       sorted[0],
+		Max:       sorted[len(sorted)-1],
+		Numeric:   true,
+		Histogram: catalog.BuildHistogram(nums, catalog.DefaultHistogramBuckets),
+	}
+	return col
+}

@@ -1,0 +1,176 @@
+package datagen
+
+import "repro/internal/catalog"
+
+// TPCH builds a TPC-H-style database at the given scale factor (SF 1.0 is
+// the standard 6M-lineitem scale; experiments default to much smaller
+// factors since only statistics matter). Substitution note: the paper
+// tunes a real TPC-H instance inside SQL Server; here the same schema and
+// value domains are synthesized statistically.
+func TPCH(sf float64) *catalog.Database {
+	return buildDatabase("tpch", tpchSpecs(sf))
+}
+
+// tpchSpecs defines the schema and statistical shape of every table.
+func tpchSpecs(sf float64) []tableSpec {
+	i, f, v, d := catalog.TypeInt, catalog.TypeFloat, catalog.TypeVarchar, catalog.TypeDate
+	supplier := scaled(10_000, sf, 10)
+	part := scaled(200_000, sf, 200)
+	partsupp := scaled(800_000, sf, 800)
+	customer := scaled(150_000, sf, 150)
+	orders := scaled(1_500_000, sf, 1500)
+	lineitem := scaled(6_000_000, sf, 6000)
+
+	specs := []tableSpec{
+		{
+			name: "region", rows: 5, pk: []string{"r_regionkey"},
+			cols: []colSpec{
+				{name: "r_regionkey", typ: i, min: 0, max: 4},
+				{name: "r_name", typ: v, values: tpchRegions},
+				{name: "r_comment", typ: v, distinct: 5, width: 64},
+			},
+		},
+		{
+			name: "nation", rows: 25, pk: []string{"n_nationkey"},
+			cols: []colSpec{
+				{name: "n_nationkey", typ: i, min: 0, max: 24},
+				{name: "n_name", typ: v, values: tpchNations},
+				{name: "n_regionkey", typ: i, distinct: 5, min: 0, max: 4},
+				{name: "n_comment", typ: v, distinct: 25, width: 72},
+			},
+		},
+		{
+			name: "supplier", rows: supplier, pk: []string{"s_suppkey"},
+			cols: []colSpec{
+				{name: "s_suppkey", typ: i, min: 1, max: float64(supplier)},
+				{name: "s_name", typ: v, width: 18},
+				{name: "s_address", typ: v, width: 24},
+				{name: "s_nationkey", typ: i, distinct: 25, min: 0, max: 24},
+				{name: "s_phone", typ: v, width: 15},
+				{name: "s_acctbal", typ: f, distinct: supplier / 2, min: -999, max: 9999},
+				{name: "s_comment", typ: v, width: 62},
+			},
+		},
+		{
+			name: "part", rows: part, pk: []string{"p_partkey"},
+			cols: []colSpec{
+				{name: "p_partkey", typ: i, min: 1, max: float64(part)},
+				{name: "p_name", typ: v, width: 32},
+				{name: "p_mfgr", typ: v, values: tpchMfgrs},
+				{name: "p_brand", typ: v, values: tpchBrands},
+				{name: "p_type", typ: v, values: tpchTypes},
+				{name: "p_size", typ: i, distinct: 50, min: 1, max: 50},
+				{name: "p_container", typ: v, values: tpchContainers},
+				{name: "p_retailprice", typ: f, distinct: part / 4, min: 900, max: 2100},
+				{name: "p_comment", typ: v, width: 14},
+			},
+		},
+		{
+			name: "partsupp", rows: partsupp, pk: []string{"ps_partkey", "ps_suppkey"},
+			cols: []colSpec{
+				{name: "ps_partkey", typ: i, distinct: part, min: 1, max: float64(part)},
+				{name: "ps_suppkey", typ: i, distinct: supplier, min: 1, max: float64(supplier)},
+				{name: "ps_availqty", typ: i, distinct: 9999, min: 1, max: 9999},
+				{name: "ps_supplycost", typ: f, distinct: partsupp / 8, min: 1, max: 1000},
+				{name: "ps_comment", typ: v, width: 124},
+			},
+		},
+		{
+			name: "customer", rows: customer, pk: []string{"c_custkey"},
+			cols: []colSpec{
+				{name: "c_custkey", typ: i, min: 1, max: float64(customer)},
+				{name: "c_name", typ: v, width: 18},
+				{name: "c_address", typ: v, width: 24},
+				{name: "c_nationkey", typ: i, distinct: 25, min: 0, max: 24},
+				{name: "c_phone", typ: v, width: 15},
+				{name: "c_acctbal", typ: f, distinct: customer / 2, min: -999, max: 9999},
+				{name: "c_mktsegment", typ: v, values: tpchSegments},
+				{name: "c_comment", typ: v, width: 72},
+			},
+		},
+		{
+			name: "orders", rows: orders, pk: []string{"o_orderkey"},
+			cols: []colSpec{
+				{name: "o_orderkey", typ: i, min: 1, max: float64(orders) * 4},
+				{name: "o_custkey", typ: i, distinct: customer, min: 1, max: float64(customer)},
+				{name: "o_orderstatus", typ: v, values: tpchOrderStats},
+				{name: "o_totalprice", typ: f, distinct: orders / 2, min: 850, max: 560000, skew: 0.4},
+				{name: "o_orderdate", typ: d, distinct: DateMax - DateMin - 151, min: DateMin, max: DateMax - 151},
+				{name: "o_orderpriority", typ: v, values: tpchPriorities},
+				{name: "o_clerk", typ: v, distinct: supplier / 10, width: 15},
+				{name: "o_shippriority", typ: i, distinct: 1, min: 0, max: 0},
+				{name: "o_comment", typ: v, width: 49},
+			},
+		},
+		{
+			name: "lineitem", rows: lineitem, pk: []string{"l_orderkey", "l_linenumber"},
+			cols: []colSpec{
+				{name: "l_orderkey", typ: i, distinct: orders, min: 1, max: float64(orders) * 4},
+				{name: "l_partkey", typ: i, distinct: part, min: 1, max: float64(part)},
+				{name: "l_suppkey", typ: i, distinct: supplier, min: 1, max: float64(supplier)},
+				{name: "l_linenumber", typ: i, distinct: 7, min: 1, max: 7},
+				{name: "l_quantity", typ: f, distinct: 50, min: 1, max: 50},
+				{name: "l_extendedprice", typ: f, distinct: lineitem / 4, min: 900, max: 105000, skew: 0.3},
+				{name: "l_discount", typ: f, distinct: 11, min: 0, max: 0.1},
+				{name: "l_tax", typ: f, distinct: 9, min: 0, max: 0.08},
+				{name: "l_returnflag", typ: v, values: tpchFlags},
+				{name: "l_linestatus", typ: v, values: tpchStatuses},
+				{name: "l_shipdate", typ: d, distinct: DateMax - DateMin, min: DateMin, max: DateMax},
+				{name: "l_commitdate", typ: d, distinct: DateMax - DateMin, min: DateMin, max: DateMax},
+				{name: "l_receiptdate", typ: d, distinct: DateMax - DateMin, min: DateMin, max: DateMax},
+				{name: "l_shipinstruct", typ: v, values: tpchInstructs},
+				{name: "l_shipmode", typ: v, values: tpchShipModes},
+				{name: "l_comment", typ: v, width: 27},
+			},
+		},
+	}
+	return specs
+}
+
+// Standard TPC-H categorical domains, so the benchmark workloads' string
+// predicates ('EUROPE', 'BUILDING', 'PROMO%', …) match generated data.
+var (
+	tpchRegions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	tpchNations = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	tpchSegments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	tpchPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	tpchShipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	tpchInstructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	tpchFlags      = []string{"R", "A", "N"}
+	tpchStatuses   = []string{"O", "F"}
+	tpchOrderStats = []string{"O", "F", "P"}
+	tpchBrands     = tpchCross([]string{"Brand#"}, tpchDigits(), tpchDigits())
+	tpchTypes      = tpchCross(
+		[]string{"STANDARD ", "SMALL ", "MEDIUM ", "LARGE ", "ECONOMY ", "PROMO "},
+		[]string{"ANODIZED ", "BURNISHED ", "PLATED ", "POLISHED ", "BRUSHED "},
+		[]string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"})
+	tpchContainers = tpchCross(
+		[]string{"SM ", "LG ", "MED ", "JUMBO ", "WRAP "},
+		[]string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"})
+	tpchMfgrs = tpchCross([]string{"Manufacturer#"}, tpchDigits())
+)
+
+func tpchDigits() []string {
+	return []string{"1", "2", "3", "4", "5"}
+}
+
+// tpchCross concatenates every combination of the given string sets.
+func tpchCross(sets ...[]string) []string {
+	out := []string{""}
+	for _, set := range sets {
+		var next []string
+		for _, prefix := range out {
+			for _, v := range set {
+				next = append(next, prefix+v)
+			}
+		}
+		out = next
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlx"
+)
+
+// env resolves qualified column references against one row.
+type env struct {
+	rel *Relation
+	row Row
+}
+
+func (e env) lookup(c sqlx.ColRef) (Value, error) {
+	name := c.Table + "." + c.Column
+	i := e.rel.ColIndex(name)
+	if i < 0 {
+		// View-local (unqualified) columns.
+		i = e.rel.ColIndex(c.Column)
+	}
+	if i < 0 {
+		return Value{}, fmt.Errorf("exec: row has no column %q", name)
+	}
+	return e.row[i], nil
+}
+
+// EvalExpr evaluates a scalar expression against one row.
+func EvalExpr(rel *Relation, row Row, e sqlx.Expr) (Value, error) {
+	return env{rel: rel, row: row}.eval(e)
+}
+
+func (ev env) eval(e sqlx.Expr) (Value, error) {
+	switch x := e.(type) {
+	case sqlx.ColRef:
+		return ev.lookup(x)
+	case sqlx.Const:
+		if x.Kind == sqlx.ConstString {
+			return Str(x.Str), nil
+		}
+		return Num(x.Num), nil
+	case *sqlx.BinExpr:
+		l, err := ev.eval(x.L)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := ev.eval(x.R)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.IsStr || r.IsStr {
+			return Value{}, fmt.Errorf("exec: arithmetic over strings")
+		}
+		switch x.Op {
+		case "+":
+			return Num(l.F + r.F), nil
+		case "-":
+			return Num(l.F - r.F), nil
+		case "*":
+			return Num(l.F * r.F), nil
+		case "/":
+			if r.F == 0 {
+				return Num(0), nil
+			}
+			return Num(l.F / r.F), nil
+		case "%":
+			if int64(r.F) == 0 {
+				return Num(0), nil
+			}
+			return Num(float64(int64(l.F) % int64(r.F))), nil
+		default:
+			return Value{}, fmt.Errorf("exec: unknown operator %q", x.Op)
+		}
+	default:
+		return Value{}, fmt.Errorf("exec: %T is not a scalar expression", e)
+	}
+}
+
+// EvalPred evaluates a predicate expression against one row.
+func EvalPred(rel *Relation, row Row, e sqlx.Expr) (bool, error) {
+	ev := env{rel: rel, row: row}
+	return ev.pred(e)
+}
+
+func (ev env) pred(e sqlx.Expr) (bool, error) {
+	switch x := e.(type) {
+	case *sqlx.CmpExpr:
+		l, err := ev.eval(x.L)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.eval(x.R)
+		if err != nil {
+			return false, err
+		}
+		return compare(x.Op, l, r)
+	case *sqlx.BoolExpr:
+		switch x.Op {
+		case "AND":
+			lv, err := ev.pred(x.L)
+			if err != nil || !lv {
+				return false, err
+			}
+			return ev.pred(x.R)
+		case "OR":
+			lv, err := ev.pred(x.L)
+			if err != nil {
+				return false, err
+			}
+			if lv {
+				return true, nil
+			}
+			return ev.pred(x.R)
+		case "NOT":
+			lv, err := ev.pred(x.L)
+			return !lv, err
+		}
+		return false, fmt.Errorf("exec: unknown boolean op %q", x.Op)
+	case *sqlx.InExpr:
+		v, err := ev.lookup(x.Col)
+		if err != nil {
+			return false, err
+		}
+		for _, c := range x.Values {
+			var cv Value
+			if c.Kind == sqlx.ConstString {
+				cv = Str(c.Str)
+			} else {
+				cv = Num(c.Num)
+			}
+			if v.Equal(cv) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *sqlx.LikeExpr:
+		v, err := ev.lookup(x.Col)
+		if err != nil {
+			return false, err
+		}
+		ok := matchLike(v.S, x.Pattern)
+		if x.Negated {
+			ok = !ok
+		}
+		return ok, nil
+	default:
+		return false, fmt.Errorf("exec: %T is not a predicate", e)
+	}
+}
+
+func compare(op sqlx.CmpOp, l, r Value) (bool, error) {
+	if l.IsStr != r.IsStr {
+		return false, fmt.Errorf("exec: comparing %v with %v", l, r)
+	}
+	var lt, eq bool
+	if l.IsStr {
+		lt, eq = l.S < r.S, l.S == r.S
+	} else {
+		lt, eq = l.F < r.F, l.F == r.F
+	}
+	switch op {
+	case sqlx.CmpEQ:
+		return eq, nil
+	case sqlx.CmpNE:
+		return !eq, nil
+	case sqlx.CmpLT:
+		return lt, nil
+	case sqlx.CmpLE:
+		return lt || eq, nil
+	case sqlx.CmpGT:
+		return !lt && !eq, nil
+	case sqlx.CmpGE:
+		return !lt, nil
+	default:
+		return false, fmt.Errorf("exec: unknown comparison %v", op)
+	}
+}
+
+// matchLike implements SQL LIKE with % (any run) and _ (any single rune).
+func matchLike(s, pattern string) bool {
+	return likeMatch([]rune(s), []rune(pattern))
+}
+
+func likeMatch(s, p []rune) bool {
+	if len(p) == 0 {
+		return len(s) == 0
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeMatch(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return len(s) > 0 && likeMatch(s[1:], p[1:])
+	default:
+		return len(s) > 0 && strings.EqualFold(string(s[0]), string(p[0])) && likeMatch(s[1:], p[1:])
+	}
+}

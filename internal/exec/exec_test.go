@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/sqlx"
+)
+
+// tinyStore builds a two-table store by hand for exact-result tests.
+func tinyStore() *Store {
+	s := NewStore()
+	r := NewRelation([]string{"r.a", "r.b", "r.s"})
+	rows := []struct {
+		a, b float64
+		s    string
+	}{
+		{1, 10, "x"}, {1, 20, "y"}, {2, 30, "x"}, {2, 40, "y"}, {3, 50, "x"},
+	}
+	for _, t := range rows {
+		r.Append(Row{Num(t.a), Num(t.b), Str(t.s)})
+	}
+	s.Put("r", r)
+	u := NewRelation([]string{"u.fk", "u.x"})
+	for _, t := range []struct{ fk, x float64 }{{1, 100}, {2, 200}, {9, 900}} {
+		u.Append(Row{Num(t.fk), Num(t.x)})
+	}
+	s.Put("u", u)
+	return s
+}
+
+// tinyCatalog matches tinyStore so queries bind.
+func tinyCatalog(t *testing.T) *catalog.Database {
+	t.Helper()
+	db := catalog.NewDatabase("tiny")
+	r, err := catalog.NewTable("r", 5, []catalog.Column{
+		{Name: "a", Type: catalog.TypeInt, AvgWidth: 4, Stats: &catalog.ColumnStats{Distinct: 3, Min: 1, Max: 3, Numeric: true}},
+		{Name: "b", Type: catalog.TypeInt, AvgWidth: 4, Stats: &catalog.ColumnStats{Distinct: 5, Min: 10, Max: 50, Numeric: true}},
+		{Name: "s", Type: catalog.TypeVarchar, AvgWidth: 1, Stats: &catalog.ColumnStats{Distinct: 2}},
+	}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := catalog.NewTable("u", 3, []catalog.Column{
+		{Name: "fk", Type: catalog.TypeInt, AvgWidth: 4, Stats: &catalog.ColumnStats{Distinct: 3, Min: 1, Max: 9, Numeric: true}},
+		{Name: "x", Type: catalog.TypeInt, AvgWidth: 4, Stats: &catalog.ColumnStats{Distinct: 3, Min: 100, Max: 900, Numeric: true}},
+	}, []string{"fk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustAddTable(r)
+	db.MustAddTable(u)
+	return db
+}
+
+func bindOn(t *testing.T, src string) *optimizer.BoundQuery {
+	t.Helper()
+	stmt, err := sqlx.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	q, err := optimizer.Bind(tinyCatalog(t), stmt)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	return q
+}
+
+func TestExecuteSelectionAndProjection(t *testing.T) {
+	store := tinyStore()
+	q := bindOn(t, "SELECT r.b FROM r WHERE r.a = 1")
+	res, err := ExecuteQuery(store, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows: %d", res.Len())
+	}
+}
+
+func TestExecuteStringPredicate(t *testing.T) {
+	store := tinyStore()
+	q := bindOn(t, "SELECT r.b FROM r WHERE r.s = 'x'")
+	res, err := ExecuteQuery(store, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("rows: %d", res.Len())
+	}
+}
+
+func TestExecuteJoin(t *testing.T) {
+	store := tinyStore()
+	q := bindOn(t, "SELECT r.b, u.x FROM r, u WHERE r.a = u.fk")
+	res, err := ExecuteQuery(store, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=1 matches twice, a=2 twice, a=3 unmatched -> 4 rows.
+	if res.Len() != 4 {
+		t.Fatalf("join rows: %d", res.Len())
+	}
+}
+
+func TestExecuteGroupBy(t *testing.T) {
+	store := tinyStore()
+	q := bindOn(t, "SELECT r.a, SUM(r.b), COUNT(*) FROM r GROUP BY r.a")
+	res, err := ExecuteQuery(store, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("groups: %d", res.Len())
+	}
+	// Find group a=1: sum 30, count 2.
+	ai := res.ColIndex(res.Cols[0])
+	found := false
+	for _, row := range res.Rows {
+		if row[ai].F == 1 {
+			found = true
+			if row[1].F != 30 || row[2].F != 2 {
+				t.Errorf("group a=1: %v", row)
+			}
+		}
+	}
+	if !found {
+		t.Error("group a=1 missing")
+	}
+}
+
+func TestExecuteNonSargable(t *testing.T) {
+	store := tinyStore()
+	q := bindOn(t, "SELECT r.b FROM r WHERE r.a + r.b > 32")
+	res, err := ExecuteQuery(store, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Qualifying rows: (2,40) → 42 and (3,50) → 53.
+	if res.Len() != 2 {
+		t.Fatalf("rows: %d", res.Len())
+	}
+}
+
+func TestExecuteCrossTablePredicate(t *testing.T) {
+	store := tinyStore()
+	q := bindOn(t, "SELECT r.b FROM r, u WHERE r.a = u.fk AND r.b + u.x > 150")
+	res, err := ExecuteQuery(store, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joined rows: (b=10,x=100)=110 no, (20,100)=120 no, (30,200)=230 yes, (40,200)=240 yes.
+	if res.Len() != 2 {
+		t.Fatalf("rows: %d", res.Len())
+	}
+}
+
+func TestFingerprintOrderInsensitive(t *testing.T) {
+	a := NewRelation([]string{"x"})
+	a.Append(Row{Num(1)})
+	a.Append(Row{Num(2)})
+	b := NewRelation([]string{"x"})
+	b.Append(Row{Num(2)})
+	b.Append(Row{Num(1)})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint should ignore row order")
+	}
+	b.Append(Row{Num(3)})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different contents must differ")
+	}
+}
+
+func TestLikeMatching(t *testing.T) {
+	cases := []struct {
+		s, p string
+		ok   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "x%", false},
+		{"", "%", true},
+		{"special requests", "%special%requests%", true},
+	}
+	for _, c := range cases {
+		if got := matchLike(c.s, c.p); got != c.ok {
+			t.Errorf("matchLike(%q, %q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+func TestSortByAndProject(t *testing.T) {
+	r := NewRelation([]string{"a", "b"})
+	r.Append(Row{Num(2), Str("x")})
+	r.Append(Row{Num(1), Str("y")})
+	if err := r.SortBy([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].F != 1 {
+		t.Error("sort failed")
+	}
+	p, err := r.Project([]string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cols) != 1 || p.Rows[0][0].S != "y" {
+		t.Errorf("project: %+v", p)
+	}
+}

@@ -1,0 +1,285 @@
+package exec_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/sqlx"
+)
+
+// TestCardinalityEstimatesAgainstExecution validates the optimizer's
+// cardinality model against exact execution over materialized rows built
+// from the same distributions: estimates must land within an order of
+// magnitude for selections and within a generous factor for joins and
+// groupings (the classical quality bar for histogram-based estimation).
+func TestCardinalityEstimatesAgainstExecution(t *testing.T) {
+	db, store := datagen.TPCHData(0.001)
+	o := optimizer.New(db)
+	cfg := datagen.BaseConfiguration(db)
+
+	cases := []struct {
+		src    string
+		factor float64 // allowed ratio between estimate and actual
+	}{
+		{"SELECT o_orderkey FROM orders WHERE o_orderdate < 9131", 3},
+		{"SELECT l_orderkey FROM lineitem WHERE l_quantity < 10", 3},
+		{"SELECT l_orderkey FROM lineitem WHERE l_shipdate BETWEEN 9131 AND 9496", 3},
+		{"SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority", 4},
+		{"SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode", 4},
+		{"SELECT o_orderkey, c_name FROM orders, customer WHERE o_custkey = c_custkey", 6},
+		{"SELECT l_orderkey FROM lineitem, orders WHERE l_orderkey = o_orderkey AND o_orderdate < 8500", 8},
+	}
+	for _, c := range cases {
+		stmt, err := sqlx.Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		q, err := optimizer.Bind(db, stmt)
+		if err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		p, err := o.Optimize(q, cfg)
+		if err != nil {
+			t.Fatalf("optimize: %v", err)
+		}
+		actualRel, err := exec.ExecuteQuery(store, q)
+		if err != nil {
+			t.Fatalf("execute: %v", err)
+		}
+		actual := float64(actualRel.Len())
+		est := p.Root.OutRows()
+		if actual == 0 {
+			if est > 50 {
+				t.Errorf("%q: empty result estimated at %g", c.src, est)
+			}
+			continue
+		}
+		ratio := est / actual
+		if ratio < 1/c.factor || ratio > c.factor {
+			t.Errorf("%q: estimate %g vs actual %g (ratio %.2f, allowed ×%g)",
+				c.src, est, actual, ratio, c.factor)
+		}
+	}
+}
+
+// TestViewCardinalityAgainstExecution: EstimateViewRows must agree with
+// the view's materialized size within a reasonable factor.
+func TestViewCardinalityAgainstExecution(t *testing.T) {
+	db, store := datagen.TPCHData(0.001)
+	o := optimizer.New(db)
+	for _, src := range []string{
+		"SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate < 9131 GROUP BY o_orderpriority",
+		"SELECT l_shipmode, SUM(l_extendedprice) FROM lineitem GROUP BY l_shipmode",
+		"SELECT o_orderkey, c_name FROM orders, customer WHERE o_custkey = c_custkey AND o_totalprice > 100000",
+	} {
+		stmt, err := sqlx.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := optimizer.Bind(db, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := o.ViewDefinition(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content, err := exec.ExecuteView(store, v)
+		if err != nil {
+			t.Fatalf("materialize view: %v", err)
+		}
+		actual := float64(content.Len())
+		est := float64(o.EstimateViewRows(v))
+		if actual == 0 {
+			continue
+		}
+		ratio := est / actual
+		if ratio < 0.1 || ratio > 10 {
+			t.Errorf("%q: view estimate %g vs actual %g", src, est, actual)
+		}
+	}
+}
+
+// TestViewDefinitionMatchesQueryResult: a view built from a query's own
+// definition must materialize exactly the query's result (the semantic
+// foundation of exact view matching).
+func TestViewDefinitionMatchesQueryResult(t *testing.T) {
+	db, store := datagen.TPCHData(0.001)
+	o := optimizer.New(db)
+	for _, src := range []string{
+		"SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate < 9131 GROUP BY o_orderpriority",
+		"SELECT l_shipmode, SUM(l_quantity) FROM lineitem WHERE l_shipdate > 9131 GROUP BY l_shipmode",
+	} {
+		stmt, err := sqlx.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := optimizer.Bind(db, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := o.ViewDefinition(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content, err := exec.ExecuteView(store, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := exec.ExecuteQuery(store, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The view may expose extra columns (order-by etc.); compare on
+		// the query's output columns.
+		var qCols []string
+		for _, c := range q.SelectCols {
+			qCols = append(qCols, c.Name)
+		}
+		pContent, err := content.Project(qCols)
+		if err != nil {
+			t.Fatalf("view lacks query outputs: %v", err)
+		}
+		pDirect, err := direct.Project(qCols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pContent.Fingerprint() != pDirect.Fingerprint() {
+			t.Errorf("%q: view contents differ from query result (%d vs %d rows)",
+				src, content.Len(), direct.Len())
+		}
+	}
+}
+
+// TestWiderViewWithResidualFilterMatchesQuery validates the §3.1.2
+// rewriting semantics: a view with a wider range answers the query after
+// the compensating residual filter, producing the same cardinality.
+func TestWiderViewWithResidualFilterMatchesQuery(t *testing.T) {
+	db, store := datagen.TPCHData(0.001)
+	o := optimizer.New(db)
+	stmt, err := sqlx.Parse("SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderdate < 9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := optimizer.Bind(db, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qBlock, err := o.ViewDefinition(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wider view: o_orderdate < 9500.
+	wider := qBlock.Clone()
+	for i := range wider.Ranges {
+		wider.Ranges[i].Iv.Hi = 9500
+	}
+	wider.Name = physical.ViewNameFor(wider)
+	wider.EstRows = o.EstimateViewRows(wider)
+
+	m := physical.MatchView(qBlock, wider)
+	if m == nil {
+		t.Fatal("wider view must match")
+	}
+	if len(m.ResidualRanges) != 1 {
+		t.Fatalf("expected one residual range: %+v", m)
+	}
+
+	content, err := exec.ExecuteView(store, wider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply the residual filter over the view contents.
+	kept := 0
+	for _, row := range content.Rows {
+		ok := true
+		for _, rr := range m.ResidualRanges {
+			vc := wider.ColumnForSource(rr.Col)
+			if vc == nil {
+				t.Fatalf("residual column %v not exposed", rr.Col)
+			}
+			idx := content.ColIndex(vc.Name)
+			if idx < 0 {
+				t.Fatalf("view content lacks %s", vc.Name)
+			}
+			v := row[idx]
+			if v.IsStr || !within(v.F, rr.Iv) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept++
+		}
+	}
+	direct, err := exec.ExecuteQuery(store, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != direct.Len() {
+		t.Errorf("rewriting over the wider view yields %d rows, direct execution %d", kept, direct.Len())
+	}
+}
+
+func within(f float64, iv physical.Interval) bool {
+	if !math.IsInf(iv.Lo, -1) {
+		if f < iv.Lo || (f == iv.Lo && !iv.LoIncl) {
+			return false
+		}
+	}
+	if !math.IsInf(iv.Hi, 1) {
+		if f > iv.Hi || (f == iv.Hi && !iv.HiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMaterializedStatsConsistent: the *Data constructors must produce
+// statistics that reflect the materialized rows exactly (distinct counts
+// and min/max), since validation hinges on that consistency.
+func TestMaterializedStatsConsistent(t *testing.T) {
+	db, store := datagen.TPCHData(0.001)
+	for _, tb := range db.Tables() {
+		rel := store.Get(tb.Name)
+		if rel == nil {
+			t.Fatalf("no rows for %s", tb.Name)
+		}
+		if int64(rel.Len()) != tb.Rows {
+			t.Errorf("%s: %d rows vs catalog %d", tb.Name, rel.Len(), tb.Rows)
+		}
+		for _, col := range tb.Columns {
+			idx := rel.ColIndex(tb.Name + "." + col.Name)
+			if idx < 0 {
+				t.Fatalf("%s.%s missing from rows", tb.Name, col.Name)
+			}
+			if !col.Stats.Numeric {
+				continue
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			distinct := map[float64]bool{}
+			for _, row := range rel.Rows {
+				f := row[idx].F
+				distinct[f] = true
+				if f < lo {
+					lo = f
+				}
+				if f > hi {
+					hi = f
+				}
+			}
+			if col.Stats.Min != lo || col.Stats.Max != hi {
+				t.Errorf("%s.%s: stats min/max (%g,%g) vs data (%g,%g)",
+					tb.Name, col.Name, col.Stats.Min, col.Stats.Max, lo, hi)
+			}
+			if col.Stats.Distinct != int64(len(distinct)) {
+				t.Errorf("%s.%s: stats distinct %d vs data %d",
+					tb.Name, col.Name, col.Stats.Distinct, len(distinct))
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func microConfig() Config {
+	c := DefaultConfig()
+	c.Workloads = 1
+	c.QueriesPerWorkload = 4
+	c.MaxIterations = 15
+	c.PTTTimeBudget = 5 * time.Second
+	return c
+}
+
+func TestFigure8ShapeAtMicroScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short mode")
+	}
+	rows, err := Figure8(microConfig())
+	if err != nil {
+		t.Fatalf("figure8: %v", err)
+	}
+	// 1 workload × 3 families × 2 modes + tpch22 × 2 modes.
+	if len(rows) != 8 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	losses := 0
+	for _, r := range rows {
+		if r.Delta < -1 {
+			losses++
+		}
+		if r.ImprPTT < 0 {
+			t.Errorf("%s: negative PTT improvement %g", r.Workload, r.ImprPTT)
+		}
+	}
+	// The paper's headline: PTT loses on at most a small fraction.
+	if losses > 1 {
+		t.Errorf("PTT lost %d of %d workloads", losses, len(rows))
+	}
+}
+
+func TestFigure9UpdatesAtMicroScale(t *testing.T) {
+	rows, err := Figure9(microConfig())
+	if err != nil {
+		t.Fatalf("figure9: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		// Improvements can be small with updates but PTT must not crater.
+		if r.Delta < -10 {
+			t.Errorf("%s: PTT lost badly (%+.1f)", r.Workload, r.Delta)
+		}
+	}
+}
+
+func TestFigure10Monotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short mode")
+	}
+	cfg := microConfig()
+	cfg.MaxIterations = 40
+	rows, err := Figure10(cfg)
+	if err != nil {
+		t.Fatalf("figure10: %v", err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ImprPTT < rows[i-1].ImprPTT-2 {
+			t.Errorf("PTT not monotone in space: %.1f%% at %d%% < %.1f%% at %d%%",
+				rows[i].ImprPTT, rows[i].PctSpace, rows[i-1].ImprPTT, rows[i-1].PctSpace)
+		}
+	}
+	// PTT should dominate CTT at the tightest budget (the paper's gap).
+	if rows[0].ImprPTT < rows[0].ImprCTT-2 {
+		t.Errorf("PTT (%.1f%%) behind CTT (%.1f%%) at the tightest budget",
+			rows[0].ImprPTT, rows[0].ImprCTT)
+	}
+}
+
+func TestTable3PTTFasterThanCTT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short mode")
+	}
+	rows, err := Table3(microConfig())
+	if err != nil {
+		t.Fatalf("table3: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	fasterCount := 0
+	for _, r := range rows {
+		if r.TimePTT < r.TimeCTT {
+			fasterCount++
+		}
+		if r.CallsPTT >= r.CallsCTT {
+			t.Errorf("%s: PTT used more optimizer calls (%d >= %d)", r.Workload, r.CallsPTT, r.CallsCTT)
+		}
+	}
+	if fasterCount*2 < len(rows) {
+		t.Errorf("PTT faster on only %d of %d workloads", fasterCount, len(rows))
+	}
+}
+
+func TestValidateRatiosReasonable(t *testing.T) {
+	rows, err := Validate(microConfig())
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if len(rows) != 22 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	bad := 0
+	for _, r := range rows {
+		if r.Actual == 0 {
+			continue // tiny-scale sparsity, not an estimator failure
+		}
+		if ratio := r.Ratio(); ratio > 25 || ratio < 1.0/25 {
+			bad++
+			t.Logf("%s: ratio %.2f (est %.0f, actual %d)", r.Query, ratio, r.Estimated, r.Actual)
+		}
+	}
+	if bad > 3 {
+		t.Errorf("%d of 22 queries estimated off by more than 25x", bad)
+	}
+}

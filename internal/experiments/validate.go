@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/sqlx"
+	"repro/internal/workloads"
+)
+
+// ValidateRow compares one query's estimated and executed cardinality.
+type ValidateRow struct {
+	Query     string
+	Estimated float64
+	Actual    int
+}
+
+// Ratio returns estimate/actual (0 when the result is empty).
+func (r ValidateRow) Ratio() float64 {
+	if r.Actual == 0 {
+		return 0
+	}
+	return r.Estimated / float64(r.Actual)
+}
+
+// Validate executes the 22-query TPC-H workload over materialized rows
+// and compares true result sizes with optimizer estimates — the sanity
+// experiment backing every cost-based number in the suite (not an exhibit
+// of the paper; the paper trusts SQL Server's estimator the same way).
+func Validate(cfg Config) ([]ValidateRow, error) {
+	db, store := datagen.TPCHData(cfg.SF)
+	o := optimizer.New(db)
+	base := datagen.BaseConfiguration(db)
+	var rows []ValidateRow
+	for i, src := range workloads.TPCH22SQL() {
+		stmt, err := sqlx.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		q, err := optimizer.Bind(db, stmt)
+		if err != nil {
+			return nil, err
+		}
+		p, err := o.Optimize(q, base)
+		if err != nil {
+			return nil, err
+		}
+		res, err := exec.ExecuteQuery(store, q)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ValidateRow{
+			Query:     fmt.Sprintf("q%d", i+1),
+			Estimated: p.Root.OutRows(),
+			Actual:    res.Len(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderValidate prints the estimate-vs-actual table.
+func RenderValidate(w io.Writer, rows []ValidateRow) {
+	fmt.Fprintln(w, "Validation: optimizer estimates vs. executed TPC-H results")
+	fmt.Fprintf(w, "%-6s %12s %12s %8s\n", "query", "estimated", "actual", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %12.0f %12d %8.2f\n", r.Query, r.Estimated, r.Actual, r.Ratio())
+	}
+}

@@ -1,0 +1,356 @@
+package optimizer
+
+import (
+	"strings"
+
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// accessSpec describes a single-relation access path problem: which
+// table/view to read, under which sargable and residual predicates, with
+// which required order and needed columns. All column names are local to
+// the relation.
+type accessSpec struct {
+	table  string
+	view   *physical.View // nil for base tables
+	rows   int64
+	sargs  []SargCond
+	others []residCond
+	order  []string
+	needed []string
+	// orderOptional marks interesting orders: when no index provides the
+	// order the access path stays unsorted and the caller (e.g. the root,
+	// which may prefer hash aggregation) decides how to compensate. When
+	// false, an explicit sort is appended.
+	orderOptional bool
+	// qual prefixes column names in plan order properties ("table.col").
+	qual string
+	// width is the average byte width of the needed columns (sort sizing).
+	width int
+}
+
+// residCond is one residual (non-sargable) conjunct: its local columns and
+// selectivity.
+type residCond struct {
+	cols []string
+	sel  float64
+}
+
+func (s *accessSpec) qualify(cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = s.qual + "." + c
+	}
+	return out
+}
+
+// eqBoundCols returns the qualified columns bound to single points by the
+// sargable predicates; such columns can be skipped when checking order
+// satisfaction.
+func (s *accessSpec) eqBoundCols() map[string]bool {
+	out := map[string]bool{}
+	for _, c := range s.sargs {
+		if c.Iv.IsPoint() {
+			out[strings.ToLower(s.qual+"."+c.Col)] = true
+		}
+	}
+	return out
+}
+
+// accessResult couples a candidate plan with its index usage records.
+type accessResult struct {
+	node   plan.Node
+	usages []*plan.IndexUsage
+}
+
+func (r *accessResult) cost() float64 {
+	if r == nil || r.node == nil {
+		return inf
+	}
+	return r.node.TotalCost().Total()
+}
+
+const inf = 1e308
+
+// bestAccess generates the access path alternatives of Figure 1 — index
+// seeks, rid intersections, rid lookups, covering scans, heap scans,
+// residual filters and sorts — over the indexes available in cfg, and
+// returns the cheapest.
+func (o *Optimizer) bestAccess(cfg *physical.Configuration, spec *accessSpec) *accessResult {
+	indexes := cfg.IndexesOn(spec.table)
+	clustered := cfg.ClusteredOn(spec.table)
+
+	var best *accessResult
+	consider := func(r *accessResult) {
+		if r != nil && r.node != nil && (best == nil || r.cost() < best.cost()) {
+			best = r
+		}
+	}
+
+	for _, ix := range indexes {
+		consider(o.seekPlan(cfg, spec, ix, clustered))
+		consider(o.scanPlan(cfg, spec, ix))
+	}
+	// Binary rid intersections between seekable secondary indexes.
+	var seekable []*physical.Index
+	for _, ix := range indexes {
+		if !ix.Clustered && len(o.seekPrefix(spec, ix).cols) > 0 {
+			seekable = append(seekable, ix)
+		}
+	}
+	for i := 0; i < len(seekable); i++ {
+		for j := i + 1; j < len(seekable); j++ {
+			consider(o.intersectPlan(cfg, spec, seekable[i], seekable[j], clustered))
+		}
+	}
+	if clustered == nil {
+		consider(o.heapScanPlan(cfg, spec))
+	}
+	return best
+}
+
+// seekInfo is the outcome of matching sargable predicates to a key prefix.
+type seekInfo struct {
+	cols    []string
+	colSels []float64
+	sel     float64
+	used    map[string]bool // lower-case sarg columns consumed
+}
+
+// seekPrefix finds the longest usable key prefix: equality-bound columns
+// extend the prefix; the first range-bound column is consumed and ends it.
+func (o *Optimizer) seekPrefix(spec *accessSpec, ix *physical.Index) seekInfo {
+	info := seekInfo{sel: 1, used: map[string]bool{}}
+	for _, key := range ix.Keys {
+		var cond *SargCond
+		for i := range spec.sargs {
+			if strings.EqualFold(spec.sargs[i].Col, key) {
+				cond = &spec.sargs[i]
+				break
+			}
+		}
+		if cond == nil {
+			break
+		}
+		info.cols = append(info.cols, key)
+		info.colSels = append(info.colSels, cond.Sel)
+		info.sel *= cond.Sel
+		info.used[strings.ToLower(cond.Col)] = true
+		if !cond.Iv.IsPoint() {
+			break // a range column ends the seekable prefix
+		}
+	}
+	return info
+}
+
+// residualAfter splits the predicates not consumed by a seek into those
+// evaluable on the index (before any lookup) and those requiring fetched
+// columns, returning the combined selectivities.
+func (o *Optimizer) residualAfter(spec *accessSpec, ix *physical.Index, used map[string]bool) (onSel, offSel float64, any bool) {
+	onSel, offSel = 1, 1
+	for _, c := range spec.sargs {
+		if used[strings.ToLower(c.Col)] {
+			continue
+		}
+		any = true
+		if ix.HasColumn(c.Col) {
+			onSel *= c.Sel
+		} else {
+			offSel *= c.Sel
+		}
+	}
+	for _, rc := range spec.others {
+		any = true
+		on := true
+		for _, c := range rc.cols {
+			if !ix.HasColumn(c) {
+				on = false
+				break
+			}
+		}
+		if on {
+			onSel *= rc.sel
+		} else {
+			offSel *= rc.sel
+		}
+	}
+	return onSel, offSel, any
+}
+
+// primaryPages returns the page count of the relation's primary structure
+// (clustered index or heap) for rid-lookup costing.
+func (o *Optimizer) primaryPages(cfg *physical.Configuration, spec *accessSpec, clustered *physical.Index) int64 {
+	if clustered != nil {
+		return o.sizer.IndexLeafPages(clustered, cfg)
+	}
+	return o.sizer.HeapPages(spec.table, cfg)
+}
+
+func (o *Optimizer) seekPlan(cfg *physical.Configuration, spec *accessSpec, ix *physical.Index, clustered *physical.Index) *accessResult {
+	info := o.seekPrefix(spec, ix)
+	if len(info.cols) == 0 {
+		return nil
+	}
+	leafPages := o.sizer.IndexLeafPages(ix, cfg)
+	height := o.sizer.IndexHeight(ix, cfg)
+	rowsAfterSeek := float64(spec.rows) * info.sel
+	access := plan.Cost{
+		IO:  float64(height)*o.model.RandPage + storage.FracPages(leafPages, info.sel)*o.model.SeqPage,
+		CPU: o.model.CPURow * rowsAfterSeek,
+	}
+	usage := &plan.IndexUsage{
+		Index: ix, Seek: true, SeekCols: info.cols, SeekColSels: info.colSels, Selectivity: info.sel,
+		Rows: rowsAfterSeek, AccessCost: access, NeededCols: spec.needed,
+	}
+	if spec.view != nil {
+		usage.ViewName = spec.view.Name
+	}
+	var node plan.Node = plan.NewIndexSeek(ix, info.cols, info.sel, rowsAfterSeek, access, spec.qualify(ix.Keys))
+
+	onSel, offSel, _ := o.residualAfter(spec, ix, info.used)
+	if onSel < 1 {
+		node = plan.NewFilter(node, onSel, "index-residual", node.TotalCost().Add(plan.Cost{CPU: o.model.CPURow * node.OutRows()}))
+	}
+	if !ix.Covers(spec.needed) {
+		k := node.OutRows()
+		lk := o.model.RidLookupCost(spec.rows, o.primaryPages(cfg, spec, clustered), k)
+		node = plan.NewRidLookup(node, spec.table, node.TotalCost().Add(lk))
+		usage.LookedUp = true
+	}
+	if offSel < 1 {
+		node = plan.NewFilter(node, offSel, "post-lookup-residual", node.TotalCost().Add(plan.Cost{CPU: o.model.CPURow * node.OutRows()}))
+	}
+	node, satisfied := o.enforceOrder(spec, node)
+	if satisfied {
+		usage.OrderCols = spec.order
+	}
+	return &accessResult{node: node, usages: []*plan.IndexUsage{usage}}
+}
+
+func (o *Optimizer) scanPlan(cfg *physical.Configuration, spec *accessSpec, ix *physical.Index) *accessResult {
+	if !ix.Covers(spec.needed) {
+		return nil // non-covering full scans are dominated by primary scans
+	}
+	leafPages := o.sizer.IndexLeafPages(ix, cfg)
+	rows := float64(spec.rows)
+	access := plan.Cost{IO: float64(leafPages) * o.model.SeqPage, CPU: o.model.CPURow * rows}
+	usage := &plan.IndexUsage{
+		Index: ix, Seek: false, Selectivity: 1,
+		Rows: rows, AccessCost: access, NeededCols: spec.needed,
+	}
+	if spec.view != nil {
+		usage.ViewName = spec.view.Name
+	}
+	var node plan.Node = plan.NewIndexScan(ix, rows, access, spec.qualify(ix.Keys))
+	node = o.filterAll(spec, node)
+	node, satisfied := o.enforceOrder(spec, node)
+	if satisfied {
+		usage.OrderCols = spec.order
+	}
+	return &accessResult{node: node, usages: []*plan.IndexUsage{usage}}
+}
+
+func (o *Optimizer) heapScanPlan(cfg *physical.Configuration, spec *accessSpec) *accessResult {
+	pages := o.sizer.HeapPages(spec.table, cfg)
+	rows := float64(spec.rows)
+	access := plan.Cost{IO: float64(pages) * o.model.SeqPage, CPU: o.model.CPURow * rows}
+	var node plan.Node = plan.NewHeapScan(spec.table, rows, access)
+	node = o.filterAll(spec, node)
+	node, _ = o.enforceOrder(spec, node)
+	return &accessResult{node: node}
+}
+
+func (o *Optimizer) intersectPlan(cfg *physical.Configuration, spec *accessSpec, i1, i2 *physical.Index, clustered *physical.Index) *accessResult {
+	s1 := o.seekPrefix(spec, i1)
+	s2 := o.seekPrefix(spec, i2)
+	if len(s1.cols) == 0 || len(s2.cols) == 0 {
+		return nil
+	}
+	mkSeek := func(ix *physical.Index, info seekInfo) (plan.Node, *plan.IndexUsage) {
+		leafPages := o.sizer.IndexLeafPages(ix, cfg)
+		height := o.sizer.IndexHeight(ix, cfg)
+		rows := float64(spec.rows) * info.sel
+		access := plan.Cost{
+			IO:  float64(height)*o.model.RandPage + storage.FracPages(leafPages, info.sel)*o.model.SeqPage,
+			CPU: o.model.CPURow * rows,
+		}
+		u := &plan.IndexUsage{
+			Index: ix, Seek: true, SeekCols: info.cols, SeekColSels: info.colSels, Selectivity: info.sel,
+			Rows: rows, AccessCost: access, NeededCols: spec.needed,
+			InIntersection: true, LookedUp: true,
+		}
+		if spec.view != nil {
+			u.ViewName = spec.view.Name
+		}
+		return plan.NewIndexSeek(ix, info.cols, info.sel, rows, access, nil), u
+	}
+	n1, u1 := mkSeek(i1, s1)
+	n2, u2 := mkSeek(i2, s2)
+	outRows := float64(spec.rows) * s1.sel * s2.sel
+	icost := n1.TotalCost().Add(n2.TotalCost()).Add(plan.Cost{CPU: o.model.CPUHash * (n1.OutRows() + n2.OutRows())})
+	var node plan.Node = plan.NewRidIntersect(n1, n2, outRows, icost)
+
+	// Intersections produce rids; fetch the rows, then apply residuals.
+	lk := o.model.RidLookupCost(spec.rows, o.primaryPages(cfg, spec, clustered), outRows)
+	node = plan.NewRidLookup(node, spec.table, node.TotalCost().Add(lk))
+	used := map[string]bool{}
+	for c := range s1.used {
+		used[c] = true
+	}
+	for c := range s2.used {
+		used[c] = true
+	}
+	residSel := 1.0
+	for _, c := range spec.sargs {
+		if !used[strings.ToLower(c.Col)] {
+			residSel *= c.Sel
+		}
+	}
+	for _, rc := range spec.others {
+		residSel *= rc.sel
+	}
+	if residSel < 1 {
+		node = plan.NewFilter(node, residSel, "post-intersect-residual", node.TotalCost().Add(plan.Cost{CPU: o.model.CPURow * node.OutRows()}))
+	}
+	node, _ = o.enforceOrder(spec, node)
+	return &accessResult{node: node, usages: []*plan.IndexUsage{u1, u2}}
+}
+
+// filterAll applies every predicate of the spec as one residual filter.
+func (o *Optimizer) filterAll(spec *accessSpec, node plan.Node) plan.Node {
+	sel := 1.0
+	for _, c := range spec.sargs {
+		sel *= c.Sel
+	}
+	for _, rc := range spec.others {
+		sel *= rc.sel
+	}
+	if sel >= 1 {
+		return node
+	}
+	return plan.NewFilter(node, sel, "scan-residual", node.TotalCost().Add(plan.Cost{CPU: o.model.CPURow * node.OutRows()}))
+}
+
+// enforceOrder handles the spec's order requirement. It reports whether
+// the access path provided the order "for free" (an index supplied it):
+// in that case the index usage may record the exploited order. When the
+// order is unsatisfied, a sort is appended — unless the order is
+// optional, in which case the node is returned unsorted and the caller
+// compensates.
+func (o *Optimizer) enforceOrder(spec *accessSpec, node plan.Node) (plan.Node, bool) {
+	if len(spec.order) == 0 {
+		return node, false
+	}
+	want := spec.qualify(spec.order)
+	if plan.OrderSatisfies(node.OutOrder(), want, spec.eqBoundCols()) {
+		return node, true
+	}
+	if spec.orderOptional {
+		return node, false
+	}
+	pages := node.OutRows() * float64(spec.width) / storage.PageSize
+	sc := o.model.SortCost(node.OutRows(), pages)
+	return plan.NewSort(node, want, node.TotalCost().Add(sc)), false
+}

@@ -1,0 +1,238 @@
+package optimizer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/physical"
+	"repro/internal/plan"
+)
+
+// findNode walks the plan tree for a node whose label contains substr.
+func findNode(root plan.Node, substr string) plan.Node {
+	if strings.Contains(root.Label(), substr) {
+		return root
+	}
+	for _, c := range root.Children() {
+		if n := findNode(c, substr); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+func TestSeekChosenOverScanWhenSelective(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	cfg.AddIndex(physical.NewIndex("r", []string{"b"}, []string{"a"}, false))
+	q := mustBind(t, db, "SELECT a FROM r WHERE b = 7")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "IndexSeek") == nil {
+		t.Errorf("selective equality should seek:\n%s", plan.Format(p.Root))
+	}
+	if len(p.Usages) != 1 || !p.Usages[0].Seek {
+		t.Errorf("usage should record a seek: %+v", p.Usages)
+	}
+}
+
+func TestScanWhenNotSelective(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "SELECT a FROM r")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "IndexScan") == nil {
+		t.Errorf("no predicate should scan:\n%s", plan.Format(p.Root))
+	}
+}
+
+func TestNarrowCoveringIndexBeatsClusteredScan(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	base := baseCfg(db)
+	q := mustBind(t, db, "SELECT a FROM r")
+	pBase := mustPlan(t, o, q, base)
+
+	withNarrow := base.Clone()
+	narrow := physical.NewIndex("r", []string{"a"}, nil, false)
+	withNarrow.AddIndex(narrow)
+	pNarrow := mustPlan(t, o, q, withNarrow)
+	if pNarrow.Cost.Total() >= pBase.Cost.Total() {
+		t.Errorf("narrow covering index should be cheaper: %g >= %g",
+			pNarrow.Cost.Total(), pBase.Cost.Total())
+	}
+	if !pNarrow.UsesIndex(narrow.ID()) {
+		t.Error("plan should use the narrow index")
+	}
+}
+
+func TestRidLookupWhenNotCovering(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	cfg.AddIndex(physical.NewIndex("r", []string{"b"}, nil, false))
+	q := mustBind(t, db, "SELECT pad FROM r WHERE b = 7")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "RidLookup") == nil {
+		t.Errorf("non-covering seek needs rid lookups:\n%s", plan.Format(p.Root))
+	}
+	var seekUsage *plan.IndexUsage
+	for _, u := range p.Usages {
+		if u.Seek {
+			seekUsage = u
+		}
+	}
+	if seekUsage == nil || !seekUsage.LookedUp {
+		t.Errorf("usage should record the lookup: %+v", p.Usages)
+	}
+}
+
+func TestCoveringIndexAvoidsLookup(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	cfg.AddIndex(physical.NewIndex("r", []string{"b"}, []string{"pad"}, false))
+	q := mustBind(t, db, "SELECT pad FROM r WHERE b = 7")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "RidLookup") != nil {
+		t.Errorf("covering index should avoid lookups:\n%s", plan.Format(p.Root))
+	}
+}
+
+func TestOrderProvidingIndexAvoidsSort(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	base := baseCfg(db)
+	q := mustBind(t, db, "SELECT b, a FROM r WHERE c = 1 ORDER BY b")
+
+	pBase := mustPlan(t, o, q, base)
+	if findNode(pBase.Root, "Sort") == nil {
+		t.Errorf("without a b-index a sort is needed:\n%s", plan.Format(pBase.Root))
+	}
+
+	withIdx := base.Clone()
+	withIdx.AddIndex(physical.NewIndex("r", []string{"b"}, []string{"a", "c"}, false))
+	pIdx := mustPlan(t, o, q, withIdx)
+	if findNode(pIdx.Root, "Sort") != nil {
+		t.Errorf("b-keyed covering index should avoid the sort:\n%s", plan.Format(pIdx.Root))
+	}
+	if pIdx.Cost.Total() >= pBase.Cost.Total() {
+		t.Error("sort-avoiding plan should be cheaper")
+	}
+	// The usage must record the exploited order (§3.3.2 needs it).
+	foundOrder := false
+	for _, u := range pIdx.Usages {
+		if len(u.OrderCols) > 0 {
+			foundOrder = true
+		}
+	}
+	if !foundOrder {
+		t.Error("usage should record the required order")
+	}
+}
+
+func TestEqualityBoundColumnSkippedInOrder(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	// Index on (c, b): with c bound by equality, output is ordered by b.
+	cfg.AddIndex(physical.NewIndex("r", []string{"c", "b"}, []string{"a"}, false))
+	q := mustBind(t, db, "SELECT b, a FROM r WHERE c = 1 ORDER BY b")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "Sort") != nil {
+		t.Errorf("equality-bound prefix should satisfy ORDER BY b:\n%s", plan.Format(p.Root))
+	}
+}
+
+func TestRidIntersectionPlan(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	cfg.AddIndex(physical.NewIndex("r", []string{"a"}, nil, false))
+	cfg.AddIndex(physical.NewIndex("r", []string{"b"}, nil, false))
+	// Fetching the wide pad column: intersection first cuts lookups from
+	// ~1000 (a=5) or ~100 (b=7) down to ~1.
+	q := mustBind(t, db, "SELECT pad FROM r WHERE a = 5 AND b = 7")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "RidIntersect") == nil {
+		t.Logf("plan:\n%s", plan.Format(p.Root))
+		t.Skip("intersection not chosen under this cost model; acceptable if a single seek dominates")
+	}
+	inIntersection := 0
+	for _, u := range p.Usages {
+		if u.InIntersection {
+			inIntersection++
+		}
+	}
+	if inIntersection != 2 {
+		t.Errorf("expected two intersection usages: %+v", p.Usages)
+	}
+}
+
+func TestSeekPrefixStopsAtRange(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	spec := &accessSpec{
+		table: "r", rows: 100_000,
+		sargs: []SargCond{
+			{Col: "c", Iv: physical.PointInterval(1), Sel: 0.1},
+			{Col: "b", Iv: physical.Interval{Lo: 0, Hi: 100, LoIncl: true}, Sel: 0.1},
+			{Col: "a", Iv: physical.PointInterval(5), Sel: 0.01},
+		},
+	}
+	ix := physical.NewIndex("r", []string{"c", "b", "a"}, nil, false)
+	info := o.seekPrefix(spec, ix)
+	// c (point) extends, b (range) consumes and stops; a is unreachable.
+	if len(info.cols) != 2 {
+		t.Errorf("seek prefix: %v", info.cols)
+	}
+}
+
+func TestHeapScanWhenNoClusteredIndex(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := physical.NewConfiguration() // no indexes at all
+	q := mustBind(t, db, "SELECT a FROM r WHERE b = 7")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "HeapScan") == nil {
+		t.Errorf("heap scan expected:\n%s", plan.Format(p.Root))
+	}
+}
+
+// Property: adding an index to a configuration never increases the
+// optimal plan cost (the optimality assumption the paper relies on).
+func TestPlanCostMonotoneInIndexes(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	rng := rand.New(rand.NewSource(31))
+	queries := []string{
+		"SELECT a, b FROM r WHERE b < 200",
+		"SELECT pad FROM r WHERE a = 5 AND c = 2",
+		"SELECT a, SUM(b) FROM r WHERE c = 1 GROUP BY a",
+		"SELECT r.a, u.x FROM r, u WHERE r.a = u.fk AND u.x = 3",
+		"SELECT b FROM r WHERE a = 1 ORDER BY b",
+	}
+	cols := []string{"a", "b", "c", "s", "pad"}
+	for trial := 0; trial < 30; trial++ {
+		cfg := baseCfg(db)
+		for i := 0; i < rng.Intn(3); i++ {
+			k := cols[rng.Intn(len(cols))]
+			s := cols[rng.Intn(len(cols))]
+			cfg.AddIndex(physical.NewIndex("r", []string{k}, []string{s}, false))
+		}
+		src := queries[rng.Intn(len(queries))]
+		q := mustBind(t, db, src)
+		before := mustPlan(t, o, q, cfg).Cost.Total()
+
+		bigger := cfg.Clone()
+		k := cols[rng.Intn(len(cols))]
+		bigger.AddIndex(physical.NewIndex("r", []string{k}, []string{"a", "b", "c"}, false))
+		after := mustPlan(t, o, q, bigger).Cost.Total()
+		if after > before*1.0000001 {
+			t.Errorf("trial %d: adding an index increased cost for %q: %g -> %g",
+				trial, src, before, after)
+		}
+	}
+}

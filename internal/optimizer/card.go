@@ -1,0 +1,147 @@
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/physical"
+	"repro/internal/sqlx"
+)
+
+// columnDistinct returns the estimated distinct count of a column
+// (at least 1).
+func (o *Optimizer) columnDistinct(c sqlx.ColRef) float64 {
+	t := o.db.Table(c.Table)
+	if t == nil {
+		return 1
+	}
+	col := t.Column(c.Column)
+	if col == nil || col.Stats == nil || col.Stats.Distinct < 1 {
+		return 1
+	}
+	return float64(col.Stats.Distinct)
+}
+
+// joinSelectivity returns the classical containment-assumption selectivity
+// 1/max(dv(l), dv(r)) of an equi-join predicate.
+func (o *Optimizer) joinSelectivity(j physical.JoinPred) float64 {
+	dv := math.Max(o.columnDistinct(j.L), o.columnDistinct(j.R))
+	if dv < 1 {
+		dv = 1
+	}
+	return 1 / dv
+}
+
+// intervalSelectivity estimates the fraction of a base table's rows whose
+// column falls in iv.
+func (o *Optimizer) intervalSelectivity(c sqlx.ColRef, iv physical.Interval) float64 {
+	t := o.db.Table(c.Table)
+	if t == nil {
+		return catalog.DefaultRangeSelectivity
+	}
+	col := t.Column(c.Column)
+	if col == nil || col.Stats == nil {
+		return catalog.DefaultRangeSelectivity
+	}
+	s := col.Stats
+	if iv.IsString {
+		return s.EqSelectivity(0, false)
+	}
+	if iv.IsPoint() {
+		return s.EqSelectivity(iv.Lo, true)
+	}
+	sel := 1.0
+	if !math.IsInf(iv.Hi, 1) {
+		sel = s.LtSelectivity(iv.Hi, iv.HiIncl)
+	}
+	if !math.IsInf(iv.Lo, -1) {
+		sel -= s.LtSelectivity(iv.Lo, !iv.LoIncl)
+	}
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// groupCardinality estimates the number of groups when grouping inputRows
+// by the given columns: the product of per-column distinct counts, damped
+// and capped by the input cardinality.
+func (o *Optimizer) groupCardinality(inputRows float64, groupCols []sqlx.ColRef) float64 {
+	if len(groupCols) == 0 {
+		return 1
+	}
+	prod := 1.0
+	for _, g := range groupCols {
+		prod *= o.columnDistinct(g)
+		if prod > inputRows {
+			break
+		}
+	}
+	if prod > inputRows {
+		prod = inputRows
+	}
+	if prod < 1 {
+		prod = 1
+	}
+	return prod
+}
+
+// selRows estimates the result cardinality of joining the tables in mask
+// with all applicable predicates: the product of filtered table
+// cardinalities times the selectivities of every join predicate and
+// cross-table conjunct contained in the mask. The estimate is independent
+// of join order, so every plan for a subset agrees on its cardinality.
+func (o *Optimizer) selRows(q *BoundQuery, mask uint64) float64 {
+	rows := 1.0
+	for i, t := range q.Tables {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		tbl := o.db.Table(t)
+		tr := 1.0
+		if tbl != nil && tbl.Rows > 0 {
+			tr = float64(tbl.Rows)
+		}
+		rows *= tr * q.TablePred(t).TotalSelectivity()
+	}
+	idx := tableIndexMap(q)
+	for _, j := range q.Joins {
+		if maskHasCol(idx, mask, j.L) && maskHasCol(idx, mask, j.R) {
+			rows *= o.joinSelectivity(j)
+		}
+	}
+	for _, oc := range q.CrossOthers {
+		if maskHasAll(idx, mask, oc.Cols) {
+			rows *= oc.Sel
+		}
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+func tableIndexMap(q *BoundQuery) map[string]int {
+	m := make(map[string]int, len(q.Tables))
+	for i, t := range q.Tables {
+		m[t] = i
+	}
+	return m
+}
+
+func maskHasCol(idx map[string]int, mask uint64, c sqlx.ColRef) bool {
+	i, ok := idx[c.Table]
+	return ok && mask&(1<<uint(i)) != 0
+}
+
+func maskHasAll(idx map[string]int, mask uint64, cols []sqlx.ColRef) bool {
+	for _, c := range cols {
+		if !maskHasCol(idx, mask, c) {
+			return false
+		}
+	}
+	return true
+}

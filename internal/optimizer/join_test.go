@@ -1,0 +1,168 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/physical"
+	"repro/internal/plan"
+)
+
+func TestJoinProducesPlan(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "SELECT r.b, u.x FROM r, u WHERE r.a = u.fk")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "Join") == nil {
+		t.Fatalf("no join in plan:\n%s", plan.Format(p.Root))
+	}
+	// Join cardinality: 100k × 2k / max(100,100) = 2M.
+	rows := p.Root.OutRows()
+	if rows < 5e5 || rows > 8e6 {
+		t.Errorf("join cardinality %g, expected near 2e6", rows)
+	}
+}
+
+func TestIndexNLJoinExploitsJoinIndex(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	// Selective predicate on u, then probe r.a through an index.
+	joinIdx := physical.NewIndex("r", []string{"a"}, []string{"b"}, false)
+	cfg.AddIndex(joinIdx)
+	q := mustBind(t, db, "SELECT r.b, u.x FROM r, u WHERE r.a = u.fk AND u.id = 17")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "IndexNLJoin") == nil {
+		t.Errorf("expected index nested loops:\n%s", plan.Format(p.Root))
+	}
+	if !p.UsesIndex(joinIdx.ID()) {
+		t.Error("probe index not recorded in usages")
+	}
+}
+
+func TestHashJoinForLargeInputs(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "SELECT r.b, u.x FROM r, u WHERE r.a = u.fk")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "HashJoin") == nil {
+		t.Errorf("unselective join should hash:\n%s", plan.Format(p.Root))
+	}
+}
+
+func TestCrossProductFallback(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "SELECT r.a, u.x FROM r, u WHERE r.id = 5 AND u.id = 7")
+	p := mustPlan(t, o, q, cfg)
+	if p.Root.OutRows() > 10 {
+		t.Errorf("two point lookups cross-joined should be tiny: %g rows", p.Root.OutRows())
+	}
+}
+
+func TestCrossTablePredicateApplied(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	with := mustPlan(t, o, mustBind(t, db,
+		"SELECT r.b FROM r, u WHERE r.a = u.fk AND r.b + u.x > 500"), cfg)
+	without := mustPlan(t, o, mustBind(t, db,
+		"SELECT r.b FROM r, u WHERE r.a = u.fk"), cfg)
+	if with.Root.OutRows() >= without.Root.OutRows() {
+		t.Errorf("cross-table filter should reduce cardinality: %g >= %g",
+			with.Root.OutRows(), without.Root.OutRows())
+	}
+}
+
+func TestGroupByModes(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "SELECT c, SUM(b) FROM r GROUP BY c")
+	p := mustPlan(t, o, q, cfg)
+	if findNode(p.Root, "HashGroupBy") == nil {
+		t.Errorf("unsorted input should hash-aggregate:\n%s", plan.Format(p.Root))
+	}
+	// Groups ≈ 10 (c has 10 distinct values).
+	if p.Root.OutRows() < 2 || p.Root.OutRows() > 50 {
+		t.Errorf("group count %g, expected near 10", p.Root.OutRows())
+	}
+
+	// With an index ordered on c the aggregate can stream.
+	cfg2 := baseCfg(db)
+	cfg2.AddIndex(physical.NewIndex("r", []string{"c"}, []string{"b"}, false))
+	p2 := mustPlan(t, o, q, cfg2)
+	if findNode(p2.Root, "StreamGroupBy") == nil {
+		t.Errorf("sorted input should stream-aggregate:\n%s", plan.Format(p2.Root))
+	}
+	if p2.Cost.Total() >= p.Cost.Total() {
+		t.Error("stream aggregation over an ordered index should be cheaper")
+	}
+}
+
+func TestScalarAggregateWithoutGroupBy(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "SELECT COUNT(*) FROM r WHERE c = 1")
+	p := mustPlan(t, o, q, cfg)
+	if p.Root.OutRows() != 1 {
+		t.Errorf("scalar aggregate returns one row, got %g", p.Root.OutRows())
+	}
+}
+
+func TestOptimizeCallCounting(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "SELECT a FROM r")
+	before := o.Stats()
+	mustPlan(t, o, q, cfg)
+	mustPlan(t, o, q, cfg)
+	after := o.Stats()
+	if after.OptimizeCalls-before.OptimizeCalls != 2 {
+		t.Errorf("optimize calls: %d", after.OptimizeCalls-before.OptimizeCalls)
+	}
+	if after.IndexRequests <= before.IndexRequests {
+		t.Error("index requests should be counted")
+	}
+}
+
+func TestRequestDeduplicationWithinOneOptimize(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	// A 2-table join probes the inner table many times during DP, but the
+	// identical request must be counted once.
+	q := mustBind(t, db, "SELECT r.b FROM r, u WHERE r.a = u.fk")
+	before := o.Stats().IndexRequests
+	mustPlan(t, o, q, cfg)
+	delta := o.Stats().IndexRequests - before
+	if delta > 6 {
+		t.Errorf("expected few deduplicated requests, got %d", delta)
+	}
+}
+
+func TestDisconnectedJoinGraphStillPlans(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "SELECT r.a, u.x FROM r, u")
+	p := mustPlan(t, o, q, cfg)
+	if p.Root == nil {
+		t.Fatal("cross join must still produce a plan")
+	}
+}
+
+func TestInsertHasEmptySelectPart(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "INSERT INTO u VALUES (1, 2, 3)")
+	p := mustPlan(t, o, q, cfg)
+	if p.Cost.Total() != 0 {
+		t.Errorf("insert select-part should be free: %g", p.Cost.Total())
+	}
+}

@@ -1,0 +1,595 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/sqlx"
+)
+
+// MaxJoinTables bounds dynamic-programming join enumeration.
+const MaxJoinTables = 16
+
+// Optimizer is a cost-based query optimizer over a catalog database. It
+// optimizes bound queries against a physical configuration (base indexes
+// plus hypothetical structures) and reports per-index usage information.
+type Optimizer struct {
+	db    *catalog.Database
+	model CostModel
+	sizer *physical.Sizer
+	hooks *Hooks
+	stats Stats
+	// reqSeen deduplicates requests within one Optimize call so repeated
+	// probes of the same relation during join enumeration count (and fire
+	// hooks) once.
+	reqSeen map[string]bool
+}
+
+// New returns an optimizer over db with the default cost model.
+func New(db *catalog.Database) *Optimizer {
+	return &Optimizer{
+		db:    db,
+		model: DefaultCostModel(),
+		sizer: physical.NewSizer(NewResolver(db)),
+	}
+}
+
+// SetHooks installs the instrumentation hooks of §2 (nil disables them).
+func (o *Optimizer) SetHooks(h *Hooks) { o.hooks = h }
+
+// Stats returns a copy of the activity counters.
+func (o *Optimizer) Stats() Stats { return o.stats }
+
+// ResetStats zeroes the activity counters.
+func (o *Optimizer) ResetStats() { o.stats = Stats{} }
+
+// Sizer exposes the shared size estimator.
+func (o *Optimizer) Sizer() *physical.Sizer { return o.sizer }
+
+// Model exposes the cost model.
+func (o *Optimizer) Model() CostModel { return o.model }
+
+// DB exposes the catalog database.
+func (o *Optimizer) DB() *catalog.Database { return o.db }
+
+// dpEntry is the best plan found for one table subset.
+type dpEntry struct {
+	node   plan.Node
+	usages []*plan.IndexUsage
+	views  []string
+	// grouped reports that the sub-plan already produced the query's
+	// aggregation (view-based plans may embed it).
+	grouped bool
+	// ordered reports that the sub-plan already delivers the query's
+	// presentation order (view-based plans track it explicitly because
+	// their order properties use view-local column names).
+	ordered bool
+}
+
+func (e *dpEntry) cost() float64 {
+	if e == nil || e.node == nil {
+		return inf
+	}
+	return e.node.TotalCost().Total()
+}
+
+// Optimize finds the cheapest plan for the query's select part under cfg.
+// For UPDATE/DELETE statements this is the "pure select query" of §3.6;
+// index-maintenance costs are computed separately by UpdateShellCost.
+// INSERT statements have an empty select part.
+func (o *Optimizer) Optimize(q *BoundQuery, cfg *physical.Configuration) (*plan.QueryPlan, error) {
+	o.stats.OptimizeCalls++
+	o.reqSeen = map[string]bool{}
+	if q.Kind == sqlx.StmtInsert {
+		root := plan.NewHeapScan(q.UpdateTable, 0, plan.Cost{})
+		return &plan.QueryPlan{Root: root, Cost: plan.Cost{}}, nil
+	}
+	n := len(q.Tables)
+	if n == 0 {
+		return nil, fmt.Errorf("optimizer: query has no tables")
+	}
+	if n > MaxJoinTables {
+		return nil, fmt.Errorf("optimizer: %d tables exceeds the %d-table join limit", n, MaxJoinTables)
+	}
+
+	dp := make([]*dpEntry, 1<<uint(n))
+
+	// Leaf level: one access-path request per table.
+	for i, t := range q.Tables {
+		spec := o.tableSpec(q, t, n == 1)
+		res := o.requestAccess(cfg, spec)
+		if res == nil {
+			return nil, fmt.Errorf("optimizer: no access path for table %s", t)
+		}
+		dp[1<<uint(i)] = &dpEntry{node: res.node, usages: res.usages}
+	}
+
+	idx := tableIndexMap(q)
+	full := uint64(1<<uint(n)) - 1
+
+	// Join levels in increasing subset size, plus view-based alternatives.
+	for mask := uint64(1); mask <= full; mask++ {
+		size := bits.OnesCount64(mask)
+		best := dp[mask] // leaf access for singletons, nil above
+
+		if size >= 2 {
+			// Joins of two disjoint sub-plans.
+			lowest := mask & (^mask + 1)
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				if sub&lowest == 0 {
+					continue // enumerate each split once
+				}
+				other := mask ^ sub
+				l, r := dp[sub], dp[other]
+				if l == nil || r == nil {
+					continue
+				}
+				edges := o.joinEdges(q, idx, sub, other)
+				if len(edges) == 0 && o.hasAnyEdge(q, idx, mask) {
+					continue // avoid cross products when the mask is joinable
+				}
+				cand := o.joinPlans(q, cfg, idx, mask, sub, other, l, r, edges)
+				if cand != nil && cand.cost() < bestCost(best) {
+					best = cand
+				}
+			}
+		}
+		if size >= 2 || mask == full {
+			if vcand := o.viewPlans(q, cfg, idx, mask, mask == full); vcand != nil && vcand.cost() < bestCost(best) {
+				best = vcand
+			}
+		}
+		dp[mask] = best
+	}
+
+	final := dp[full]
+	if final == nil {
+		return nil, fmt.Errorf("optimizer: join enumeration produced no plan (disconnected join graph?)")
+	}
+
+	root := o.finishRoot(q, final.node, rootState{grouped: final.grouped, ordered: final.ordered})
+	return &plan.QueryPlan{
+		Root:      root,
+		Cost:      root.TotalCost(),
+		Usages:    final.usages,
+		UsedViews: final.views,
+	}, nil
+}
+
+// rootState tracks what compensation the chosen subplan already performed.
+type rootState struct{ grouped, ordered bool }
+
+// finishRoot layers grouping and ordering on top of the join result.
+func (o *Optimizer) finishRoot(q *BoundQuery, node plan.Node, st rootState) plan.Node {
+	eqBound := q.eqBoundQualified()
+	needsAgg := (len(q.GroupBy) > 0 || q.HasAggregates()) && !st.grouped
+	if needsAgg {
+		keys := qualifyRefs(q.GroupBy)
+		groups := o.groupCardinality(node.OutRows(), q.GroupBy)
+		if len(q.GroupBy) == 0 {
+			groups = 1
+		}
+		if len(keys) > 0 && plan.OrderSatisfies(node.OutOrder(), keys, eqBound) {
+			node = plan.NewGroupBy(node, keys, plan.AggStream, groups, node.TotalCost().Add(o.model.StreamAggCost(node.OutRows())))
+		} else {
+			node = plan.NewGroupBy(node, keys, plan.AggHash, groups, node.TotalCost().Add(o.model.HashAggCost(node.OutRows())))
+		}
+	}
+	if len(q.OrderBy) > 0 && !st.ordered {
+		want := qualifyRefs(q.OrderBy)
+		if !plan.OrderSatisfies(node.OutOrder(), want, eqBound) {
+			pages := node.OutRows() * 64 / 8192
+			node = plan.NewSort(node, want, node.TotalCost().Add(o.model.SortCost(node.OutRows(), pages)))
+		}
+	}
+	return node
+}
+
+// eqBoundQualified returns the qualified columns pinned to single points
+// by the query's sargable predicates; order checks may skip them.
+func (q *BoundQuery) eqBoundQualified() map[string]bool {
+	out := map[string]bool{}
+	for table, tp := range q.Preds {
+		for _, s := range tp.Sargs {
+			if s.Iv.IsPoint() {
+				out[strings.ToLower(table+"."+s.Col)] = true
+			}
+		}
+	}
+	return out
+}
+
+func qualifyRefs(refs []sqlx.ColRef) []string {
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = r.Table + "." + r.Column
+	}
+	return out
+}
+
+func bestCost(e *dpEntry) float64 {
+	if e == nil {
+		return inf
+	}
+	return e.cost()
+}
+
+// tableSpec builds the access spec for one base table.
+func (o *Optimizer) tableSpec(q *BoundQuery, table string, root bool) *accessSpec {
+	t := o.db.Table(table)
+	tp := q.TablePred(table)
+	spec := &accessSpec{
+		table:  table,
+		rows:   t.Rows,
+		sargs:  tp.Sargs,
+		needed: q.NeededCols(table),
+		qual:   table,
+		width:  o.neededWidth(table, q.NeededCols(table)),
+	}
+	for _, oc := range tp.Others {
+		spec.others = append(spec.others, residCond{cols: localCols(oc.Cols), sel: oc.Sel})
+	}
+	if root {
+		// Single-table queries push the interesting order into the
+		// request: group-by columns when aggregating (stream aggregation),
+		// otherwise the presentation order. The order is optional — when
+		// no index provides it, the root compensates (hash aggregation or
+		// an explicit sort), so the leaf must not force a sort.
+		spec.orderOptional = true
+		if len(q.GroupBy) > 0 {
+			spec.order = localRefs(q.GroupBy)
+		} else if !q.HasAggregates() && len(q.OrderBy) > 0 {
+			spec.order = localRefs(q.OrderBy)
+		}
+	}
+	return spec
+}
+
+func localCols(cols []sqlx.ColRef) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Column
+	}
+	return out
+}
+
+func localRefs(refs []sqlx.ColRef) []string { return localCols(refs) }
+
+func (o *Optimizer) neededWidth(table string, cols []string) int {
+	t := o.db.Table(table)
+	if t == nil {
+		return 64
+	}
+	w := 0
+	for _, c := range cols {
+		if col := t.Column(c); col != nil {
+			w += col.AvgWidth
+		}
+	}
+	if w == 0 {
+		w = 8
+	}
+	return w
+}
+
+// requestAccess fires the index-request hook (§2) and then generates the
+// best access path with whatever structures the hook simulated.
+func (o *Optimizer) requestAccess(cfg *physical.Configuration, spec *accessSpec) *accessResult {
+	o.issueIndexRequest(spec)
+	return o.bestAccess(cfg, spec)
+}
+
+// issueIndexRequest counts the request and fires the hook, deduplicating
+// identical requests within one optimization.
+func (o *Optimizer) issueIndexRequest(spec *accessSpec) {
+	req := o.buildIndexRequest(spec)
+	key := "i|" + req.String()
+	if o.reqSeen != nil {
+		if o.reqSeen[key] {
+			return
+		}
+		o.reqSeen[key] = true
+	}
+	o.stats.IndexRequests++
+	if o.hooks != nil && o.hooks.OnIndexRequest != nil {
+		o.hooks.OnIndexRequest(req)
+	}
+}
+
+func (o *Optimizer) buildIndexRequest(spec *accessSpec) *IndexRequest {
+	req := &IndexRequest{
+		Table: spec.table,
+		View:  spec.view,
+		S:     append([]SargCond(nil), spec.sargs...),
+		O:     append([]string(nil), spec.order...),
+		Rows:  spec.rows,
+	}
+	req.NSel = 1
+	for _, rc := range spec.others {
+		req.N = append(req.N, append([]string(nil), rc.cols...))
+		req.NSel *= rc.sel
+	}
+	// A = referenced columns not already in S, N, or O.
+	inSNO := map[string]bool{}
+	for _, s := range req.S {
+		inSNO[strings.ToLower(s.Col)] = true
+	}
+	for _, n := range req.N {
+		for _, c := range n {
+			inSNO[strings.ToLower(c)] = true
+		}
+	}
+	for _, c := range req.O {
+		inSNO[strings.ToLower(c)] = true
+	}
+	for _, c := range spec.needed {
+		if !inSNO[strings.ToLower(c)] {
+			req.A = append(req.A, c)
+		}
+	}
+	return req
+}
+
+// joinEdges returns the join predicates connecting two disjoint masks.
+func (o *Optimizer) joinEdges(q *BoundQuery, idx map[string]int, a, b uint64) []physical.JoinPred {
+	var out []physical.JoinPred
+	for _, j := range q.Joins {
+		la, ra := maskHasCol(idx, a, j.L), maskHasCol(idx, a, j.R)
+		lb, rb := maskHasCol(idx, b, j.L), maskHasCol(idx, b, j.R)
+		if (la && rb) || (ra && lb) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (o *Optimizer) hasAnyEdge(q *BoundQuery, idx map[string]int, mask uint64) bool {
+	for _, j := range q.Joins {
+		if maskHasCol(idx, mask, j.L) && maskHasCol(idx, mask, j.R) {
+			li := idx[j.L.Table]
+			ri := idx[j.R.Table]
+			if li != ri {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// joinPlans builds the cheapest join of two sub-plans, considering hash
+// join (both build directions), index nested loops (single-table inner),
+// and plain nested loops as the universal fallback. Cross-table filters
+// that become evaluable at this mask are applied on top.
+func (o *Optimizer) joinPlans(q *BoundQuery, cfg *physical.Configuration, idx map[string]int, mask, sub, other uint64, l, r *dpEntry, edges []physical.JoinPred) *dpEntry {
+	outRows := o.selRows(q, mask)
+	// Filters newly evaluable at this mask.
+	extraSel := 1.0
+	var extraDesc []string
+	for _, oc := range q.CrossOthers {
+		if maskHasAll(idx, mask, oc.Cols) && !maskHasAll(idx, sub, oc.Cols) && !maskHasAll(idx, other, oc.Cols) {
+			extraSel *= oc.Sel
+			extraDesc = append(extraDesc, oc.Expr.String())
+		}
+	}
+	// outRows from selRows already includes every predicate in the mask;
+	// the join node's raw output (before the extra filters) is larger.
+	joinRows := outRows
+	if extraSel > 0 && extraSel < 1 {
+		joinRows = outRows / extraSel
+	}
+
+	on := joinDesc(edges)
+	var best plan.Node
+	var bestUsages []*plan.IndexUsage
+	consider := func(n plan.Node, extra []*plan.IndexUsage) {
+		if n != nil && (best == nil || n.TotalCost().Total() < best.TotalCost().Total()) {
+			best = n
+			bestUsages = extra
+		}
+	}
+
+	if len(edges) > 0 {
+		consider(o.hashJoin(l, r, on, joinRows), nil)
+		consider(o.hashJoin(r, l, on, joinRows), nil)
+		consider(o.mergeJoin(q, idx, sub, l, r, edges, on, joinRows), nil)
+		// Index nested loops: inner side must be a single base table.
+		if n, u := o.indexNLJoin(q, cfg, idx, other, l, edges, on, joinRows); n != nil {
+			consider(n, u)
+		}
+		if n, u := o.indexNLJoin(q, cfg, idx, sub, r, edges, on, joinRows); n != nil {
+			consider(n, u)
+		}
+	}
+	consider(o.nlJoin(l, r, on, joinRows), nil)
+	consider(o.nlJoin(r, l, on, joinRows), nil)
+	if best == nil {
+		return nil
+	}
+	node := best
+	if extraSel < 1 {
+		node = plan.NewFilter(node, extraSel, strings.Join(extraDesc, " AND "), node.TotalCost().Add(plan.Cost{CPU: o.model.CPURow * node.OutRows()}))
+	}
+	usages := append(append([]*plan.IndexUsage(nil), l.usages...), r.usages...)
+	usages = append(usages, bestUsages...)
+	views := append(append([]string(nil), l.views...), r.views...)
+	return &dpEntry{node: node, usages: usages, views: views}
+}
+
+func joinDesc(edges []physical.JoinPred) string {
+	if len(edges) == 0 {
+		return "cross"
+	}
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// hashJoin builds on build and probes with probe; probe-side order is
+// preserved.
+func (o *Optimizer) hashJoin(probe, build *dpEntry, on string, rows float64) plan.Node {
+	buildRows := build.node.OutRows()
+	probeRows := probe.node.OutRows()
+	cost := probe.node.TotalCost().Add(build.node.TotalCost()).
+		Add(plan.Cost{CPU: o.model.CPUHash * (buildRows + probeRows)})
+	// Spill when the build side exceeds memory.
+	buildPages := buildRows * 64 / 8192
+	if buildPages > float64(o.model.SortMemory) {
+		cost = cost.Add(plan.Cost{IO: 2 * buildPages * o.model.SeqPage})
+	}
+	return plan.NewJoin(plan.JoinHash, probe.node, build.node, on, rows, probe.node.OutOrder(), cost)
+}
+
+// mergeJoin sorts both inputs on the join keys (skipping sorts an input
+// already provides) and merges linearly; output carries the left input's
+// join-key order. lMask identifies which tables feed the left input so
+// each edge column lands on its own side.
+func (o *Optimizer) mergeJoin(q *BoundQuery, idx map[string]int, lMask uint64, l, r *dpEntry, edges []physical.JoinPred, on string, rows float64) plan.Node {
+	var lKeys, rKeys []string
+	for _, e := range edges {
+		lc, rc := e.L, e.R
+		if !maskHasCol(idx, lMask, lc) {
+			lc, rc = rc, lc
+		}
+		lKeys = append(lKeys, lc.Table+"."+lc.Column)
+		rKeys = append(rKeys, rc.Table+"."+rc.Column)
+	}
+	prep := func(n plan.Node, keys []string) plan.Node {
+		if plan.OrderSatisfies(n.OutOrder(), keys, nil) {
+			return n
+		}
+		pages := n.OutRows() * 64 / 8192
+		return plan.NewSort(n, keys, n.TotalCost().Add(o.model.SortCost(n.OutRows(), pages)))
+	}
+	ln := prep(l.node, lKeys)
+	rn := prep(r.node, rKeys)
+	cost := ln.TotalCost().Add(rn.TotalCost()).
+		Add(plan.Cost{CPU: o.model.CPURow * (ln.OutRows() + rn.OutRows())})
+	return plan.NewJoin(plan.JoinMerge, ln, rn, on, rows, ln.OutOrder(), cost)
+}
+
+// nlJoin scans the inner input once per outer row (universal fallback,
+// also the only method for cross products).
+func (o *Optimizer) nlJoin(outer, inner *dpEntry, on string, rows float64) plan.Node {
+	outerRows := outer.node.OutRows()
+	innerCost := inner.node.TotalCost()
+	cost := outer.node.TotalCost().Add(innerCost.Scale(maxf(1, outerRows))).
+		Add(plan.Cost{CPU: o.model.CPURow * rows})
+	return plan.NewJoin(plan.JoinNestedLoop, outer.node, inner.node, on, rows, outer.node.OutOrder(), cost)
+}
+
+// indexNLJoin probes an index on the (single-table) inner side once per
+// outer row. Returns nil when the inner mask is not a single table or no
+// suitable index exists.
+func (o *Optimizer) indexNLJoin(q *BoundQuery, cfg *physical.Configuration, idx map[string]int, innerMask uint64, outer *dpEntry, edges []physical.JoinPred, on string, rows float64) (plan.Node, []*plan.IndexUsage) {
+	if bits.OnesCount64(innerMask) != 1 {
+		return nil, nil
+	}
+	innerTable := q.Tables[bits.TrailingZeros64(innerMask)]
+	// Join columns on the inner side.
+	var probeCols []string
+	for _, e := range edges {
+		if e.L.Table == innerTable {
+			probeCols = append(probeCols, e.L.Column)
+		} else if e.R.Table == innerTable {
+			probeCols = append(probeCols, e.R.Column)
+		}
+	}
+	if len(probeCols) == 0 {
+		return nil, nil
+	}
+	probe, usage := o.innerProbe(q, cfg, innerTable, probeCols)
+	if usage == nil {
+		return nil, nil
+	}
+	outerRows := outer.node.OutRows()
+	perProbe := probe
+	total := outer.node.TotalCost().Add(perProbe.Scale(maxf(1, outerRows))).
+		Add(plan.Cost{CPU: o.model.CPURow * rows})
+	// The usage reflects the accumulated access over all probes.
+	usage.AccessCost = usage.AccessCost.Scale(maxf(1, outerRows))
+	usage.Rows *= maxf(1, outerRows)
+	node := plan.NewJoin(plan.JoinIndexNL, outer.node, plan.NewIndexSeek(usage.Index, probeCols, usage.Selectivity, usage.Rows, usage.AccessCost, nil), on, rows, outer.node.OutOrder(), total)
+	return node, []*plan.IndexUsage{usage}
+}
+
+// innerProbe finds the best index to look up one join binding on the
+// inner table and returns the per-probe cost plus a usage template.
+func (o *Optimizer) innerProbe(q *BoundQuery, cfg *physical.Configuration, table string, probeCols []string) (plan.Cost, *plan.IndexUsage) {
+	t := o.db.Table(table)
+	tp := q.TablePred(table)
+	needed := q.NeededCols(table)
+
+	// The inner side of an index nested-loops join is itself an access
+	// path request: the join columns appear as (parameterized) equality
+	// sargable predicates (§2 intercepts these like any other request).
+	probeSpec := &accessSpec{table: table, rows: t.Rows, needed: needed, qual: table}
+	for _, pc := range probeCols {
+		dv := o.columnDistinct(sqlx.ColRef{Table: table, Column: pc})
+		probeSpec.sargs = append(probeSpec.sargs, SargCond{
+			Col: pc, Iv: physical.PointInterval(0), Sel: 1 / maxf(1, dv),
+		})
+	}
+	probeSpec.sargs = append(probeSpec.sargs, tp.Sargs...)
+	for _, oc := range tp.Others {
+		probeSpec.others = append(probeSpec.others, residCond{cols: localCols(oc.Cols), sel: oc.Sel})
+	}
+	o.issueIndexRequest(probeSpec)
+
+	var bestCostV plan.Cost
+	var bestU *plan.IndexUsage
+	bestTotal := inf
+	for _, ix := range cfg.IndexesOn(table) {
+		info := o.seekPrefix(probeSpec, ix)
+		usesProbe := false
+		for _, pc := range probeCols {
+			if info.used[strings.ToLower(pc)] {
+				usesProbe = true
+				break
+			}
+		}
+		if !usesProbe {
+			continue
+		}
+		matched := maxf(1e-9, float64(t.Rows)*info.sel)
+		height := o.sizer.IndexHeight(ix, cfg)
+		leafPages := o.sizer.IndexLeafPages(ix, cfg)
+		perLeaf := maxf(1, matched/maxf(1, float64(t.Rows)/maxf(1, float64(leafPages))))
+		cost := plan.Cost{
+			IO:  (float64(height) + perLeaf) * o.model.RandPage,
+			CPU: o.model.CPURow * matched,
+		}
+		onSel, offSel, _ := o.residualAfter(probeSpec, ix, info.used)
+		if !ix.Covers(needed) {
+			clustered := cfg.ClusteredOn(table)
+			pp := o.primaryPages(cfg, &accessSpec{table: table, rows: t.Rows}, clustered)
+			cost = cost.Add(o.model.RidLookupCost(t.Rows, pp, matched*onSel))
+		}
+		outRows := matched * onSel * offSel
+		if cost.Total() < bestTotal {
+			bestTotal = cost.Total()
+			bestCostV = cost
+			bestU = &plan.IndexUsage{
+				Index: ix, Seek: true, SeekCols: info.cols, SeekColSels: info.colSels, Selectivity: info.sel,
+				Rows: outRows, AccessCost: cost, NeededCols: needed,
+				LookedUp: !ix.Covers(needed),
+			}
+		}
+	}
+	if bestU == nil {
+		return plan.Cost{}, nil
+	}
+	return bestCostV, bestU
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,161 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/physical"
+	"repro/internal/sqlx"
+)
+
+func TestIndexAffectedByUpdate(t *testing.T) {
+	db := testDB(t)
+	q := mustBind(t, db, "UPDATE r SET a = a + 1 WHERE c = 1")
+	cases := []struct {
+		ix       *physical.Index
+		affected bool
+	}{
+		{physical.NewIndex("r", []string{"a"}, nil, false), true},           // contains SET col
+		{physical.NewIndex("r", []string{"b"}, []string{"a"}, false), true}, // suffix counts
+		{physical.NewIndex("r", []string{"b"}, nil, false), false},          // untouched columns
+		{physical.NewIndex("r", []string{"id"}, nil, true), true},           // clustered always
+		{physical.NewIndex("u", []string{"x"}, nil, false), false},          // other table
+	}
+	for i, c := range cases {
+		if got := IndexAffectedByUpdate(q, c.ix); got != c.affected {
+			t.Errorf("case %d (%s): affected=%v, want %v", i, c.ix, got, c.affected)
+		}
+	}
+}
+
+func TestDeleteAffectsEverything(t *testing.T) {
+	db := testDB(t)
+	q := mustBind(t, db, "DELETE FROM r WHERE c = 1")
+	ix := physical.NewIndex("r", []string{"b"}, nil, false)
+	if !IndexAffectedByUpdate(q, ix) {
+		t.Error("deletes touch every index on the table")
+	}
+}
+
+func TestSelectAffectsNothing(t *testing.T) {
+	db := testDB(t)
+	q := mustBind(t, db, "SELECT a FROM r")
+	ix := physical.NewIndex("r", []string{"a"}, nil, false)
+	if IndexAffectedByUpdate(q, ix) {
+		t.Error("selects maintain no indexes")
+	}
+}
+
+func TestUpdateShellCostGrowsWithIndexes(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	q := mustBind(t, db, "UPDATE r SET a = a + 1 WHERE c = 1")
+	lean := baseCfg(db)
+	costLean := o.UpdateShellCost(q, lean, 1000)
+	fat := lean.Clone()
+	fat.AddIndex(physical.NewIndex("r", []string{"a"}, []string{"b"}, false))
+	fat.AddIndex(physical.NewIndex("r", []string{"c", "a"}, nil, false))
+	costFat := o.UpdateShellCost(q, fat, 1000)
+	if costFat <= costLean {
+		t.Errorf("more affected indexes must cost more: %g <= %g", costFat, costLean)
+	}
+}
+
+func TestUpdateShellCostZeroForSelects(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	q := mustBind(t, db, "SELECT a FROM r")
+	if got := o.UpdateShellCost(q, baseCfg(db), 100); got != 0 {
+		t.Errorf("select shell cost: %g", got)
+	}
+}
+
+func TestUpdateShellChargesViews(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	q := mustBind(t, db, "UPDATE r SET b = b + 1 WHERE c = 1")
+	cfg := baseCfg(db)
+	withoutView := o.UpdateShellCost(q, cfg, 500)
+
+	v := &physical.View{
+		Name:    "vr",
+		Tables:  []string{"r"},
+		GroupBy: []sqlx.ColRef{{Table: "r", Column: "c"}},
+		Cols: []physical.ViewColumn{
+			physical.BaseViewColumn(sqlx.ColRef{Table: "r", Column: "c"}, 4),
+			physical.AggViewColumn(sqlx.AggSum, sqlx.ColRef{Table: "r", Column: "b"}, 8),
+		},
+		EstRows: 10,
+	}
+	cfg.AddView(v)
+	cfg.AddIndex(physical.NewIndex("vr", []string{v.Cols[0].Name}, []string{v.Cols[1].Name}, true))
+	withView := o.UpdateShellCost(q, cfg, 500)
+	if withView <= withoutView {
+		t.Errorf("materialized views on the updated table must add maintenance cost: %g <= %g", withView, withoutView)
+	}
+}
+
+func TestOptimizeFullAddsShellCost(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "UPDATE r SET a = a + 1 WHERE c = 1")
+	res, err := o.OptimizeFull(q, cfg)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if res.UpdateCost <= 0 {
+		t.Error("update shell cost missing")
+	}
+	if res.AffectedRows <= 0 {
+		t.Error("affected rows missing")
+	}
+	if res.TotalCost() != res.SelectCost+res.UpdateCost {
+		t.Error("total cost mismatch")
+	}
+}
+
+func TestOptimizeFullInsertUsesRowCount(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	q := mustBind(t, db, "INSERT INTO u VALUES (1,2,3), (4,5,6), (7,8,9)")
+	res, err := o.OptimizeFull(q, cfg)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if res.AffectedRows != 3 {
+		t.Errorf("affected rows: %g", res.AffectedRows)
+	}
+	if res.UpdateCost <= 0 {
+		t.Error("insert maintenance cost missing")
+	}
+}
+
+// The core optimality trade-off of §3.6: an index that speeds the select
+// part can still lose overall once its maintenance is charged.
+func TestUpdateCostCanOutweighSelectBenefit(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	q := mustBind(t, db, "UPDATE r SET pad = pad WHERE b = 7")
+	lean := baseCfg(db)
+	leanRes, err := o.OptimizeFull(q, lean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A b-keyed index speeds the select part…
+	fat := lean.Clone()
+	fat.AddIndex(physical.NewIndex("r", []string{"b"}, nil, false))
+	// …and several pad-bearing indexes inflate maintenance.
+	fat.AddIndex(physical.NewIndex("r", []string{"a"}, []string{"pad"}, false))
+	fat.AddIndex(physical.NewIndex("r", []string{"c"}, []string{"pad"}, false))
+	fatRes, err := o.OptimizeFull(q, fat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fatRes.SelectCost >= leanRes.SelectCost {
+		t.Errorf("select part should improve: %g >= %g", fatRes.SelectCost, leanRes.SelectCost)
+	}
+	if fatRes.UpdateCost <= leanRes.UpdateCost {
+		t.Errorf("maintenance should grow: %g <= %g", fatRes.UpdateCost, leanRes.UpdateCost)
+	}
+}

@@ -1,0 +1,36 @@
+package optimizer
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/physical"
+)
+
+// EstimateViewRows estimates the cardinality of a view definition using
+// the optimizer's own cardinality machinery (§3.3.1 prescribes reusing
+// the optimizer's cardinality module rather than a parallel estimator).
+// It is used to size merged views produced during relaxation.
+func (o *Optimizer) EstimateViewRows(v *physical.View) int64 {
+	rows := 1.0
+	for _, t := range v.Tables {
+		tbl := o.db.Table(t)
+		if tbl != nil && tbl.Rows > 0 {
+			rows *= float64(tbl.Rows)
+		}
+	}
+	for _, j := range v.Joins {
+		rows *= o.joinSelectivity(j)
+	}
+	for _, r := range v.Ranges {
+		rows *= o.intervalSelectivity(r.Col, r.Iv)
+	}
+	for range v.Others {
+		rows *= catalog.DefaultOtherSelectivity
+	}
+	if len(v.GroupBy) > 0 {
+		rows = o.groupCardinality(rows, v.GroupBy)
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return int64(rows)
+}

@@ -1,0 +1,163 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/sqlx"
+)
+
+// addMatViewForQuery materializes the query's own grouped block as a view
+// with a clustered index, returning the view.
+func addMatViewForQuery(t *testing.T, o *Optimizer, q *BoundQuery, cfg *physical.Configuration, grouped bool) *physical.View {
+	t.Helper()
+	idx := tableIndexMap(q)
+	full := uint64(1)<<uint(len(q.Tables)) - 1
+	block := o.subsetBlock(q, idx, full, grouped)
+	v := cfg.AddView(block)
+	keys := v.AllColumnNames()[:1]
+	cfg.AddIndex(physical.NewIndex(v.Name, keys, v.AllColumnNames()[1:], true))
+	return v
+}
+
+func TestOptimizerUsesExactMatchingView(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	q := mustBind(t, db, "SELECT c, SUM(b) FROM r WHERE a = 5 GROUP BY c")
+	cfg := baseCfg(db)
+	before := mustPlan(t, o, q, cfg)
+
+	v := addMatViewForQuery(t, o, q, cfg, true)
+	after := mustPlan(t, o, q, cfg)
+	if !after.UsesView(v.Name) {
+		t.Fatalf("plan should read the materialized view:\n%s", plan.Format(after.Root))
+	}
+	if after.Cost.Total() >= before.Cost.Total() {
+		t.Errorf("view should be cheaper: %g >= %g", after.Cost.Total(), before.Cost.Total())
+	}
+	// A pre-aggregated exact view needs no compensating group-by.
+	if findNode(after.Root, "GroupBy") != nil {
+		t.Errorf("no compensation expected:\n%s", plan.Format(after.Root))
+	}
+}
+
+func TestOptimizerUsesJoinView(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	q := mustBind(t, db, "SELECT r.b, u.x FROM r, u WHERE r.a = u.fk AND r.c = 1")
+	cfg := baseCfg(db)
+	before := mustPlan(t, o, q, cfg)
+
+	v := addMatViewForQuery(t, o, q, cfg, false)
+	after := mustPlan(t, o, q, cfg)
+	if !after.UsesView(v.Name) {
+		t.Fatalf("plan should read the join view:\n%s", plan.Format(after.Root))
+	}
+	if after.Cost.Total() >= before.Cost.Total() {
+		t.Errorf("pre-joined view should be cheaper: %g >= %g", after.Cost.Total(), before.Cost.Total())
+	}
+}
+
+func TestViewIgnoredWhenNotMaterialized(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	q := mustBind(t, db, "SELECT c, SUM(b) FROM r WHERE a = 5 GROUP BY c")
+	cfg := baseCfg(db)
+	idx := tableIndexMap(q)
+	block := o.subsetBlock(q, idx, 1, true)
+	cfg.AddView(block) // view definition without any index
+	p := mustPlan(t, o, q, cfg)
+	if p.UsesView(block.Name) {
+		t.Error("unmaterialized views must not be used")
+	}
+}
+
+func TestGroupedViewServesCoarserQuery(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	// Materialize a view grouped by (c, a); query groups by c only.
+	fine := mustBind(t, db, "SELECT c, a, SUM(b) FROM r GROUP BY c, a")
+	v := addMatViewForQuery(t, o, fine, cfg, true)
+
+	coarse := mustBind(t, db, "SELECT c, SUM(b) FROM r GROUP BY c")
+	p := mustPlan(t, o, coarse, cfg)
+	if !p.UsesView(v.Name) {
+		t.Fatalf("finer view should answer the coarser query:\n%s", plan.Format(p.Root))
+	}
+	if findNode(p.Root, "GroupBy") == nil {
+		t.Errorf("re-aggregation required:\n%s", plan.Format(p.Root))
+	}
+}
+
+func TestSubsetBlockShape(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	q := mustBind(t, db, "SELECT r.b, u.x FROM r, u WHERE r.a = u.fk AND r.c = 1 AND r.a + r.b > 10")
+	idx := tableIndexMap(q)
+	full := uint64(3)
+	block := o.subsetBlock(q, idx, full, false)
+	if len(block.Tables) != 2 {
+		t.Errorf("tables: %v", block.Tables)
+	}
+	if len(block.Joins) != 1 {
+		t.Errorf("joins: %v", block.Joins)
+	}
+	if len(block.Ranges) != 1 {
+		t.Errorf("ranges: %v", block.Ranges)
+	}
+	if len(block.Others) != 1 {
+		t.Errorf("others: %v", block.Others)
+	}
+	if block.EstRows <= 0 {
+		t.Error("block cardinality missing")
+	}
+	// All needed base columns exposed.
+	for _, c := range []sqlx.ColRef{{Table: "r", Column: "b"}, {Table: "u", Column: "x"}} {
+		if block.ColumnForSource(c) == nil {
+			t.Errorf("missing column %v", c)
+		}
+	}
+}
+
+func TestEstimateViewRows(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	q := mustBind(t, db, "SELECT r.b, u.x FROM r, u WHERE r.a = u.fk")
+	idx := tableIndexMap(q)
+	block := o.subsetBlock(q, idx, 3, false)
+	est := o.EstimateViewRows(block)
+	// 100k × 2k / 100 = 2M.
+	if est < 5e5 || est > 8e6 {
+		t.Errorf("view rows %d, expected near 2e6", est)
+	}
+	grouped := &physical.View{
+		Tables:  []string{"r"},
+		GroupBy: []sqlx.ColRef{{Table: "r", Column: "c"}},
+		Cols:    []physical.ViewColumn{physical.BaseViewColumn(sqlx.ColRef{Table: "r", Column: "c"}, 4)},
+	}
+	if est := o.EstimateViewRows(grouped); est < 2 || est > 50 {
+		t.Errorf("grouped view rows %d, expected near 10", est)
+	}
+}
+
+func TestViewRequestIssuedForGroupedSingleTable(t *testing.T) {
+	db := testDB(t)
+	o := New(db)
+	cfg := baseCfg(db)
+	var got []*ViewRequest
+	o.SetHooks(&Hooks{OnViewRequest: func(r *ViewRequest) { got = append(got, r) }})
+	defer o.SetHooks(nil)
+	q := mustBind(t, db, "SELECT c, SUM(b) FROM r GROUP BY c")
+	mustPlan(t, o, q, cfg)
+	grouped := false
+	for _, r := range got {
+		if r.Grouped {
+			grouped = true
+		}
+	}
+	if !grouped {
+		t.Error("grouped single-table queries must issue a grouped view request")
+	}
+}

@@ -1,0 +1,225 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Configuration is a set of indexes and materialized views. Configurations
+// are treated as immutable values by the search: transformations produce
+// new configurations sharing unchanged structures with their parents.
+type Configuration struct {
+	indexes  map[string]*Index // keyed by Index.ID()
+	views    map[string]*View  // keyed by View.Name
+	viewSigs map[string]string // signature -> name (deduplication)
+}
+
+// NewConfiguration returns an empty configuration.
+func NewConfiguration() *Configuration {
+	return &Configuration{
+		indexes:  make(map[string]*Index),
+		views:    make(map[string]*View),
+		viewSigs: make(map[string]string),
+	}
+}
+
+// Clone returns a copy that can be mutated independently.
+func (c *Configuration) Clone() *Configuration {
+	n := NewConfiguration()
+	for k, v := range c.indexes {
+		n.indexes[k] = v
+	}
+	for k, v := range c.views {
+		n.views[k] = v
+	}
+	for k, v := range c.viewSigs {
+		n.viewSigs[k] = v
+	}
+	return n
+}
+
+// AddIndex inserts ix; duplicate definitions are collapsed. Adding a
+// clustered index when the table already has one demotes the new index to
+// non-clustered (two clustered indexes per table are impossible).
+func (c *Configuration) AddIndex(ix *Index) *Index {
+	if ix.Clustered {
+		if existing := c.ClusteredOn(ix.Table); existing != nil && existing.ID() != ix.ID() {
+			ix = ix.Clone()
+			ix.Clustered = false
+		}
+	}
+	id := ix.ID()
+	if old, ok := c.indexes[id]; ok {
+		// Keep the Required flag if either copy carries it.
+		if ix.Required && !old.Required {
+			c.indexes[id] = ix
+			return ix
+		}
+		return old
+	}
+	c.indexes[id] = ix
+	return ix
+}
+
+// RemoveIndex deletes the index with the given ID; required indexes are
+// never removed. Reports whether a removal happened.
+func (c *Configuration) RemoveIndex(id string) bool {
+	ix, ok := c.indexes[id]
+	if !ok || ix.Required {
+		return false
+	}
+	delete(c.indexes, id)
+	return true
+}
+
+// HasIndex reports whether an index with this ID is present.
+func (c *Configuration) HasIndex(id string) bool {
+	_, ok := c.indexes[id]
+	return ok
+}
+
+// Index returns the index with the given ID, or nil.
+func (c *Configuration) Index(id string) *Index { return c.indexes[id] }
+
+// AddView inserts a view definition, deduplicating by signature. It
+// returns the canonical view instance present in the configuration.
+func (c *Configuration) AddView(v *View) *View {
+	sig := v.Signature()
+	if name, ok := c.viewSigs[sig]; ok {
+		return c.views[name]
+	}
+	c.views[v.Name] = v
+	c.viewSigs[sig] = v.Name
+	return v
+}
+
+// RemoveView deletes the view and cascades to all indexes defined over it.
+// Reports whether the view existed.
+func (c *Configuration) RemoveView(name string) bool {
+	v, ok := c.views[name]
+	if !ok {
+		return false
+	}
+	delete(c.views, name)
+	delete(c.viewSigs, v.Signature())
+	for id, ix := range c.indexes {
+		if strings.EqualFold(ix.Table, name) {
+			delete(c.indexes, id)
+		}
+	}
+	return true
+}
+
+// View returns the named view, or nil.
+func (c *Configuration) View(name string) *View { return c.views[name] }
+
+// ViewBySignature returns the view with the given definition, or nil.
+func (c *Configuration) ViewBySignature(sig string) *View {
+	name, ok := c.viewSigs[sig]
+	if !ok {
+		return nil
+	}
+	return c.views[name]
+}
+
+// Views returns all views sorted by name.
+func (c *Configuration) Views() []*View {
+	out := make([]*View, 0, len(c.views))
+	for _, v := range c.views {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Indexes returns all indexes sorted by ID.
+func (c *Configuration) Indexes() []*Index {
+	out := make([]*Index, 0, len(c.indexes))
+	for _, ix := range c.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// IndexesOn returns all indexes over the named table or view, sorted.
+func (c *Configuration) IndexesOn(table string) []*Index {
+	var out []*Index
+	for _, ix := range c.indexes {
+		if strings.EqualFold(ix.Table, table) {
+			out = append(out, ix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// ClusteredOn returns the clustered index on the table/view, or nil.
+func (c *Configuration) ClusteredOn(table string) *Index {
+	for _, ix := range c.indexes {
+		if ix.Clustered && strings.EqualFold(ix.Table, table) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// MaterializedViews returns views that have at least one index (i.e. are
+// actually materialized). In well-formed configurations every view has a
+// clustered index; this accessor guards against dangling definitions.
+func (c *Configuration) MaterializedViews() []*View {
+	var out []*View
+	for _, v := range c.Views() {
+		if len(c.IndexesOn(v.Name)) > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NumStructures returns the count of indexes plus views.
+func (c *Configuration) NumStructures() int { return len(c.indexes) + len(c.views) }
+
+// NumIndexes returns the number of indexes.
+func (c *Configuration) NumIndexes() int { return len(c.indexes) }
+
+// NumViews returns the number of views.
+func (c *Configuration) NumViews() int { return len(c.views) }
+
+// Fingerprint is a canonical identity for the whole configuration, used to
+// deduplicate configurations in the search pool.
+func (c *Configuration) Fingerprint() string {
+	ids := make([]string, 0, len(c.indexes)+len(c.views))
+	for id := range c.indexes {
+		ids = append(ids, id)
+	}
+	for _, v := range c.views {
+		ids = append(ids, "v:"+v.Signature())
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, "|")
+}
+
+// String renders a compact human-readable description.
+func (c *Configuration) String() string {
+	return fmt.Sprintf("config{%d indexes, %d views}", len(c.indexes), len(c.views))
+}
+
+// Diff returns the IDs of indexes and names of views present in c but not
+// in other.
+func (c *Configuration) Diff(other *Configuration) (indexIDs, viewNames []string) {
+	for id := range c.indexes {
+		if _, ok := other.indexes[id]; !ok {
+			indexIDs = append(indexIDs, id)
+		}
+	}
+	for name, v := range c.views {
+		if other.ViewBySignature(v.Signature()) == nil {
+			viewNames = append(viewNames, name)
+		}
+	}
+	sort.Strings(indexIDs)
+	sort.Strings(viewNames)
+	return indexIDs, viewNames
+}

@@ -1,0 +1,114 @@
+package physical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlx"
+)
+
+func TestIndexDDL(t *testing.T) {
+	ix := NewIndex("lineitem", []string{"l_shipdate", "l_suppkey"}, []string{"l_extendedprice"}, false)
+	ddl := IndexDDL(ix)
+	if !strings.HasPrefix(ddl, "CREATE INDEX ") {
+		t.Errorf("ddl: %s", ddl)
+	}
+	stmt, err := sqlx.Parse(ddl)
+	if err != nil {
+		t.Fatalf("DDL must parse: %v\n%s", err, ddl)
+	}
+	ci := stmt.(*sqlx.CreateIndexStmt)
+	if len(ci.Keys) != 2 || len(ci.Include) != 1 {
+		t.Errorf("round trip: %+v", ci)
+	}
+}
+
+func TestClusteredIndexDDL(t *testing.T) {
+	ix := NewIndex("t", []string{"a"}, nil, true)
+	if !strings.Contains(IndexDDL(ix), "CREATE CLUSTERED INDEX") {
+		t.Error("clustered keyword missing")
+	}
+}
+
+func TestConfigurationDDLSkipsRequired(t *testing.T) {
+	c := NewConfiguration()
+	req := NewIndex("t", []string{"id"}, nil, true)
+	req.Required = true
+	c.AddIndex(req)
+	c.AddIndex(NewIndex("t", []string{"a"}, nil, false))
+	ddl := ConfigurationDDL(c)
+	lines := strings.Split(strings.TrimSpace(ddl), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "-- existing") {
+		t.Errorf("required index should be commented: %s", lines[0])
+	}
+}
+
+func TestMigrationDDL(t *testing.T) {
+	from := NewConfiguration()
+	req := NewIndex("t", []string{"id"}, nil, true)
+	req.Required = true
+	from.AddIndex(req)
+	dropMe := NewIndex("t", []string{"old"}, nil, false)
+	from.AddIndex(dropMe)
+	keepMe := NewIndex("t", []string{"keep"}, nil, false)
+	from.AddIndex(keepMe)
+
+	to := NewConfiguration()
+	to.AddIndex(req)
+	to.AddIndex(keepMe)
+	addMe := NewIndex("t", []string{"fresh"}, []string{"x"}, false)
+	to.AddIndex(addMe)
+
+	ddl := MigrationDDL(from, to)
+	if !strings.Contains(ddl, "CREATE INDEX ix_t_fresh") {
+		t.Errorf("missing create:\n%s", ddl)
+	}
+	if !strings.Contains(ddl, "DROP INDEX ix_t_old") {
+		t.Errorf("missing drop:\n%s", ddl)
+	}
+	if strings.Contains(ddl, "keep") {
+		t.Errorf("unchanged structure in migration:\n%s", ddl)
+	}
+	if strings.Contains(ddl, "DROP INDEX cix_t_id") {
+		t.Errorf("required index dropped:\n%s", ddl)
+	}
+}
+
+func TestMigrationDDLViews(t *testing.T) {
+	from := NewConfiguration()
+	v := from.AddView(&View{Name: "vold", Tables: []string{"t"},
+		Cols: []ViewColumn{BaseViewColumn(sqlx.ColRef{Table: "t", Column: "a"}, 4)}})
+	from.AddIndex(NewIndex(v.Name, []string{v.Cols[0].Name}, nil, true))
+
+	to := NewConfiguration()
+	nv := to.AddView(&View{Name: "vnew", Tables: []string{"t"},
+		Cols: []ViewColumn{BaseViewColumn(sqlx.ColRef{Table: "t", Column: "b"}, 4)}})
+	to.AddIndex(NewIndex(nv.Name, []string{nv.Cols[0].Name}, nil, true))
+
+	ddl := MigrationDDL(from, to)
+	if !strings.Contains(ddl, "CREATE VIEW vnew") {
+		t.Errorf("missing view create:\n%s", ddl)
+	}
+	if !strings.Contains(ddl, "DROP VIEW vold") {
+		t.Errorf("missing view drop:\n%s", ddl)
+	}
+	// The old view's index disappears with the view, not via DROP INDEX.
+	if strings.Contains(ddl, "DROP INDEX") && strings.Contains(ddl, "vold") && strings.Contains(ddl, "DROP INDEX cix_vold") {
+		t.Errorf("cascaded index dropped explicitly:\n%s", ddl)
+	}
+	// Creation order: view before its index.
+	if strings.Index(ddl, "CREATE VIEW vnew") > strings.Index(ddl, "ON vnew") {
+		t.Errorf("view must be created before its index:\n%s", ddl)
+	}
+}
+
+func TestMigrationDDLEmptyWhenIdentical(t *testing.T) {
+	c := NewConfiguration()
+	c.AddIndex(NewIndex("t", []string{"a"}, nil, false))
+	if got := MigrationDDL(c, c); got != "" {
+		t.Errorf("identical configurations need no migration:\n%s", got)
+	}
+}

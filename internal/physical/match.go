@@ -1,0 +1,278 @@
+package physical
+
+import (
+	"repro/internal/sqlx"
+)
+
+// ViewMatch describes how a query block can be rewritten over a view,
+// including the compensating operations the rewriting needs. The optimizer
+// uses it to build and cost the rewritten plan.
+type ViewMatch struct {
+	View *View
+	// ResidualJoins are query join predicates not enforced by the view;
+	// they must be applied as filters over the view's rows.
+	ResidualJoins []JoinPred
+	// ResidualRanges are query range predicates stricter than (or absent
+	// from) the view's; applied as filters.
+	ResidualRanges []RangeCond
+	// ResidualOthers are query "other" conjuncts the view does not apply.
+	ResidualOthers []sqlx.Expr
+	// NeedGroupBy indicates a compensating group-by (re-aggregation) must
+	// run on top of the view scan.
+	NeedGroupBy bool
+	// ResidualFraction is the estimated fraction of view rows surviving
+	// the residual predicates (filled in by the optimizer's cardinality
+	// module; 1 when no residuals exist).
+	ResidualFraction float64
+}
+
+// equivClasses is a union-find over column references, built from a set of
+// equi-join predicates, implementing the paper's "modulo column
+// equivalence" checks.
+type equivClasses struct {
+	parent map[sqlx.ColRef]sqlx.ColRef
+}
+
+func newEquivClasses(joins []JoinPred) *equivClasses {
+	e := &equivClasses{parent: make(map[sqlx.ColRef]sqlx.ColRef)}
+	for _, j := range joins {
+		e.union(j.L, j.R)
+	}
+	return e
+}
+
+func (e *equivClasses) find(c sqlx.ColRef) sqlx.ColRef {
+	p, ok := e.parent[c]
+	if !ok || p == c {
+		return c
+	}
+	root := e.find(p)
+	e.parent[c] = root
+	return root
+}
+
+func (e *equivClasses) union(a, b sqlx.ColRef) {
+	ra, rb := e.find(a), e.find(b)
+	if ra != rb {
+		if rb.Less(ra) {
+			ra, rb = rb, ra
+		}
+		e.parent[rb] = ra
+	}
+}
+
+func (e *equivClasses) same(a, b sqlx.ColRef) bool { return e.find(a) == e.find(b) }
+
+// MatchView applies the subsumption tests of §3.1.2 to decide whether
+// query block q can be answered from view v. The query block is expressed
+// in the same 6-tuple form (q.Cols lists every base column and aggregate
+// the query requires from this table set — outputs, group-by columns, and
+// columns referenced by predicates the view might not apply).
+//
+// The tests follow the paper: FQ = FV; OV's conjuncts included in OQ's
+// (structural equality); remaining components checked with inclusion tests
+// modulo column equivalence. Returns nil when the view does not match.
+func MatchView(q, v *View) *ViewMatch {
+	if !v.HasTableSet(q.Tables) {
+		return nil
+	}
+	qEq := newEquivClasses(q.Joins)
+
+	// Every view join must be implied by the query's joins.
+	for _, j := range v.Joins {
+		if !qEq.same(j.L, j.R) {
+			return nil
+		}
+	}
+	// Residual joins: query joins not implied by the view's joins.
+	vEq := newEquivClasses(v.Joins)
+	var residJoins []JoinPred
+	for _, j := range q.Joins {
+		if !vEq.same(j.L, j.R) {
+			residJoins = append(residJoins, j)
+			vEq.union(j.L, j.R) // transitively implied joins are not re-applied
+		}
+	}
+
+	// Range subsumption: the view's interval on a column must contain the
+	// query's interval on that column (or an equivalent one).
+	qRange := func(col sqlx.ColRef) (Interval, bool) {
+		for _, r := range q.Ranges {
+			if r.Col == col || qEq.same(r.Col, col) {
+				return r.Iv, true
+			}
+		}
+		return Interval{}, false
+	}
+	for _, vr := range v.Ranges {
+		qi, ok := qRange(vr.Col)
+		if !ok || !vr.Iv.Contains(qi) {
+			return nil
+		}
+	}
+	// Residual ranges: query ranges stricter than the view's.
+	vRange := func(col sqlx.ColRef) (Interval, bool) {
+		for _, r := range v.Ranges {
+			if r.Col == col || qEq.same(r.Col, col) {
+				return r.Iv, true
+			}
+		}
+		return Interval{}, false
+	}
+	var residRanges []RangeCond
+	for _, qr := range q.Ranges {
+		vi, ok := vRange(qr.Col)
+		if !ok || vi != qr.Iv {
+			residRanges = append(residRanges, qr)
+		}
+	}
+
+	// Other predicates: every view conjunct must appear in the query.
+	for _, o := range v.Others {
+		if !containsExpr(q.Others, o) {
+			return nil
+		}
+	}
+	var residOthers []sqlx.Expr
+	for _, o := range q.Others {
+		if !containsExpr(v.Others, o) {
+			residOthers = append(residOthers, o)
+		}
+	}
+
+	m := &ViewMatch{
+		View:             v,
+		ResidualJoins:    residJoins,
+		ResidualRanges:   residRanges,
+		ResidualOthers:   residOthers,
+		ResidualFraction: 1,
+	}
+
+	// availBase reports whether the view exposes base column col (directly
+	// or via an equivalent column).
+	availBase := func(col sqlx.ColRef) bool {
+		if v.ColumnForSource(col) != nil {
+			return true
+		}
+		for i := range v.Cols {
+			if v.Cols[i].Agg == sqlx.AggNone && qEq.same(v.Cols[i].Source, col) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Residual predicate columns must be exposed by the view.
+	for _, j := range residJoins {
+		if !availBase(j.L) || !availBase(j.R) {
+			return nil
+		}
+	}
+	for _, r := range residRanges {
+		if !availBase(r.Col) {
+			return nil
+		}
+	}
+	for _, o := range residOthers {
+		for _, c := range o.Columns(nil) {
+			if !availBase(c) {
+				return nil
+			}
+		}
+	}
+
+	if len(v.GroupBy) == 0 {
+		// Unaggregated view: it must expose every base column the query
+		// needs; compensation re-applies predicates and any aggregation.
+		for _, qc := range q.Cols {
+			if qc.Agg != sqlx.AggNone {
+				if qc.Source == (sqlx.ColRef{}) {
+					continue // COUNT(*) needs no specific column
+				}
+				if !availBase(qc.Source) {
+					return nil
+				}
+				continue
+			}
+			if !availBase(qc.Source) {
+				return nil
+			}
+		}
+		m.NeedGroupBy = len(q.GroupBy) > 0 || hasAggregate(q.Cols)
+		return m
+	}
+
+	// Aggregated view. A pure SPJ query cannot be answered from grouped
+	// rows; an aggregated query can, when its grouping is coarser and its
+	// aggregates are derivable.
+	if len(q.GroupBy) == 0 && !hasAggregate(q.Cols) {
+		return nil
+	}
+	inViewGroups := func(col sqlx.ColRef) bool {
+		for _, g := range v.GroupBy {
+			if g == col || qEq.same(g, col) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, g := range q.GroupBy {
+		if !inViewGroups(g) || !availBase(g) {
+			return nil
+		}
+	}
+	sameGroups := len(q.GroupBy) == len(v.GroupBy)
+	if sameGroups {
+		for _, g := range v.GroupBy {
+			found := false
+			for _, qg := range q.GroupBy {
+				if qg == g || qEq.same(qg, g) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				sameGroups = false
+				break
+			}
+		}
+	}
+	for _, qc := range q.Cols {
+		switch qc.Agg {
+		case sqlx.AggNone:
+			if !availBase(qc.Source) {
+				return nil
+			}
+		case sqlx.AggSum, sqlx.AggMin, sqlx.AggMax:
+			if v.AggColumnFor(qc.Agg, qc.Source) == nil {
+				return nil
+			}
+		case sqlx.AggCount:
+			if v.AggColumnFor(sqlx.AggCount, qc.Source) == nil &&
+				v.AggColumnFor(sqlx.AggCount, sqlx.ColRef{}) == nil {
+				return nil
+			}
+		case sqlx.AggAvg:
+			// AVG re-aggregates only from SUM and COUNT; an AVG column
+			// suffices when no regrouping or filtering-within-group occurs.
+			hasSumCount := v.AggColumnFor(sqlx.AggSum, qc.Source) != nil &&
+				(v.AggColumnFor(sqlx.AggCount, sqlx.ColRef{}) != nil ||
+					v.AggColumnFor(sqlx.AggCount, qc.Source) != nil)
+			hasAvg := v.AggColumnFor(sqlx.AggAvg, qc.Source) != nil
+			if !hasSumCount && !(hasAvg && sameGroups) {
+				return nil
+			}
+		}
+	}
+	m.NeedGroupBy = !sameGroups
+	return m
+}
+
+func hasAggregate(cols []ViewColumn) bool {
+	for _, c := range cols {
+		if c.Agg != sqlx.AggNone {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+package physical
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sqlx"
+)
+
+// blockFixture builds a query block over {r,s} with a join, a range on
+// r.a, and the given grouping.
+func blockFixture(grouped bool, rangeHi float64) *View {
+	q := &View{
+		Tables: []string{"r", "s"},
+		Joins:  []JoinPred{NewJoinPred(col("r", "x"), col("s", "y"))},
+		Ranges: []RangeCond{{Col: col("r", "a"), Iv: Interval{Lo: math.Inf(-1), Hi: rangeHi}}},
+		Cols: []ViewColumn{
+			BaseViewColumn(col("r", "a"), 4),
+			BaseViewColumn(col("s", "b"), 8),
+		},
+	}
+	if grouped {
+		q.GroupBy = []sqlx.ColRef{col("r", "a")}
+		q.Cols = append(q.Cols, AggViewColumn(sqlx.AggSum, col("s", "b"), 8))
+	}
+	return q
+}
+
+func TestMatchExactView(t *testing.T) {
+	q := blockFixture(false, 10)
+	v := blockFixture(false, 10)
+	v.Name = "v"
+	m := MatchView(q, v)
+	if m == nil {
+		t.Fatal("identical definitions must match")
+	}
+	if len(m.ResidualJoins) != 0 || len(m.ResidualRanges) != 0 || m.NeedGroupBy {
+		t.Errorf("exact match should need no compensation: %+v", m)
+	}
+}
+
+func TestMatchWiderRangeNeedsFilter(t *testing.T) {
+	q := blockFixture(false, 10)
+	v := blockFixture(false, 20) // view keeps more rows
+	v.Name = "v"
+	m := MatchView(q, v)
+	if m == nil {
+		t.Fatal("wider view must match")
+	}
+	if len(m.ResidualRanges) != 1 {
+		t.Errorf("expected one residual range, got %v", m.ResidualRanges)
+	}
+}
+
+func TestMatchNarrowerRangeFails(t *testing.T) {
+	q := blockFixture(false, 20)
+	v := blockFixture(false, 10) // view drops rows the query needs
+	v.Name = "v"
+	if MatchView(q, v) != nil {
+		t.Error("narrower view must not match")
+	}
+}
+
+func TestMatchTableSetMustAgree(t *testing.T) {
+	q := blockFixture(false, 10)
+	v := blockFixture(false, 10)
+	v.Tables = []string{"r"}
+	if MatchView(q, v) != nil {
+		t.Error("different FROM sets must not match")
+	}
+}
+
+func TestMatchMissingColumnFails(t *testing.T) {
+	q := blockFixture(false, 10)
+	v := blockFixture(false, 10)
+	v.Cols = v.Cols[:1] // drop s.b
+	if MatchView(q, v) != nil {
+		t.Error("a view missing needed output columns must not match")
+	}
+}
+
+func TestMatchViewWithFewerJoinsAddsResiduals(t *testing.T) {
+	q := blockFixture(false, 10)
+	v := blockFixture(false, 10)
+	v.Joins = nil // cross-product view
+	v.Cols = append(v.Cols, BaseViewColumn(col("r", "x"), 4), BaseViewColumn(col("s", "y"), 4))
+	m := MatchView(q, v)
+	if m == nil {
+		t.Fatal("less restrictive view must match")
+	}
+	if len(m.ResidualJoins) != 1 {
+		t.Errorf("expected residual join, got %v", m.ResidualJoins)
+	}
+}
+
+func TestMatchViewWithExtraJoinFails(t *testing.T) {
+	q := blockFixture(false, 10)
+	v := blockFixture(false, 10)
+	v.Joins = append(v.Joins, NewJoinPred(col("r", "a"), col("s", "b")))
+	if MatchView(q, v) != nil {
+		t.Error("a view enforcing joins the query lacks must not match")
+	}
+}
+
+func TestMatchGroupedQueryOnGroupedView(t *testing.T) {
+	q := blockFixture(true, 10)
+	v := blockFixture(true, 10)
+	v.Name = "v"
+	m := MatchView(q, v)
+	if m == nil {
+		t.Fatal("same grouping must match")
+	}
+	if m.NeedGroupBy {
+		t.Error("identical grouping needs no re-aggregation")
+	}
+}
+
+func TestMatchCoarserQueryOnFinerView(t *testing.T) {
+	q := blockFixture(true, 10)
+	v := blockFixture(true, 10)
+	v.Name = "v"
+	v.GroupBy = append(v.GroupBy, col("s", "b"))
+	m := MatchView(q, v)
+	if m == nil {
+		t.Fatal("finer view must answer a coarser grouped query")
+	}
+	if !m.NeedGroupBy {
+		t.Error("coarser query over finer view needs re-aggregation")
+	}
+}
+
+func TestMatchFinerQueryOnCoarserViewFails(t *testing.T) {
+	q := blockFixture(true, 10)
+	q.GroupBy = append(q.GroupBy, col("s", "b"))
+	v := blockFixture(true, 10)
+	v.Name = "v"
+	if MatchView(q, v) != nil {
+		t.Error("a coarser view cannot answer a finer grouped query")
+	}
+}
+
+func TestMatchSPJQueryOnGroupedViewFails(t *testing.T) {
+	q := blockFixture(false, 10)
+	v := blockFixture(true, 10)
+	v.Name = "v"
+	if MatchView(q, v) != nil {
+		t.Error("aggregated views cannot answer raw-row queries")
+	}
+}
+
+func TestMatchGroupedQueryOnSPJView(t *testing.T) {
+	q := blockFixture(true, 10)
+	v := blockFixture(false, 10)
+	v.Name = "v"
+	m := MatchView(q, v)
+	if m == nil {
+		t.Fatal("raw view must answer the grouped query with compensation")
+	}
+	if !m.NeedGroupBy {
+		t.Error("compensating aggregation required")
+	}
+}
+
+func TestMatchAvgDerivation(t *testing.T) {
+	q := blockFixture(true, 10)
+	q.Cols = append(q.Cols, AggViewColumn(sqlx.AggAvg, col("s", "b"), 8))
+	// A view with only SUM cannot derive AVG…
+	v := blockFixture(true, 10)
+	v.Name = "v"
+	if MatchView(q, v) != nil {
+		t.Error("AVG requires SUM and COUNT (or AVG with identical groups)")
+	}
+	// …but SUM + COUNT(*) can.
+	v2 := blockFixture(true, 10)
+	v2.Name = "v2"
+	v2.Cols = append(v2.Cols, AggViewColumn(sqlx.AggCount, sqlx.ColRef{}, 8))
+	if MatchView(q, v2) == nil {
+		t.Error("SUM + COUNT(*) should derive AVG")
+	}
+	// …and so can a direct AVG column when the grouping is identical.
+	v3 := blockFixture(true, 10)
+	v3.Name = "v3"
+	v3.Cols = append(v3.Cols, AggViewColumn(sqlx.AggAvg, col("s", "b"), 8))
+	if MatchView(q, v3) == nil {
+		t.Error("identical-grouping AVG column should match")
+	}
+}
+
+func TestMatchOtherPredicateSubsumption(t *testing.T) {
+	pred := &sqlx.CmpExpr{Op: sqlx.CmpLT, L: col("r", "a"), R: col("r", "b")}
+	q := blockFixture(false, 10)
+	q.Others = []sqlx.Expr{pred}
+	q.Cols = append(q.Cols, BaseViewColumn(col("r", "b"), 4))
+
+	// View without the predicate: residual filter needed, and r.b must be
+	// available (it is, via q's needed columns in the view).
+	v := blockFixture(false, 10)
+	v.Name = "v"
+	v.Cols = append(v.Cols, BaseViewColumn(col("r", "b"), 4))
+	m := MatchView(q, v)
+	if m == nil || len(m.ResidualOthers) != 1 {
+		t.Fatalf("expected residual other predicate: %+v", m)
+	}
+
+	// View with an other-predicate the query lacks must not match.
+	v2 := blockFixture(false, 10)
+	v2.Others = []sqlx.Expr{pred}
+	q2 := blockFixture(false, 10)
+	if MatchView(q2, v2) != nil {
+		t.Error("view with extra other-predicate must not match")
+	}
+}
+
+func TestMatchColumnEquivalence(t *testing.T) {
+	// Query joins r.x = s.y; view has a range on s.y while the query's
+	// range is on r.x — equivalent through the join.
+	q := blockFixture(false, 10)
+	q.Ranges = []RangeCond{{Col: col("r", "x"), Iv: Interval{Lo: math.Inf(-1), Hi: 10}}}
+	q.Cols = append(q.Cols, BaseViewColumn(col("r", "x"), 4))
+	v := blockFixture(false, 10)
+	v.Name = "v"
+	v.Ranges = []RangeCond{{Col: col("s", "y"), Iv: Interval{Lo: math.Inf(-1), Hi: 10}}}
+	v.Cols = append(v.Cols, BaseViewColumn(col("s", "y"), 4))
+	if MatchView(q, v) == nil {
+		t.Error("ranges on join-equivalent columns should match")
+	}
+}

@@ -1,0 +1,230 @@
+package physical
+
+import (
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// WidthResolver supplies row counts and column widths for base tables. The
+// sizer layers the configuration's views on top of it, so indexes over
+// views are sized from the views' estimated cardinalities (§3.3.1).
+type WidthResolver interface {
+	// TableRows returns the row count of a base table.
+	TableRows(table string) (int64, bool)
+	// ColWidth returns the average width in bytes of a base-table column.
+	ColWidth(table, col string) (int, bool)
+	// TableCols returns all column names of a base table.
+	TableCols(table string) []string
+}
+
+// Sizer estimates the storage consumed by indexes, views, and whole
+// configurations following the B-tree model of §3.3.1. It caches per-index
+// sizes; the cache key includes the owning view's estimated cardinality so
+// re-estimated views are re-sized.
+type Sizer struct {
+	base  WidthResolver
+	cache map[string]int64
+}
+
+// NewSizer returns a sizer over the given base resolver.
+func NewSizer(base WidthResolver) *Sizer {
+	return &Sizer{base: base, cache: make(map[string]int64)}
+}
+
+// resolve returns rows, leaf entry width, and internal entry width for an
+// index, consulting cfg for view-backed indexes.
+func (s *Sizer) resolve(ix *Index, cfg *Configuration) (rows int64, leafW, intW int, ok bool) {
+	colWidth := func(col string) (int, bool) { return s.base.ColWidth(ix.Table, col) }
+	allCols := func() []string { return s.base.TableCols(ix.Table) }
+	if cfg != nil {
+		if v := cfg.View(ix.Table); v != nil {
+			rows = v.EstRows
+			colWidth = func(col string) (int, bool) {
+				c := v.Column(col)
+				if c == nil {
+					return 0, false
+				}
+				return c.Width, true
+			}
+			allCols = func() []string { return v.AllColumnNames() }
+			return s.widths(ix, rows, colWidth, allCols)
+		}
+	}
+	r, found := s.base.TableRows(ix.Table)
+	if !found {
+		return 0, 0, 0, false
+	}
+	return s.widths(ix, r, colWidth, allCols)
+}
+
+func (s *Sizer) widths(ix *Index, rows int64, colWidth func(string) (int, bool), allCols func() []string) (int64, int, int, bool) {
+	keyW := 0
+	for _, k := range ix.Keys {
+		w, ok := colWidth(k)
+		if !ok {
+			return 0, 0, 0, false
+		}
+		keyW += w
+	}
+	leafW := keyW
+	if ix.Clustered {
+		// Clustered leaves store full rows.
+		leafW = 0
+		for _, c := range allCols() {
+			w, ok := colWidth(c)
+			if !ok {
+				return 0, 0, 0, false
+			}
+			leafW += w
+		}
+	} else {
+		for _, sc := range ix.Suffix {
+			w, ok := colWidth(sc)
+			if !ok {
+				return 0, 0, 0, false
+			}
+			leafW += w
+		}
+		leafW += storage.RidWidth // secondary leaves carry row locators
+	}
+	return rows, leafW, keyW, true
+}
+
+// IndexBytes returns the estimated size in bytes of one index within cfg
+// (cfg supplies view cardinalities; it may be nil for base-table indexes).
+func (s *Sizer) IndexBytes(ix *Index, cfg *Configuration) int64 {
+	key := ix.ID()
+	if cfg != nil {
+		if v := cfg.View(ix.Table); v != nil {
+			key += "@" + itoa64(v.EstRows)
+		}
+	}
+	if sz, ok := s.cache[key]; ok {
+		return sz
+	}
+	rows, leafW, intW, ok := s.resolve(ix, cfg)
+	var sz int64
+	if ok {
+		sz = storage.BTreeBytes(rows, leafW, intW)
+	}
+	s.cache[key] = sz
+	return sz
+}
+
+// IndexPages returns the total page count of one index.
+func (s *Sizer) IndexPages(ix *Index, cfg *Configuration) int64 {
+	return s.IndexBytes(ix, cfg) / storage.PageSize
+}
+
+// IndexLeafPages returns the leaf-level page count (what scans touch).
+func (s *Sizer) IndexLeafPages(ix *Index, cfg *Configuration) int64 {
+	rows, leafW, _, ok := s.resolve(ix, cfg)
+	if !ok {
+		return 1
+	}
+	return storage.BTreeLeafPages(rows, leafW)
+}
+
+// IndexHeight returns the number of B-tree levels above the leaves.
+func (s *Sizer) IndexHeight(ix *Index, cfg *Configuration) int {
+	rows, leafW, intW, ok := s.resolve(ix, cfg)
+	if !ok {
+		return 0
+	}
+	return storage.BTreeHeight(rows, leafW, intW)
+}
+
+// IndexRows returns the number of entries in the index.
+func (s *Sizer) IndexRows(ix *Index, cfg *Configuration) int64 {
+	rows, _, _, ok := s.resolve(ix, cfg)
+	if !ok {
+		return 0
+	}
+	return rows
+}
+
+// HeapPages returns the page count of the table stored as a heap (used
+// when a table or view has no clustered index).
+func (s *Sizer) HeapPages(table string, cfg *Configuration) int64 {
+	if cfg != nil {
+		if v := cfg.View(table); v != nil {
+			return storage.HeapPages(v.EstRows, v.RowWidth())
+		}
+	}
+	rows, ok := s.base.TableRows(table)
+	if !ok {
+		return 1
+	}
+	w := 0
+	for _, c := range s.base.TableCols(table) {
+		cw, _ := s.base.ColWidth(table, c)
+		w += cw
+	}
+	return storage.HeapPages(rows, w)
+}
+
+// ConfigBytes returns the total size of every index in the configuration.
+// Materialized views are counted through their indexes (a view's clustered
+// index stores the view rows), matching §3.3.1.
+func (s *Sizer) ConfigBytes(cfg *Configuration) int64 {
+	var total int64
+	for _, ix := range cfg.Indexes() {
+		total += s.IndexBytes(ix, cfg)
+	}
+	return total
+}
+
+// DeltaBytes returns Size(c) − Size(other); positive when c is larger.
+func (s *Sizer) DeltaBytes(c, other *Configuration) int64 {
+	return s.ConfigBytes(c) - s.ConfigBytes(other)
+}
+
+func itoa64(v int64) string {
+	// small allocation-free helper
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// BaseResolverFunc adapts plain functions to the WidthResolver interface.
+type BaseResolverFunc struct {
+	RowsFn  func(table string) (int64, bool)
+	WidthFn func(table, col string) (int, bool)
+	ColsFn  func(table string) []string
+}
+
+// TableRows implements WidthResolver.
+func (f BaseResolverFunc) TableRows(table string) (int64, bool) { return f.RowsFn(table) }
+
+// ColWidth implements WidthResolver.
+func (f BaseResolverFunc) ColWidth(table, col string) (int, bool) { return f.WidthFn(table, col) }
+
+// TableCols implements WidthResolver.
+func (f BaseResolverFunc) TableCols(table string) []string { return f.ColsFn(table) }
+
+// EqualFoldAny reports whether name equals any candidate, ignoring case.
+func EqualFoldAny(name string, candidates ...string) bool {
+	for _, c := range candidates {
+		if strings.EqualFold(name, c) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+// Package storage implements the physical size model of §3.3.1 of the
+// paper: B-tree sizes are computed from per-entry widths, entries per page
+// at the leaf and internal levels, and a per-level page count recurrence.
+package storage
+
+import "math"
+
+// Physical constants of the simulated storage engine.
+const (
+	// PageSize is the size of a database page in bytes.
+	PageSize = 8192
+	// PageHeader is the per-page overhead in bytes.
+	PageHeader = 96
+	// RowOverhead is the per-entry overhead (slot + record header).
+	RowOverhead = 9
+	// RidWidth is the width of a row identifier stored in secondary
+	// index leaf entries and internal nodes.
+	RidWidth = 8
+	// FillFactor is the fraction of each page that is actually used.
+	FillFactor = 0.80
+)
+
+// usableBytes is the payload capacity of one page after headers and fill
+// factor.
+func usableBytes() float64 {
+	return (PageSize - PageHeader) * FillFactor
+}
+
+// EntriesPerPage returns how many entries of the given width fit in a page.
+// It is always at least 1 (an oversized entry occupies a page by itself).
+func EntriesPerPage(entryWidth int) int64 {
+	if entryWidth <= 0 {
+		entryWidth = 1
+	}
+	n := int64(usableBytes() / float64(entryWidth+RowOverhead))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BTreePages returns the total number of pages in a B-tree with rows
+// entries, leafWidth bytes per leaf entry and internalWidth bytes per
+// internal entry, summing pages over all levels:
+//
+//	S0 = ceil(rows / PL);  Si = ceil(S(i-1) / PI)  until one page remains.
+func BTreePages(rows int64, leafWidth, internalWidth int) int64 {
+	if rows <= 0 {
+		return 1
+	}
+	pl := EntriesPerPage(leafWidth)
+	pi := EntriesPerPage(internalWidth + RidWidth) // internal entries carry child pointers
+	level := ceilDiv(rows, pl)
+	total := level
+	for level > 1 {
+		level = ceilDiv(level, pi)
+		total += level
+	}
+	return total
+}
+
+// BTreeLeafPages returns only the leaf-level page count; scans touch leaf
+// pages, so costs use this rather than the full tree size.
+func BTreeLeafPages(rows int64, leafWidth int) int64 {
+	if rows <= 0 {
+		return 1
+	}
+	return ceilDiv(rows, EntriesPerPage(leafWidth))
+}
+
+// BTreeHeight returns the number of levels above the leaves (0 for a
+// single-page tree). Index seeks pay one page read per level plus the leaf
+// pages touched.
+func BTreeHeight(rows int64, leafWidth, internalWidth int) int {
+	if rows <= 0 {
+		return 0
+	}
+	pl := EntriesPerPage(leafWidth)
+	pi := EntriesPerPage(internalWidth + RidWidth)
+	level := ceilDiv(rows, pl)
+	h := 0
+	for level > 1 {
+		level = ceilDiv(level, pi)
+		h++
+	}
+	return h
+}
+
+// BTreeBytes is BTreePages expressed in bytes.
+func BTreeBytes(rows int64, leafWidth, internalWidth int) int64 {
+	return BTreePages(rows, leafWidth, internalWidth) * PageSize
+}
+
+// HeapPages returns the page count of an unordered heap of rows with the
+// given average row width.
+func HeapPages(rows int64, rowWidth int) int64 {
+	if rows <= 0 {
+		return 1
+	}
+	return ceilDiv(rows, EntriesPerPage(rowWidth))
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// FracPages returns the number of pages touched when reading frac of the
+// rows of a structure that spans pages pages, assuming the qualifying rows
+// are clustered (contiguous in index order): at least one page, at most
+// all of them.
+func FracPages(pages int64, frac float64) float64 {
+	if frac <= 0 {
+		return 1
+	}
+	if frac >= 1 {
+		return float64(pages)
+	}
+	p := frac * float64(pages)
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// RandomPages estimates distinct pages touched by k random row lookups into
+// a structure of pages pages holding rows rows (Yao's approximation). Used
+// for rid-lookup costing.
+func RandomPages(rows, pages int64, k float64) float64 {
+	if k <= 0 || pages <= 0 {
+		return 0
+	}
+	if k >= float64(rows) {
+		return float64(pages)
+	}
+	// Approximation: pages * (1 - (1 - 1/pages)^k).
+	p := float64(pages)
+	touched := p * (1 - math.Pow(1-1/p, k))
+	if touched > p {
+		touched = p
+	}
+	if touched < 1 {
+		touched = 1
+	}
+	return touched
+}

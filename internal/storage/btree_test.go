@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntriesPerPage(t *testing.T) {
+	if got := EntriesPerPage(0); got < 1 {
+		t.Errorf("zero-width entries: %d", got)
+	}
+	if got := EntriesPerPage(PageSize * 2); got != 1 {
+		t.Errorf("oversized entry should still fit one per page: %d", got)
+	}
+	narrow, wide := EntriesPerPage(8), EntriesPerPage(64)
+	if narrow <= wide {
+		t.Errorf("narrower entries should pack more per page: %d <= %d", narrow, wide)
+	}
+}
+
+func TestBTreePagesSmall(t *testing.T) {
+	if got := BTreePages(0, 8, 8); got != 1 {
+		t.Errorf("empty tree: %d pages", got)
+	}
+	if got := BTreePages(10, 8, 8); got != 1 {
+		t.Errorf("tiny tree should be one page: %d", got)
+	}
+}
+
+func TestBTreeHeightGrows(t *testing.T) {
+	h1 := BTreeHeight(100, 100, 16)
+	h2 := BTreeHeight(10_000_000, 100, 16)
+	if h1 >= h2 {
+		t.Errorf("height should grow with rows: %d >= %d", h1, h2)
+	}
+	if BTreeHeight(1, 100, 16) != 0 {
+		t.Error("single-row tree should have height 0")
+	}
+}
+
+// Property: total pages grow monotonically with rows and with leaf width.
+func TestBTreePagesMonotone(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(int64(r.Intn(1_000_000) + 1))
+		vals[1] = reflect.ValueOf(int64(r.Intn(1_000_000) + 1))
+		vals[2] = reflect.ValueOf(r.Intn(200) + 4)
+	}}
+	if err := quick.Check(func(rows1, rows2 int64, width int) bool {
+		if rows1 > rows2 {
+			rows1, rows2 = rows2, rows1
+		}
+		if BTreePages(rows1, width, width/2+1) > BTreePages(rows2, width, width/2+1) {
+			return false
+		}
+		return BTreePages(rows2, width, width/2+1) <= BTreePages(rows2, width*2, width/2+1)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the full tree is at least as large as its leaf level, and the
+// non-leaf overhead is small relative to the leaves for wide fan-out.
+func TestBTreeInternalOverheadBounded(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(int64(r.Intn(5_000_000) + 100))
+		vals[1] = reflect.ValueOf(r.Intn(120) + 8)
+	}}
+	if err := quick.Check(func(rows int64, width int) bool {
+		leaf := BTreeLeafPages(rows, width)
+		total := BTreePages(rows, width, 8)
+		return total >= leaf && float64(total) < float64(leaf)*1.2+3
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapPages(t *testing.T) {
+	if HeapPages(0, 100) != 1 {
+		t.Error("empty heap should be one page")
+	}
+	small := HeapPages(1000, 50)
+	big := HeapPages(1000, 500)
+	if small >= big {
+		t.Errorf("wider rows need more pages: %d >= %d", small, big)
+	}
+}
+
+func TestFracPages(t *testing.T) {
+	if FracPages(1000, 0) != 1 {
+		t.Error("zero fraction should touch one page")
+	}
+	if FracPages(1000, 1) != 1000 {
+		t.Error("full fraction should touch all pages")
+	}
+	if got := FracPages(1000, 0.25); got != 250 {
+		t.Errorf("quarter: %g", got)
+	}
+	if got := FracPages(1000, 1e-9); got != 1 {
+		t.Errorf("tiny fraction should floor at one page: %g", got)
+	}
+}
+
+// Property: RandomPages is bounded by the page count and by k, and it is
+// monotone in k.
+func TestRandomPagesBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(int64(r.Intn(1_000_000) + 10))
+		vals[1] = reflect.ValueOf(int64(r.Intn(10_000) + 1))
+		vals[2] = reflect.ValueOf(r.Float64() * 100_000)
+	}}
+	if err := quick.Check(func(rows, pages int64, k float64) bool {
+		got := RandomPages(rows, pages, k)
+		if got > float64(pages) {
+			return false
+		}
+		if k > 0 && got < 1 {
+			return false
+		}
+		return RandomPages(rows, pages, k) <= RandomPages(rows, pages, k*2)+1e-9
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomPagesDegenerate(t *testing.T) {
+	if RandomPages(100, 10, 0) != 0 {
+		t.Error("zero lookups should touch no pages")
+	}
+	if RandomPages(100, 10, 1000) != 10 {
+		t.Error("more lookups than rows should touch every page")
+	}
+}
+
+func TestBTreeBytesIsPageMultiple(t *testing.T) {
+	b := BTreeBytes(12345, 40, 8)
+	if b%PageSize != 0 {
+		t.Errorf("bytes %d not a page multiple", b)
+	}
+}

@@ -1,0 +1,347 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// JoinEdge names a joinable column pair between two tables.
+type JoinEdge struct {
+	T1, C1, T2, C2 string
+}
+
+// JoinHints returns the known join edges of the built-in databases; the
+// generator composes FROM clauses along these edges.
+func JoinHints(dbName string) []JoinEdge {
+	switch strings.ToLower(dbName) {
+	case "tpch":
+		return []JoinEdge{
+			{"nation", "n_regionkey", "region", "r_regionkey"},
+			{"supplier", "s_nationkey", "nation", "n_nationkey"},
+			{"customer", "c_nationkey", "nation", "n_nationkey"},
+			{"partsupp", "ps_suppkey", "supplier", "s_suppkey"},
+			{"partsupp", "ps_partkey", "part", "p_partkey"},
+			{"orders", "o_custkey", "customer", "c_custkey"},
+			{"lineitem", "l_orderkey", "orders", "o_orderkey"},
+			{"lineitem", "l_partkey", "part", "p_partkey"},
+			{"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+		}
+	case "ds1":
+		return []JoinEdge{
+			{"sales_fact", "sf_datekey", "dim_date", "d_datekey"},
+			{"sales_fact", "sf_storekey", "dim_store", "st_storekey"},
+			{"sales_fact", "sf_productkey", "dim_product", "p_productkey"},
+			{"sales_fact", "sf_custkey", "dim_customer", "cu_custkey"},
+			{"sales_fact", "sf_promokey", "dim_promotion", "pr_promokey"},
+			{"returns_fact", "rf_datekey", "dim_date", "d_datekey"},
+			{"returns_fact", "rf_storekey", "dim_store", "st_storekey"},
+			{"returns_fact", "rf_productkey", "dim_product", "p_productkey"},
+			{"returns_fact", "rf_custkey", "dim_customer", "cu_custkey"},
+		}
+	case "bench":
+		return []JoinEdge{
+			{"t1", "fk", "t2", "id"},
+			{"t2", "fk", "t3", "id"},
+			{"t3", "fk", "t4", "id"},
+			{"t4", "fk", "t5", "id"},
+			{"t5", "fk", "t6", "id"},
+			{"t6", "fk", "t7", "id"},
+			{"t7", "fk", "t8", "id"},
+		}
+	default:
+		return nil
+	}
+}
+
+// GenOptions parameterize random workload generation.
+type GenOptions struct {
+	Seed           int64
+	NumQueries     int
+	MaxJoins       int     // maximum number of joined tables per query
+	UpdateFraction float64 // fraction of statements that modify data
+	GroupByProb    float64
+	OrderByProb    float64
+	Name           string
+}
+
+// DefaultGenOptions returns sensible generation defaults.
+func DefaultGenOptions(name string, seed int64, n int) GenOptions {
+	return GenOptions{
+		Seed:        seed,
+		NumQueries:  n,
+		MaxJoins:    4,
+		GroupByProb: 0.45,
+		OrderByProb: 0.35,
+		Name:        name,
+	}
+}
+
+// Generate builds a random workload over db following opt. Queries are
+// SPJG single-block statements over the database's join graph with
+// statistics-aware range predicates; updates (when requested) are mixed
+// in as UPDATE/DELETE/INSERT statements.
+func Generate(db *catalog.Database, opt GenOptions) (*Workload, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	edges := JoinHints(db.Name)
+	if opt.NumQueries <= 0 {
+		opt.NumQueries = 10
+	}
+	if opt.MaxJoins < 1 {
+		opt.MaxJoins = 1
+	}
+	var sqls []string
+	for i := 0; i < opt.NumQueries; i++ {
+		if opt.UpdateFraction > 0 && rng.Float64() < opt.UpdateFraction {
+			sqls = append(sqls, genUpdate(rng, db))
+			continue
+		}
+		sqls = append(sqls, genSelect(rng, db, edges, opt))
+	}
+	name := opt.Name
+	if name == "" {
+		name = fmt.Sprintf("gen-%s-%d", db.Name, opt.Seed)
+	}
+	return FromStatements(name, db.Name, sqls)
+}
+
+// genSelect builds one random SPJG query.
+func genSelect(rng *rand.Rand, db *catalog.Database, edges []JoinEdge, opt GenOptions) string {
+	tables, joins := randomJoinTree(rng, db, edges, 1+rng.Intn(opt.MaxJoins))
+	var preds []string
+	preds = append(preds, joins...)
+	// 1-3 range predicates over random numeric columns.
+	nPreds := 1 + rng.Intn(3)
+	for p := 0; p < nPreds; p++ {
+		t := db.Table(tables[rng.Intn(len(tables))])
+		if pred := randomRangePred(rng, t, true); pred != "" {
+			preds = append(preds, pred)
+		}
+	}
+	// Occasional non-sargable predicate.
+	if rng.Float64() < 0.3 {
+		t := db.Table(tables[rng.Intn(len(tables))])
+		if a, b := twoNumericCols(rng, t); a != "" {
+			preds = append(preds, fmt.Sprintf("%s.%s + %s.%s > %d", t.Name, a, t.Name, b, rng.Intn(1000)))
+		}
+	}
+
+	grouped := rng.Float64() < opt.GroupByProb
+	var selectList, groupBy []string
+	if grouped {
+		t := db.Table(tables[rng.Intn(len(tables))])
+		gcols := lowCardinalityCols(t, 2)
+		if len(gcols) == 0 {
+			grouped = false
+		} else {
+			for _, g := range gcols {
+				groupBy = append(groupBy, t.Name+"."+g)
+			}
+			selectList = append(selectList, groupBy...)
+			at := db.Table(tables[rng.Intn(len(tables))])
+			if m := randomNumericCol(rng, at); m != "" {
+				selectList = append(selectList, fmt.Sprintf("SUM(%s.%s)", at.Name, m))
+			}
+			selectList = append(selectList, "COUNT(*)")
+		}
+	}
+	if !grouped {
+		// Project 2-4 random columns.
+		n := 2 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			t := db.Table(tables[rng.Intn(len(tables))])
+			c := t.Columns[rng.Intn(len(t.Columns))]
+			selectList = append(selectList, t.Name+"."+c.Name)
+		}
+		selectList = dedupStrings(selectList)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("SELECT " + strings.Join(selectList, ", "))
+	sb.WriteString(" FROM " + strings.Join(tables, ", "))
+	if len(preds) > 0 {
+		sb.WriteString(" WHERE " + strings.Join(preds, " AND "))
+	}
+	if grouped {
+		sb.WriteString(" GROUP BY " + strings.Join(groupBy, ", "))
+	}
+	if rng.Float64() < opt.OrderByProb {
+		if grouped {
+			sb.WriteString(" ORDER BY " + groupBy[0])
+		} else if len(selectList) > 0 && !strings.Contains(selectList[0], "(") {
+			sb.WriteString(" ORDER BY " + selectList[0])
+		}
+	}
+	return sb.String()
+}
+
+// genUpdate builds one random data-modifying statement.
+func genUpdate(rng *rand.Rand, db *catalog.Database) string {
+	tables := db.Tables()
+	t := tables[rng.Intn(len(tables))]
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("INSERT INTO %s VALUES (%s)", t.Name, strings.Repeat("0, ", len(t.Columns)-1)+"0")
+	case 1:
+		pred := randomRangePred(rng, t, false)
+		if pred == "" {
+			pred = "1 = 1"
+		}
+		return fmt.Sprintf("DELETE FROM %s WHERE %s", t.Name, pred)
+	default:
+		c := randomNumericCol(rng, t)
+		if c == "" {
+			c = t.Columns[0].Name
+		}
+		pred := randomRangePred(rng, t, false)
+		if pred == "" {
+			pred = "1 = 1"
+		}
+		return fmt.Sprintf("UPDATE %s SET %s = %s + 1 WHERE %s", t.Name, c, c, pred)
+	}
+}
+
+// randomJoinTree picks up to n tables connected by hint edges, returning
+// table names and join predicates. Without hints it returns one table.
+func randomJoinTree(rng *rand.Rand, db *catalog.Database, edges []JoinEdge, n int) ([]string, []string) {
+	all := db.Tables()
+	start := all[rng.Intn(len(all))].Name
+	tables := []string{start}
+	used := map[string]bool{strings.ToLower(start): true}
+	var joins []string
+	for len(tables) < n {
+		// Find edges touching the current set.
+		var candidates []JoinEdge
+		for _, e := range edges {
+			in1, in2 := used[strings.ToLower(e.T1)], used[strings.ToLower(e.T2)]
+			if in1 != in2 {
+				candidates = append(candidates, e)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		e := candidates[rng.Intn(len(candidates))]
+		joins = append(joins, fmt.Sprintf("%s.%s = %s.%s", e.T1, e.C1, e.T2, e.C2))
+		next := e.T1
+		if used[strings.ToLower(e.T1)] {
+			next = e.T2
+		}
+		used[strings.ToLower(next)] = true
+		tables = append(tables, next)
+	}
+	return tables, joins
+}
+
+// randomRangePred builds a statistics-aware range or equality predicate
+// over a random numeric column of t, or "" when none qualifies. When
+// qualified is true the column is prefixed with its table name (required
+// in multi-table queries where column names repeat across tables).
+func randomRangePred(rng *rand.Rand, t *catalog.Table, qualified bool) string {
+	col := pickNumericCol(rng, t)
+	if col == nil {
+		return ""
+	}
+	name := col.Name
+	if qualified {
+		name = t.Name + "." + col.Name
+	}
+	s := col.Stats
+	span := s.Max - s.Min
+	if span <= 0 {
+		return fmt.Sprintf("%s = %s", name, fmtNum(s.Min))
+	}
+	switch rng.Intn(4) {
+	case 0: // equality
+		v := s.Min + rng.Float64()*span
+		return fmt.Sprintf("%s = %s", name, fmtNum(snap(v, s)))
+	case 1: // one-sided low
+		v := s.Min + rng.Float64()*span*0.5
+		return fmt.Sprintf("%s < %s", name, fmtNum(v))
+	case 2: // one-sided high
+		v := s.Min + (0.5+rng.Float64()*0.5)*span
+		return fmt.Sprintf("%s > %s", name, fmtNum(v))
+	default: // bounded interval covering 1-20% of the domain
+		width := span * (0.01 + rng.Float64()*0.19)
+		lo := s.Min + rng.Float64()*(span-width)
+		return fmt.Sprintf("%s BETWEEN %s AND %s", name, fmtNum(lo), fmtNum(lo+width))
+	}
+}
+
+func snap(v float64, s *catalog.ColumnStats) float64 {
+	if s.Distinct > 1 {
+		step := (s.Max - s.Min) / float64(s.Distinct-1)
+		if step > 0 {
+			return s.Min + math.Round((v-s.Min)/step)*step
+		}
+	}
+	return v
+}
+
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+func pickNumericCol(rng *rand.Rand, t *catalog.Table) *catalog.Column {
+	var numeric []*catalog.Column
+	for i := range t.Columns {
+		c := &t.Columns[i]
+		if c.Stats != nil && c.Stats.Numeric {
+			numeric = append(numeric, c)
+		}
+	}
+	if len(numeric) == 0 {
+		return nil
+	}
+	return numeric[rng.Intn(len(numeric))]
+}
+
+func randomNumericCol(rng *rand.Rand, t *catalog.Table) string {
+	c := pickNumericCol(rng, t)
+	if c == nil {
+		return ""
+	}
+	return c.Name
+}
+
+func twoNumericCols(rng *rand.Rand, t *catalog.Table) (string, string) {
+	a := pickNumericCol(rng, t)
+	b := pickNumericCol(rng, t)
+	if a == nil || b == nil || a.Name == b.Name {
+		return "", ""
+	}
+	return a.Name, b.Name
+}
+
+// lowCardinalityCols returns up to n columns with small distinct counts
+// (good grouping keys).
+func lowCardinalityCols(t *catalog.Table, n int) []string {
+	var out []string
+	for _, c := range t.Columns {
+		if c.Stats != nil && c.Stats.Distinct > 1 && c.Stats.Distinct <= 200 {
+			out = append(out, c.Name)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

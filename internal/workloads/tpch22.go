@@ -1,0 +1,178 @@
+package workloads
+
+// TPCH22SQL returns single-block SPJG approximations of the 22 TPC-H
+// queries in the tuner's SQL dialect. Dates are encoded as days since
+// 1970-01-01 (1992-01-01 = 8035 .. 1998-12-31 = 10592). Nested
+// sub-queries in the official text are flattened to their dominant
+// SPJG block, which preserves the index/view request structure the
+// tuning experiments depend on.
+func TPCH22SQL() []string {
+	return []string{
+		// Q1: pricing summary report
+		`SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice),
+		        SUM(l_extendedprice * l_discount), AVG(l_quantity), AVG(l_extendedprice), COUNT(*)
+		 FROM lineitem
+		 WHERE l_shipdate <= 10474
+		 GROUP BY l_returnflag, l_linestatus
+		 ORDER BY l_returnflag, l_linestatus`,
+		// Q2: minimum cost supplier
+		`SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone
+		 FROM part, supplier, partsupp, nation, region
+		 WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = 15
+		   AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = 'EUROPE'
+		 ORDER BY s_acctbal DESC, n_name, s_name, p_partkey`,
+		// Q3: shipping priority
+		`SELECT l_orderkey, SUM(l_extendedprice * l_discount), o_orderdate, o_shippriority
+		 FROM customer, orders, lineitem
+		 WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+		   AND o_orderdate < 9204 AND l_shipdate > 9204
+		 GROUP BY l_orderkey, o_orderdate, o_shippriority
+		 ORDER BY o_orderdate`,
+		// Q4: order priority checking
+		`SELECT o_orderpriority, COUNT(*)
+		 FROM orders, lineitem
+		 WHERE l_orderkey = o_orderkey AND o_orderdate >= 9235 AND o_orderdate < 9327
+		   AND l_commitdate < l_receiptdate
+		 GROUP BY o_orderpriority
+		 ORDER BY o_orderpriority`,
+		// Q5: local supplier volume
+		`SELECT n_name, SUM(l_extendedprice * l_discount)
+		 FROM customer, orders, lineitem, supplier, nation, region
+		 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey
+		   AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey
+		   AND n_regionkey = r_regionkey AND r_name = 'ASIA'
+		   AND o_orderdate >= 8766 AND o_orderdate < 9131
+		 GROUP BY n_name
+		 ORDER BY n_name`,
+		// Q6: forecasting revenue change
+		`SELECT SUM(l_extendedprice * l_discount)
+		 FROM lineitem
+		 WHERE l_shipdate >= 8766 AND l_shipdate < 9131
+		   AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`,
+		// Q7: volume shipping
+		`SELECT n_name, SUM(l_extendedprice)
+		 FROM supplier, lineitem, orders, customer, nation
+		 WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey
+		   AND s_nationkey = n_nationkey AND l_shipdate >= 9131 AND l_shipdate <= 9861
+		 GROUP BY n_name
+		 ORDER BY n_name`,
+		// Q8: national market share
+		`SELECT o_orderdate, SUM(l_extendedprice * l_discount)
+		 FROM part, supplier, lineitem, orders, customer, nation, region
+		 WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey
+		   AND o_custkey = c_custkey AND c_nationkey = n_nationkey AND n_regionkey = r_regionkey
+		   AND r_name = 'AMERICA' AND o_orderdate >= 9131 AND o_orderdate <= 9861
+		   AND p_type = 'ECONOMY ANODIZED STEEL'
+		 GROUP BY o_orderdate
+		 ORDER BY o_orderdate`,
+		// Q9: product type profit measure
+		`SELECT n_name, SUM(l_extendedprice * l_discount)
+		 FROM part, supplier, lineitem, partsupp, orders, nation
+		 WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey
+		   AND p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+		   AND p_retailprice > 1500
+		 GROUP BY n_name
+		 ORDER BY n_name`,
+		// Q10: returned item reporting
+		`SELECT c_custkey, c_name, SUM(l_extendedprice * l_discount), c_acctbal, n_name, c_address, c_phone
+		 FROM customer, orders, lineitem, nation
+		 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		   AND o_orderdate >= 8979 AND o_orderdate < 9070 AND l_returnflag = 'R'
+		   AND c_nationkey = n_nationkey
+		 GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+		 ORDER BY c_custkey`,
+		// Q11: important stock identification
+		`SELECT ps_partkey, SUM(ps_supplycost * ps_availqty)
+		 FROM partsupp, supplier, nation
+		 WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'GERMANY'
+		 GROUP BY ps_partkey
+		 ORDER BY ps_partkey`,
+		// Q12: shipping modes and order priority
+		`SELECT l_shipmode, COUNT(*)
+		 FROM orders, lineitem
+		 WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP')
+		   AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+		   AND l_receiptdate >= 8766 AND l_receiptdate < 9131
+		 GROUP BY l_shipmode
+		 ORDER BY l_shipmode`,
+		// Q13: customer distribution
+		`SELECT c_custkey, COUNT(*)
+		 FROM customer, orders
+		 WHERE c_custkey = o_custkey AND o_comment NOT LIKE '%special%requests%'
+		 GROUP BY c_custkey`,
+		// Q14: promotion effect
+		`SELECT SUM(l_extendedprice * l_discount)
+		 FROM lineitem, part
+		 WHERE l_partkey = p_partkey AND l_shipdate >= 9374 AND l_shipdate < 9404
+		   AND p_type LIKE 'PROMO%'`,
+		// Q15: top supplier
+		`SELECT l_suppkey, SUM(l_extendedprice * l_discount)
+		 FROM lineitem
+		 WHERE l_shipdate >= 9496 AND l_shipdate < 9586
+		 GROUP BY l_suppkey
+		 ORDER BY l_suppkey`,
+		// Q16: parts/supplier relationship
+		`SELECT p_brand, p_type, p_size, COUNT(ps_suppkey)
+		 FROM partsupp, part
+		 WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45'
+		   AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+		 GROUP BY p_brand, p_type, p_size
+		 ORDER BY p_brand`,
+		// Q17: small-quantity-order revenue
+		`SELECT SUM(l_extendedprice)
+		 FROM lineitem, part
+		 WHERE p_partkey = l_partkey AND p_brand = 'Brand#23'
+		   AND p_container = 'MED BOX' AND l_quantity < 3`,
+		// Q18: large volume customer
+		`SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity)
+		 FROM customer, orders, lineitem
+		 WHERE o_totalprice > 400000 AND c_custkey = o_custkey AND o_orderkey = l_orderkey
+		 GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+		 ORDER BY o_totalprice DESC, o_orderdate`,
+		// Q19: discounted revenue
+		`SELECT SUM(l_extendedprice * l_discount)
+		 FROM lineitem, part
+		 WHERE p_partkey = l_partkey AND l_quantity >= 1 AND l_quantity <= 30
+		   AND p_size BETWEEN 1 AND 15
+		   AND (p_brand = 'Brand#12' OR p_brand = 'Brand#23' OR p_brand = 'Brand#34')
+		   AND l_shipmode IN ('AIR', 'REG AIR')`,
+		// Q20: potential part promotion
+		`SELECT s_name, s_address
+		 FROM supplier, nation, partsupp
+		 WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey
+		   AND n_name = 'CANADA' AND ps_availqty > 5000
+		 ORDER BY s_name`,
+		// Q21: suppliers who kept orders waiting
+		`SELECT s_name, COUNT(*)
+		 FROM supplier, lineitem, orders, nation
+		 WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND o_orderstatus = 'F'
+		   AND l_receiptdate > l_commitdate AND s_nationkey = n_nationkey
+		   AND n_name = 'SAUDI ARABIA'
+		 GROUP BY s_name
+		 ORDER BY s_name`,
+		// Q22: global sales opportunity
+		`SELECT c_phone, COUNT(*), SUM(c_acctbal)
+		 FROM customer
+		 WHERE c_acctbal > 0
+		 GROUP BY c_phone`,
+	}
+}
+
+// TPCH22 builds the 22-query workload.
+func TPCH22() (*Workload, error) {
+	return FromStatements("tpch22", "tpch", TPCH22SQL())
+}
+
+// TPCHRefresh returns the dbgen-style refresh statements (RF1/RF2) plus
+// targeted updates, used by the UPDATE workload experiments.
+func TPCHRefresh() []string {
+	return []string{
+		`INSERT INTO orders VALUES (1, 2, 3, 4, 5, 6, 7, 8, 9)`,
+		`INSERT INTO lineitem VALUES (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)`,
+		`DELETE FROM orders WHERE o_orderdate < 8100`,
+		`DELETE FROM lineitem WHERE l_shipdate < 8100`,
+		`UPDATE lineitem SET l_discount = l_discount + 0.01 WHERE l_shipdate >= 10400`,
+		`UPDATE orders SET o_totalprice = o_totalprice * 1.05 WHERE o_orderdate >= 10400`,
+		`UPDATE partsupp SET ps_availqty = ps_availqty - 1 WHERE ps_availqty > 9000`,
+	}
+}

@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/optimizer"
+)
+
+func TestTPCH22ParsesAndBinds(t *testing.T) {
+	w, err := TPCH22()
+	if err != nil {
+		t.Fatalf("tpch22: %v", err)
+	}
+	if len(w.Queries) != 22 {
+		t.Fatalf("queries: %d", len(w.Queries))
+	}
+	db := datagen.TPCH(0.001)
+	for _, q := range w.Queries {
+		if _, err := optimizer.Bind(db, q.Stmt); err != nil {
+			t.Errorf("%s does not bind: %v\n%s", q.ID, err, q.SQL)
+		}
+	}
+	if w.HasUpdates() {
+		t.Error("tpch22 is SELECT-only")
+	}
+}
+
+func TestTPCHRefreshBinds(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	for i, src := range TPCHRefresh() {
+		w, err := FromStatements("rf", "tpch", []string{src})
+		if err != nil {
+			t.Fatalf("statement %d: %v", i, err)
+		}
+		if _, err := optimizer.Bind(db, w.Queries[0].Stmt); err != nil {
+			t.Errorf("refresh %d does not bind: %v", i, err)
+		}
+		if !w.Queries[0].IsUpdate() {
+			t.Errorf("refresh %d should be an update", i)
+		}
+	}
+}
+
+func TestParseScriptWorkload(t *testing.T) {
+	w, err := Parse("demo", "tpch", "SELECT o_orderkey FROM orders; UPDATE orders SET o_totalprice = 1 WHERE o_orderkey = 5;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 2 || w.NumUpdates() != 1 {
+		t.Errorf("workload shape: %s", w)
+	}
+	if w.Queries[0].Weight != 1 {
+		t.Error("default weight should be 1")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	opt := DefaultGenOptions("g", 7, 12)
+	w1, err := Generate(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1.Queries {
+		if w1.Queries[i].SQL != w2.Queries[i].SQL {
+			t.Fatalf("query %d differs across runs", i)
+		}
+	}
+	w3, err := Generate(db, DefaultGenOptions("g", 8, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range w1.Queries {
+		if w1.Queries[i].SQL != w3.Queries[i].SQL {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGeneratedQueriesBind(t *testing.T) {
+	for _, db := range []*catalog.Database{
+		datagen.TPCH(0.001), datagen.DS1(0.001), datagen.Bench(0.001),
+	} {
+		w, err := Generate(db, DefaultGenOptions("bindcheck", 3, 15))
+		if err != nil {
+			t.Fatalf("%s: %v", db.Name, err)
+		}
+		for _, q := range w.Queries {
+			if _, err := optimizer.Bind(db, q.Stmt); err != nil {
+				t.Errorf("%s/%s does not bind: %v\n%s", db.Name, q.ID, err, q.SQL)
+			}
+		}
+	}
+}
+
+func TestGenerateUpdateFraction(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	opt := DefaultGenOptions("u", 9, 60)
+	opt.UpdateFraction = 0.5
+	w, err := Generate(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(w.NumUpdates()) / float64(len(w.Queries))
+	if frac < 0.25 || frac > 0.75 {
+		t.Errorf("update fraction %g, wanted near 0.5", frac)
+	}
+}
+
+func TestGenerateJoinsFollowHints(t *testing.T) {
+	db := datagen.Bench(0.001)
+	opt := DefaultGenOptions("j", 13, 30)
+	opt.MaxJoins = 3
+	w, err := Generate(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := 0
+	for _, q := range w.Queries {
+		if strings.Contains(q.SQL, " = t") || strings.Contains(q.SQL, ".fk = ") {
+			joins++
+		}
+	}
+	if joins == 0 {
+		t.Error("no generated query joined along the hints")
+	}
+}
+
+func TestJoinHintsCoverAllFamilies(t *testing.T) {
+	for _, fam := range []string{"tpch", "ds1", "bench"} {
+		if len(JoinHints(fam)) == 0 {
+			t.Errorf("no join hints for %s", fam)
+		}
+	}
+	if JoinHints("unknown") != nil {
+		t.Error("unknown database should have no hints")
+	}
+}
+
+func TestWorkloadDescribe(t *testing.T) {
+	w, err := TPCH22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := w.Describe()
+	if !strings.Contains(d, "tpch22-q1") || !strings.Contains(d, "22 statements") {
+		t.Errorf("describe output unexpected:\n%s", d)
+	}
+}

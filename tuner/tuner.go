@@ -1,0 +1,146 @@
+// Package tuner is the public API of the relaxation-based physical
+// design tuner, a from-scratch reproduction of Bruno & Chaudhuri,
+// "Automatic Physical Database Tuning: A Relaxation-based Approach"
+// (SIGMOD 2005).
+//
+// A tuning session takes a database (schema + statistics), a workload
+// (SQL text or generated), and a storage budget, and recommends a set of
+// indexes and materialized views:
+//
+//	db := tuner.TPCH(0.01)
+//	w, _ := tuner.TPCH22Workload()
+//	res, _ := tuner.Tune(db, w, tuner.Options{SpaceBudget: 256 << 20})
+//	fmt.Println(res.ImprovementPct())
+//
+// The package re-exports the building blocks (catalog construction,
+// workload parsing and generation, configurations, and the bottom-up
+// baseline advisor) so downstream users can compose their own
+// experiments.
+package tuner
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/physical"
+	"repro/internal/workloads"
+)
+
+// Core types, re-exported.
+type (
+	// Database is a catalog database: tables, columns, statistics.
+	Database = catalog.Database
+	// Table is one base table.
+	Table = catalog.Table
+	// Column is one table column with statistics.
+	Column = catalog.Column
+	// Workload is a weighted set of SQL statements.
+	Workload = workloads.Workload
+	// Query is one workload statement.
+	Query = workloads.Query
+	// Configuration is a set of indexes and materialized views.
+	Configuration = physical.Configuration
+	// Index is a B-tree index (keys + suffix columns).
+	Index = physical.Index
+	// View is a materialized view definition (the paper's 6-tuple).
+	View = physical.View
+	// Options configure the relaxation-based tuner.
+	Options = core.Options
+	// Result is the relaxation tuner's outcome.
+	Result = core.Result
+	// EvaluatedConfig couples a configuration with its evaluated cost.
+	EvaluatedConfig = core.EvaluatedConfig
+	// FrontierPoint is one (space, cost) observation of the search.
+	FrontierPoint = core.FrontierPoint
+	// BaselineOptions configure the bottom-up (CTT-style) advisor.
+	BaselineOptions = baseline.Options
+	// BaselineResult is the bottom-up advisor's outcome.
+	BaselineResult = baseline.Result
+	// GenOptions parameterize random workload generation.
+	GenOptions = workloads.GenOptions
+)
+
+// TPCH builds the TPC-H-style synthetic database at the given scale
+// factor (1.0 ≈ the standard 6M-lineitem scale).
+func TPCH(sf float64) *Database { return datagen.TPCH(sf) }
+
+// DS1 builds the star-schema decision-support database.
+func DS1(sf float64) *Database { return datagen.DS1(sf) }
+
+// Bench builds the generic multi-table benchmark database.
+func Bench(sf float64) *Database { return datagen.Bench(sf) }
+
+// BaseConfiguration returns the constraint-enforcing indexes every
+// configuration must contain for db.
+func BaseConfiguration(db *Database) *Configuration { return datagen.BaseConfiguration(db) }
+
+// ParseWorkload parses a semicolon-separated SQL script into a workload.
+func ParseWorkload(name, database, script string) (*Workload, error) {
+	return workloads.Parse(name, database, script)
+}
+
+// WorkloadFromStatements builds a workload from individual SQL strings.
+func WorkloadFromStatements(name, database string, sqls []string) (*Workload, error) {
+	return workloads.FromStatements(name, database, sqls)
+}
+
+// GenerateWorkload builds a random workload over db.
+func GenerateWorkload(db *Database, opts GenOptions) (*Workload, error) {
+	return workloads.Generate(db, opts)
+}
+
+// TPCH22Workload returns the 22-query TPC-H-style batch.
+func TPCH22Workload() (*Workload, error) { return workloads.TPCH22() }
+
+// NewSession binds a workload against a database and returns the tuning
+// session, exposing evaluation and the instrumented-optimizer primitives
+// (optimal configuration, request counts) in addition to Tune.
+func NewSession(db *Database, w *Workload, opts Options) (*core.Tuner, error) {
+	return core.NewTuner(db, w, opts)
+}
+
+// Tune runs the relaxation-based tuner end to end.
+func Tune(db *Database, w *Workload, opts Options) (*Result, error) {
+	t, err := core.NewTuner(db, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	return t.Tune()
+}
+
+// TuneBottomUp runs the CTT-style bottom-up advisor (the paper's
+// comparison baseline) over the same machinery.
+func TuneBottomUp(db *Database, w *Workload, opts BaselineOptions) (*BaselineResult, error) {
+	t, err := core.NewTuner(db, w, core.Options{NoViews: opts.NoViews})
+	if err != nil {
+		return nil, err
+	}
+	return baseline.Tune(t, opts)
+}
+
+// Improvement computes the paper's quality metric:
+// 100 × (1 − cost(recommended)/cost(initial)).
+func Improvement(initial, recommended float64) float64 {
+	return core.Improvement(initial, recommended)
+}
+
+// Report is the serializable summary of a tuning session.
+type Report = core.Report
+
+// WhatIfResult is the outcome of evaluating a user-supplied configuration.
+type WhatIfResult = core.WhatIfResult
+
+// ConfigurationDDL renders a configuration as an executable CREATE
+// INDEX / CREATE VIEW script.
+func ConfigurationDDL(c *Configuration) string { return physical.ConfigurationDDL(c) }
+
+// IndexDDL renders one index as a CREATE INDEX statement.
+func IndexDDL(ix *Index) string { return physical.IndexDDL(ix) }
+
+// MigrationDDL renders the CREATE/DROP script turning configuration
+// `from` into `to` (required constraint indexes are never dropped).
+func MigrationDDL(from, to *Configuration) string { return physical.MigrationDDL(from, to) }
+
+// CompressWorkload merges duplicate statements into weighted entries.
+func CompressWorkload(w *Workload) *Workload { return workloads.Compress(w) }

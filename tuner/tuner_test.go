@@ -1,0 +1,95 @@
+package tuner
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := TPCH(0.001)
+	w, err := ParseWorkload("api", "tpch", `
+		SELECT o_orderpriority, COUNT(*) FROM orders
+		WHERE o_orderdate >= 9131 AND o_orderdate < 9496
+		GROUP BY o_orderpriority;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(db, w, Options{SpaceBudget: 4 << 20, MaxIterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.Cost > res.Initial.Cost {
+		t.Errorf("tuning failed: %+v", res)
+	}
+	if res.ImprovementPct() <= 0 {
+		t.Errorf("no improvement: %g%%", res.ImprovementPct())
+	}
+}
+
+func TestPublicAPIBaseline(t *testing.T) {
+	db := Bench(0.001)
+	w, err := GenerateWorkload(db, GenOptions{Seed: 1, NumQueries: 6, MaxJoins: 2, Name: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TuneBottomUp(db, w, BaselineOptions{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost > res.Initial.Cost {
+		t.Error("baseline made things worse")
+	}
+}
+
+func TestPublicAPISession(t *testing.T) {
+	db := DS1(0.001)
+	w, err := GenerateWorkload(db, GenOptions{Seed: 2, NumQueries: 5, MaxJoins: 3, Name: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewSession(db, w, Options{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := session.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumIndexes() <= len(db.Tables()) {
+		t.Error("optimal configuration should add structures beyond the base")
+	}
+	ev, err := session.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Cost <= 0 || ev.SizeBytes <= 0 {
+		t.Errorf("evaluation: %+v", ev)
+	}
+}
+
+func TestBaseConfigurationRequired(t *testing.T) {
+	db := TPCH(0.001)
+	cfg := BaseConfiguration(db)
+	for _, ix := range cfg.Indexes() {
+		if !ix.Required {
+			t.Errorf("base index %s should be required", ix.ID())
+		}
+	}
+}
+
+func TestWorkloadFromStatements(t *testing.T) {
+	w, err := WorkloadFromStatements("x", "tpch", []string{"SELECT o_orderkey FROM orders"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 1 || !strings.Contains(w.Queries[0].SQL, "o_orderkey") {
+		t.Errorf("workload: %+v", w)
+	}
+}
+
+func TestImprovementExported(t *testing.T) {
+	if Improvement(200, 100) != 50 {
+		t.Error("improvement metric wrong")
+	}
+}
