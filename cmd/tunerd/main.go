@@ -1,0 +1,131 @@
+// Command tunerd runs the online tuning service as an HTTP/JSON daemon:
+// clients stream observed SQL statements at it, the service keeps a
+// compressed sliding window of the workload, detects drift, and retunes
+// incrementally — warm-starting from the previous recommendation so
+// repeat statements cost zero extra optimizer calls.
+//
+// Usage:
+//
+//	tunerd -db tpch -sf 0.01 -budget 64 -addr :8347
+//
+// Endpoints:
+//
+//	POST /ingest          {"statements": ["SELECT ...", ...]}
+//	GET  /recommendation  current physical design advice
+//	POST /retune          tune the current window now
+//	GET  /drift           assess workload drift
+//	GET  /metrics         activity counters
+//	GET  /healthz         liveness
+//
+// Quickstart:
+//
+//	curl -s -XPOST localhost:8347/ingest -d '{"statements": ["SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate >= 9131 GROUP BY o_orderpriority"]}'
+//	curl -s -XPOST localhost:8347/retune
+//	curl -s localhost:8347/recommendation
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/workloads"
+	"repro/tuner"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8347", "listen address")
+		dbName     = flag.String("db", "tpch", "database: tpch, ds1, or bench")
+		sf         = flag.Float64("sf", 0.001, "database scale factor")
+		budgetMB   = flag.Int64("budget", 0, "storage budget in MB (0 = unconstrained)")
+		views      = flag.Bool("views", true, "consider materialized views")
+		iters      = flag.Int("iters", 120, "maximum relaxation iterations per retune")
+		tuneTime   = flag.Duration("tune-time", 0, "per-retune time budget (0 = unbounded)")
+		windowObs  = flag.Int("window", 4096, "sliding window size in observations")
+		maxUnique  = flag.Int("max-unique", 512, "max distinct statements kept in the window")
+		halfLife   = flag.Int("half-life", 0, "statement weight half-life in observations (0 = no decay)")
+		driftEvery = flag.Duration("drift-interval", 30*time.Second, "background drift check interval (0 = off)")
+		driftMin   = flag.Int("drift-min", 8, "minimum window statements before drift can trigger")
+		driftShape = flag.Float64("drift-shape", 0.5, "shape-histogram L1 distance threshold")
+		driftCost  = flag.Float64("drift-cost", 1.25, "cost inflation ratio threshold")
+		autoRetune = flag.Bool("auto-retune", true, "retune automatically when drift is detected")
+	)
+	flag.Parse()
+
+	db, err := database(*dbName, *sf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := service.New(service.Options{
+		DB: db,
+		Tuning: core.Options{
+			SpaceBudget:   *budgetMB << 20,
+			NoViews:       !*views,
+			MaxIterations: *iters,
+			TimeBudget:    *tuneTime,
+		},
+		Window: workloads.WindowOptions{
+			MaxObservations: *windowObs,
+			MaxUnique:       *maxUnique,
+			HalfLife:        *halfLife,
+		},
+		Drift: service.DriftOptions{
+			MinStatements:  *driftMin,
+			ShapeThreshold: *driftShape,
+			CostThreshold:  *driftCost,
+		},
+		DriftCheckInterval: *driftEvery,
+		AutoRetune:         *autoRetune,
+		Logf:               log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	go func() {
+		log.Printf("tunerd: serving %s (sf %g) on %s", db.Name, *sf, *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("tunerd: %v", err)
+		}
+	}()
+
+	// Graceful shutdown: stop accepting requests, then drain any
+	// in-flight tuning session.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("tunerd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("tunerd: http shutdown: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Printf("tunerd: service close: %v", err)
+	}
+	log.Printf("tunerd: bye")
+}
+
+func database(name string, sf float64) (*catalog.Database, error) {
+	switch name {
+	case "tpch":
+		return tuner.TPCH(sf), nil
+	case "ds1":
+		return tuner.DS1(sf), nil
+	case "bench":
+		return tuner.Bench(sf), nil
+	}
+	return nil, fmt.Errorf("unknown database %q (want tpch, ds1, or bench)", name)
+}

@@ -1,0 +1,97 @@
+// online_tuning replays a shifting workload against an in-process online
+// tuning service and prints how the recommendation changes as drift is
+// detected.
+//
+// The stream has three phases: order-centric reporting queries, a mixed
+// transition, and a lineitem/part-centric analytical phase. The service
+// ingests the stream, checks drift after every batch, and retunes
+// (warm-starting from the previous recommendation) whenever the windowed
+// workload has drifted from the last-tuned one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/workloads"
+	"repro/tuner"
+)
+
+var phases = [][]string{
+	{ // phase 1: order-priority reporting
+		`SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate >= 9131 AND o_orderdate < 9496 GROUP BY o_orderpriority`,
+		`SELECT c_name, o_orderkey, o_totalprice FROM customer, orders WHERE c_custkey = o_custkey AND o_totalprice > 400000 ORDER BY o_totalprice DESC`,
+		`SELECT o_orderstatus, SUM(o_totalprice) FROM orders WHERE o_orderdate >= 9131 GROUP BY o_orderstatus`,
+	},
+	{ // phase 2: transition — orders cool down, shipping heats up
+		`SELECT c_name, o_orderkey, o_totalprice FROM customer, orders WHERE c_custkey = o_custkey AND o_totalprice > 400000 ORDER BY o_totalprice DESC`,
+		`SELECT l_shipmode, SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN 9131 AND 9496 GROUP BY l_shipmode`,
+		`SELECT l_returnflag, SUM(l_quantity) FROM lineitem WHERE l_discount > 0.05 GROUP BY l_returnflag`,
+	},
+	{ // phase 3: lineitem/part analytics
+		`SELECT l_shipmode, SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN 9131 AND 9496 GROUP BY l_shipmode`,
+		`SELECT l_returnflag, SUM(l_quantity) FROM lineitem WHERE l_discount > 0.05 GROUP BY l_returnflag`,
+		`SELECT p_type, COUNT(*) FROM part WHERE p_size > 40 GROUP BY p_type`,
+		`SELECT s_name, s_acctbal FROM supplier WHERE s_acctbal > 5000`,
+	},
+}
+
+func main() {
+	db := tuner.TPCH(0.001)
+	base := tuner.BaseConfiguration(db)
+	svc, err := service.New(service.Options{
+		DB:     db,
+		Tuning: core.Options{SpaceBudget: 2 << 20, MaxIterations: 80},
+		// A short window with decay makes the service forget old phases.
+		Window: workloads.WindowOptions{MaxObservations: 60, HalfLife: 30},
+		Drift:  service.DriftOptions{MinStatements: 6, ShapeThreshold: 0.4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	for p, stmts := range phases {
+		fmt.Printf("=== phase %d: replaying %d statement shapes x5 ===\n", p+1, len(stmts))
+		for round := 0; round < 5; round++ {
+			var batch []string
+			batch = append(batch, stmts...)
+			res := svc.Ingest(batch)
+			if res.Rejected > 0 {
+				log.Fatalf("rejected %d statements", res.Rejected)
+			}
+		}
+		rep := svc.CheckDrift()
+		fmt.Printf("drift: distance=%.2f cost-ratio=%.2f -> %v (%s)\n",
+			rep.ShapeDistance, rep.CostRatio, rep.Drifted, rep.Reason)
+		if !rep.Drifted {
+			fmt.Println("recommendation unchanged")
+			continue
+		}
+		rec, err := svc.Retune()
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "cold"
+		if rec.WarmStart {
+			kind = "warm"
+		}
+		fmt.Printf("retuned (%s): %d stmts, cost %.1f -> %.1f (%.1f%%), %d optimizer calls\n",
+			kind, rec.Statements, rec.InitialCost, rec.Cost, rec.ImprovementPct, rec.OptimizerCalls)
+		for _, ix := range rec.Indexes {
+			if !base.HasIndex(ix) { // skip pre-existing constraint indexes
+				fmt.Printf("  %s\n", ix)
+			}
+		}
+		fmt.Println()
+	}
+
+	m := svc.MetricsSnapshot()
+	fmt.Printf("=== totals ===\n")
+	fmt.Printf("ingested %d statements (%d unique in window), %d drift events, %d retunes (%d warm)\n",
+		m.StatementsIngested, m.WindowUnique, m.DriftEvents, m.Retunes, m.WarmRetunes)
+	fmt.Printf("optimizer calls: %d tuning + %d drift probes; warm-start saved %d calls across %d cache hits\n",
+		m.TuneOptimizerCalls, m.DriftOptimizerCalls, m.OptimizerCallsSaved, m.CacheHits)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/physical"
+)
+
+// RequestCache memoizes the per-statement optimal configuration fragments
+// derived by the §2 instrumented optimization. The fragment for a
+// statement depends only on the database, the statement text, and whether
+// views are enabled — so across successive tuning sessions over an
+// evolving workload (the online retuning path), statements that were
+// already seen can reuse their fragment and cost zero additional
+// optimizer calls.
+//
+// A RequestCache is safe for concurrent use and may be shared by any
+// number of sessions over the same database.
+type RequestCache struct {
+	mu    sync.Mutex
+	frags map[string]*fragEntry
+
+	hits, misses           int64
+	callsSaved, callsSpent int64
+}
+
+// fragEntry is one cached fragment plus the optimizer calls that were
+// spent deriving it (the amount a cache hit saves).
+type fragEntry struct {
+	cfg   *physical.Configuration
+	calls int64
+}
+
+// NewRequestCache returns an empty cache.
+func NewRequestCache() *RequestCache {
+	return &RequestCache{frags: map[string]*fragEntry{}}
+}
+
+// CacheStats is a point-in-time snapshot of cache activity.
+type CacheStats struct {
+	Entries int
+	Hits    int64
+	Misses  int64
+	// CallsSaved is the cumulative optimizer calls avoided by hits;
+	// CallsSpent the calls invested building the cached fragments.
+	CallsSaved int64
+	CallsSpent int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *RequestCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:    len(c.frags),
+		Hits:       c.hits,
+		Misses:     c.misses,
+		CallsSaved: c.callsSaved,
+		CallsSpent: c.callsSpent,
+	}
+}
+
+// Len returns the number of cached fragments.
+func (c *RequestCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frags)
+}
+
+// lookup returns an independent copy of the cached fragment for key.
+func (c *RequestCache) lookup(key string) (*physical.Configuration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.frags[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.callsSaved += e.calls
+	return deepCloneConfig(e.cfg), true
+}
+
+// store records the fragment derived for key at a cost of calls optimizer
+// invocations. The fragment is copied, so the caller may keep mutating it.
+func (c *RequestCache) store(key string, frag *physical.Configuration, calls int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.frags[key]; ok {
+		return
+	}
+	c.frags[key] = &fragEntry{cfg: deepCloneConfig(frag), calls: calls}
+	c.callsSpent += calls
+}
+
+// deepCloneConfig copies a configuration down to its indexes and views so
+// no structure is shared across sessions (sessions may set estimated
+// cardinalities on views they own).
+func deepCloneConfig(cfg *physical.Configuration) *physical.Configuration {
+	out := physical.NewConfiguration()
+	for _, v := range cfg.Views() {
+		out.AddView(v.Clone())
+	}
+	for _, ix := range cfg.Indexes() {
+		out.AddIndex(ix.Clone())
+	}
+	return out
+}
+
+// cacheKey identifies one statement's fragment: same database, same
+// statement text, same view setting → same optimal fragment.
+func (t *Tuner) cacheKey(tq *TunedQuery) string {
+	return fmt.Sprintf("%s|noviews=%v|%s", t.DB.Name, t.Options.NoViews, tq.Query.SQL)
+}

@@ -31,6 +31,12 @@ type Delta struct {
 // may trigger are one-time cached CBV computations for view removals.
 // Merged views in tr must already carry estimated cardinalities.
 func (t *Tuner) BoundDelta(ec *EvaluatedConfig, tr *physical.Transformation) (Delta, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.boundDelta(ec, tr)
+}
+
+func (t *Tuner) boundDelta(ec *EvaluatedConfig, tr *physical.Transformation) (Delta, error) {
 	cfgAfter := tr.Apply(ec.Config)
 	sizer := t.Opt.Sizer()
 	d := Delta{DS: ec.SizeBytes - sizer.ConfigBytes(cfgAfter)}

@@ -145,6 +145,12 @@ func clusterKeysFor(v *physical.View) []string {
 // it returns the structures the optimal plan actually uses (a per-query
 // optimal configuration fragment) along with the resulting plan.
 func (t *Tuner) OptimalForQuery(tq *TunedQuery) (*physical.Configuration, *optimizer.QueryResult, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.optimalForQuery(tq)
+}
+
+func (t *Tuner) optimalForQuery(tq *TunedQuery) (*physical.Configuration, *optimizer.QueryResult, error) {
 	work := t.Base.Clone()
 	ic := t.newInterceptor(work)
 	t.Opt.SetHooks(ic.hooks())
@@ -189,11 +195,34 @@ func (t *Tuner) OptimalForQuery(tq *TunedQuery) (*physical.Configuration, *optim
 // per-query optimal fragments over the base configuration. The returned
 // configuration cannot be improved for SELECT-only workloads.
 func (t *Tuner) OptimalConfiguration() (*physical.Configuration, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.optimalConfiguration()
+}
+
+// optimalConfiguration consults Options.Cache when present: statements
+// whose fragment was derived by an earlier session reuse it without any
+// optimizer calls (the warm-start fast path of the online retuner).
+func (t *Tuner) optimalConfiguration() (*physical.Configuration, error) {
 	union := t.Base.Clone()
+	cache := t.Options.Cache
 	for _, tq := range t.Queries {
-		frag, _, err := t.OptimalForQuery(tq)
-		if err != nil {
-			return nil, err
+		var frag *physical.Configuration
+		if cache != nil {
+			if hit, ok := cache.lookup(t.cacheKey(tq)); ok {
+				frag = hit
+			}
+		}
+		if frag == nil {
+			before := t.Opt.Stats().OptimizeCalls
+			f, _, err := t.optimalForQuery(tq)
+			if err != nil {
+				return nil, err
+			}
+			frag = f
+			if cache != nil {
+				cache.store(t.cacheKey(tq), f, t.Opt.Stats().OptimizeCalls-before)
+			}
 		}
 		for _, v := range frag.Views() {
 			union.AddView(v)
@@ -208,8 +237,10 @@ func (t *Tuner) OptimalConfiguration() (*physical.Configuration, error) {
 // RequestCounts runs the instrumented optimization over the workload and
 // reports the number of index and view requests issued (Table 1).
 func (t *Tuner) RequestCounts() (indexReqs, viewReqs int64, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	before := t.Opt.Stats()
-	if _, err := t.OptimalConfiguration(); err != nil {
+	if _, err := t.optimalConfiguration(); err != nil {
 		return 0, 0, err
 	}
 	after := t.Opt.Stats()

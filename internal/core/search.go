@@ -77,21 +77,27 @@ func (n *searchNode) untried() int {
 // with the §3.4 heuristics) and returns the recommendation plus all
 // by-products.
 func (t *Tuner) Tune() (*Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tune()
+}
+
+func (t *Tuner) tune() (*Result, error) {
 	start := time.Now()
 	stats0 := t.Opt.Stats()
 	res := &Result{}
 
-	initial, err := t.Evaluate(t.Base)
+	initial, err := t.evaluate(t.Base)
 	if err != nil {
 		return nil, err
 	}
 	res.Initial = initial
 
-	optimalCfg, err := t.OptimalConfiguration()
+	optimalCfg, err := t.optimalConfiguration()
 	if err != nil {
 		return nil, err
 	}
-	optimal, err := t.Evaluate(optimalCfg)
+	optimal, err := t.evaluate(optimalCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +134,37 @@ func (t *Tuner) Tune() (*Result, error) {
 	seen := map[string]bool{optimalCfg.Fingerprint(): true}
 	res.Frontier = append(res.Frontier,
 		FrontierPoint{SizeBytes: optimal.SizeBytes, Cost: optimal.Cost, Fits: fits(optimal)})
+
+	// Warm start (online retuning): evaluate the previous recommendation
+	// under the current workload, let it join the pool, and adopt it as
+	// the incumbent when it fits — the search then prunes against a good
+	// bound immediately instead of rediscovering it by relaxation. The
+	// evaluation is incremental from the optimal configuration: only
+	// queries whose optimal plan used a structure absent from the warm
+	// configuration are re-optimized, so a warm start over a repeat-heavy
+	// workload costs only a handful of optimizer calls.
+	if ws := t.Options.WarmStart; ws != nil {
+		warmCfg := ws.Clone()
+		for _, ix := range t.Base.Indexes() {
+			warmCfg.AddIndex(ix)
+		}
+		if fp := warmCfg.Fingerprint(); !seen[fp] {
+			seen[fp] = true
+			removedIdx, removedViews := optimalCfg.Diff(warmCfg)
+			warm, ok, err := t.evaluateIncremental(optimal, warmCfg, removedIdx, removedViews, 0)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Frontier = append(res.Frontier,
+					FrontierPoint{SizeBytes: warm.SizeBytes, Cost: warm.Cost, Fits: fits(warm)})
+				pool = append(pool, t.newSearchNode(warm, nil, 0))
+				if fits(warm) && (cbest == nil || warm.Cost < cbest.Cost) {
+					cbest = warm
+				}
+			}
+		}
+	}
 
 	maxIter := t.Options.MaxIterations
 	if maxIter <= 0 {
@@ -181,7 +218,7 @@ func (t *Tuner) Tune() (*Result, error) {
 		if hasUpdates {
 			cutoff = 0
 		}
-		evalNew, ok, err := t.EvaluateIncremental(node.eval, cfgNew, removedIdx, removedViews, cutoff)
+		evalNew, ok, err := t.evaluateIncremental(node.eval, cfgNew, removedIdx, removedViews, cutoff)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +347,7 @@ func (t *Tuner) shrinkUnused(ec *EvaluatedConfig) (*EvaluatedConfig, error) {
 	if !changed {
 		return nil, nil
 	}
-	out, ok, err := t.EvaluateIncremental(ec, shrunk, nil, nil, 0)
+	out, ok, err := t.evaluateIncremental(ec, shrunk, nil, nil, 0)
 	if err != nil || !ok {
 		return nil, err
 	}
@@ -435,7 +472,7 @@ func (t *Tuner) rankTransformations(node *searchNode, budget int64, hasUpdates b
 		d, ok := node.deltas[id]
 		if !ok {
 			var err error
-			d, err = t.BoundDelta(node.eval, tr)
+			d, err = t.boundDelta(node.eval, tr)
 			if err != nil {
 				node.tried[id] = true
 				continue

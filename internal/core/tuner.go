@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -64,6 +65,19 @@ type Options struct {
 	// ShrinkUnused drops structures no query plan reads after each
 	// relaxation step, pruning the search space at some quality risk.
 	ShrinkUnused bool
+
+	// Online/incremental retuning (the internal/service layer).
+
+	// Cache, when set, memoizes per-statement optimal fragments across
+	// sessions: statements whose fragment is cached skip the §2
+	// instrumented optimization entirely (zero optimizer calls). The
+	// cache must only be shared between sessions over the same database.
+	Cache *RequestCache
+	// WarmStart seeds the relaxation search with a previously recommended
+	// configuration: it is evaluated up front, joins the search pool, and
+	// becomes the incumbent if it fits the budget, so shortcut evaluation
+	// prunes against a good bound from the first iteration.
+	WarmStart *physical.Configuration
 }
 
 // TunedQuery pairs a workload statement with its bound form.
@@ -72,13 +86,21 @@ type TunedQuery struct {
 	Bound *optimizer.BoundQuery
 }
 
-// Tuner is a tuning session over one database and workload.
+// Tuner is a tuning session over one database and workload. A session is
+// safe for concurrent use: every public entry point serializes on an
+// internal mutex, so concurrent calls execute one at a time against the
+// shared optimizer and caches (single-owner semantics, enforced rather
+// than documented).
 type Tuner struct {
 	DB      *catalog.Database
 	Opt     *optimizer.Optimizer
 	Base    *physical.Configuration
 	Queries []*TunedQuery
 	Options Options
+
+	// mu serializes all public entry points; internal (lowercase)
+	// implementations assume it is held.
+	mu sync.Mutex
 
 	heapTables map[string]bool
 	// cbvCache caches the §3.3.2 cost of computing a view from the base
@@ -127,6 +149,12 @@ type EvaluatedConfig struct {
 // Evaluate optimizes every workload query under cfg and returns the
 // complete evaluation.
 func (t *Tuner) Evaluate(cfg *physical.Configuration) (*EvaluatedConfig, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evaluate(cfg)
+}
+
+func (t *Tuner) evaluate(cfg *physical.Configuration) (*EvaluatedConfig, error) {
 	if hit, ok := t.evalCache[cfg.Fingerprint()]; ok {
 		return hit, nil
 	}
@@ -150,6 +178,12 @@ func (t *Tuner) Evaluate(cfg *physical.Configuration) (*EvaluatedConfig, error) 
 // cutoff > 0 and the running total exceeds it, evaluation aborts
 // (shortcut evaluation, §3.5) and returns (nil, false, nil).
 func (t *Tuner) EvaluateIncremental(parent *EvaluatedConfig, cfg *physical.Configuration, removedIdx, removedViews []string, cutoff float64) (*EvaluatedConfig, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evaluateIncremental(parent, cfg, removedIdx, removedViews, cutoff)
+}
+
+func (t *Tuner) evaluateIncremental(parent *EvaluatedConfig, cfg *physical.Configuration, removedIdx, removedViews []string, cutoff float64) (*EvaluatedConfig, bool, error) {
 	if hit, ok := t.evalCache[cfg.Fingerprint()]; ok {
 		return hit, true, nil
 	}

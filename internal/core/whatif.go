@@ -129,11 +129,13 @@ func (t *Tuner) buildWhatIfIndex(cfg *physical.Configuration, target string, s *
 // the classical what-if analysis built on the same machinery the tuner
 // uses.
 func (t *Tuner) WhatIf(cfg *physical.Configuration) (*WhatIfResult, error) {
-	base, err := t.Evaluate(t.Base)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base, err := t.evaluate(t.Base)
 	if err != nil {
 		return nil, err
 	}
-	target, err := t.Evaluate(cfg)
+	target, err := t.evaluate(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// DriftOptions configure when the windowed workload has drifted far
+// enough from the last-tuned workload to make retuning worthwhile.
+type DriftOptions struct {
+	// MinStatements gates retuning until the window holds at least this
+	// many observations (0 = default 8).
+	MinStatements int
+	// ShapeThreshold is the L1 distance between weight-share histograms
+	// (range [0,2]) above which the workload shape counts as drifted
+	// (0 = default 0.5).
+	ShapeThreshold float64
+	// CostThreshold flags drift when the window's weighted cost per unit
+	// weight under the current configuration exceeds the cost per unit
+	// weight achieved at the last retune by this factor (0 = default 1.25).
+	CostThreshold float64
+}
+
+func (o DriftOptions) withDefaults() DriftOptions {
+	if o.MinStatements <= 0 {
+		o.MinStatements = 8
+	}
+	if o.ShapeThreshold <= 0 {
+		o.ShapeThreshold = 0.5
+	}
+	if o.CostThreshold <= 0 {
+		o.CostThreshold = 1.25
+	}
+	return o
+}
+
+// Fingerprint characterizes one windowed workload: the statement-shape
+// histogram (weight share per distinct statement) and the weighted cost
+// per unit weight under a reference configuration.
+type Fingerprint struct {
+	Shares        map[string]float64
+	CostPerWeight float64
+}
+
+// shapeHistogram builds the normalized weight-share histogram of w.
+func shapeHistogram(w *workloads.Workload) map[string]float64 {
+	total := w.TotalWeight()
+	shares := make(map[string]float64, len(w.Queries))
+	if total <= 0 {
+		return shares
+	}
+	for _, q := range w.Queries {
+		shares[q.SQL] += q.Weight / total
+	}
+	return shares
+}
+
+// shapeDistance is the L1 distance between two share histograms, in
+// [0,2]: 0 for identical shapes, 2 for disjoint statement sets.
+func shapeDistance(a, b map[string]float64) float64 {
+	d := 0.0
+	for k, av := range a {
+		d += abs(av - b[k])
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			d += bv
+		}
+	}
+	return d
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// DriftReport is the outcome of one drift assessment.
+type DriftReport struct {
+	Drifted bool `json:"drifted"`
+	// ShapeDistance is the histogram L1 distance to the last-tuned
+	// workload, CostRatio the cost-per-weight inflation under the current
+	// configuration (1 = no regression; 0 when no cost signal exists).
+	ShapeDistance float64 `json:"shape_distance"`
+	CostRatio     float64 `json:"cost_ratio"`
+	Reason        string  `json:"reason,omitempty"`
+}
+
+// assess compares the current window fingerprint against the baseline
+// taken at the last retune. A nil baseline (never tuned) drifts as soon
+// as the window holds MinStatements observations.
+func assess(opts DriftOptions, baseline *Fingerprint, cur Fingerprint, observations int64) DriftReport {
+	o := opts.withDefaults()
+	if observations < int64(o.MinStatements) {
+		return DriftReport{Reason: fmt.Sprintf("window holds %d/%d statements", observations, o.MinStatements)}
+	}
+	if baseline == nil {
+		return DriftReport{Drifted: true, ShapeDistance: 2, Reason: "never tuned"}
+	}
+	rep := DriftReport{ShapeDistance: shapeDistance(cur.Shares, baseline.Shares)}
+	if baseline.CostPerWeight > 0 && cur.CostPerWeight > 0 {
+		rep.CostRatio = cur.CostPerWeight / baseline.CostPerWeight
+	}
+	switch {
+	case rep.ShapeDistance >= o.ShapeThreshold:
+		rep.Drifted = true
+		rep.Reason = fmt.Sprintf("shape distance %.3f >= %.3f", rep.ShapeDistance, o.ShapeThreshold)
+	case rep.CostRatio >= o.CostThreshold:
+		rep.Drifted = true
+		rep.Reason = fmt.Sprintf("cost ratio %.3f >= %.3f", rep.CostRatio, o.CostThreshold)
+	}
+	return rep
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// ingestRequest is the POST /ingest payload.
+type ingestRequest struct {
+	// Statements are observed SQL statements, one entry per execution
+	// (repeat a statement to weight it).
+	Statements []string `json:"statements"`
+}
+
+// errorResponse is the uniform JSON error shape.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// healthResponse is the GET /healthz payload.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	Database      string  `json:"database"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	HasRec        bool    `json:"has_recommendation"`
+}
+
+// retuneResponse wraps POST /retune results.
+type retuneResponse struct {
+	Recommendation *Recommendation `json:"recommendation"`
+}
+
+// NewHandler exposes the service over HTTP/JSON:
+//
+//	POST /ingest          {"statements": ["SELECT ...", ...]}
+//	GET  /recommendation  current advice (404 before the first retune)
+//	POST /retune          tune the current window synchronously
+//	GET  /metrics         activity counters
+//	GET  /healthz         liveness
+func NewHandler(s *Service) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		var req ingestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+			return
+		}
+		if len(req.Statements) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "statements is empty"})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Ingest(req.Statements))
+	})
+
+	mux.HandleFunc("GET /recommendation", func(w http.ResponseWriter, r *http.Request) {
+		rec := s.Recommendation()
+		if rec == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "no recommendation yet; ingest a workload and POST /retune"})
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+
+	mux.HandleFunc("POST /retune", func(w http.ResponseWriter, r *http.Request) {
+		rec, err := s.Retune()
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrEmptyWindow) {
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, retuneResponse{Recommendation: rec})
+	})
+
+	mux.HandleFunc("GET /drift", func(w http.ResponseWriter, r *http.Request) {
+		rep := s.CheckDrift()
+		writeJSON(w, http.StatusOK, rep)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthResponse{
+			Status:        "ok",
+			Database:      s.db.Name,
+			UptimeSeconds: time.Since(start).Seconds(),
+			HasRec:        s.Recommendation() != nil,
+		})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,53 @@
+package service
+
+import "sync/atomic"
+
+// Metrics holds the service's activity counters. All fields are updated
+// atomically; Snapshot returns a consistent-enough point-in-time copy for
+// the /metrics endpoint.
+type Metrics struct {
+	ingestRequests     atomic.Int64
+	statementsIngested atomic.Int64
+	parseErrors        atomic.Int64
+
+	driftChecks atomic.Int64
+	driftEvents atomic.Int64
+
+	retunes     atomic.Int64
+	warmRetunes atomic.Int64
+
+	tuneOptimizerCalls  atomic.Int64
+	driftOptimizerCalls atomic.Int64
+	lastRetuneCalls     atomic.Int64
+	lastRetuneMillis    atomic.Int64
+}
+
+// MetricsSnapshot is the JSON shape served by /metrics.
+type MetricsSnapshot struct {
+	IngestRequests     int64 `json:"ingest_requests"`
+	StatementsIngested int64 `json:"statements_ingested"`
+	ParseErrors        int64 `json:"parse_errors"`
+
+	WindowObservations int64   `json:"window_observations"`
+	WindowUnique       int64   `json:"window_unique"`
+	WindowWeight       float64 `json:"window_weight"`
+	WindowEvicted      int64   `json:"window_evicted"`
+
+	DriftChecks int64 `json:"drift_checks"`
+	DriftEvents int64 `json:"drift_events"`
+
+	Retunes     int64 `json:"retunes"`
+	WarmRetunes int64 `json:"warm_retunes"`
+
+	TuneOptimizerCalls  int64 `json:"tune_optimizer_calls"`
+	DriftOptimizerCalls int64 `json:"drift_optimizer_calls"`
+	LastRetuneCalls     int64 `json:"last_retune_optimizer_calls"`
+	LastRetuneMillis    int64 `json:"last_retune_millis"`
+
+	// Warm-start accounting from the shared request cache: calls invested
+	// building cached fragments vs. calls avoided on cache hits.
+	CacheEntries        int   `json:"cache_entries"`
+	CacheHits           int64 `json:"cache_hits"`
+	OptimizerCallsSaved int64 `json:"optimizer_calls_saved"`
+	OptimizerCallsSpent int64 `json:"optimizer_calls_spent"`
+}

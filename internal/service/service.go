@@ -1,0 +1,403 @@
+// Package service turns the batch relaxation tuner into a continuously
+// consumable online tuning service: a streaming workload ingester (a
+// sliding window with duplicate-statement compression and exponential
+// decay), a drift detector that decides when retuning is worthwhile, and
+// an incremental retuner that warm-starts relaxation from the previous
+// recommendation while reusing cached per-statement optimal fragments, so
+// repeat statements cost zero additional optimizer calls.
+//
+// The package is transport-agnostic; http.go exposes the HTTP/JSON
+// surface served by cmd/tunerd.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/workloads"
+)
+
+// Options configure an online tuning service.
+type Options struct {
+	// DB is the catalog database tuned against (required).
+	DB *catalog.Database
+	// Tuning configures each retuning session (budget, iterations, ...).
+	// Cache and WarmStart are managed by the service and overwritten.
+	Tuning core.Options
+	// Window configures the streaming ingester.
+	Window workloads.WindowOptions
+	// Drift configures the retune-worthwhile decision.
+	Drift DriftOptions
+	// DriftCheckInterval enables the background drift checker (0 = only
+	// explicit CheckDrift calls and the ingest-count trigger below).
+	DriftCheckInterval time.Duration
+	// DriftCheckEvery additionally runs a drift check after every N
+	// ingested statements (0 = disabled).
+	DriftCheckEvery int
+	// AutoRetune makes detected drift trigger an asynchronous retune.
+	AutoRetune bool
+	// Logf receives service log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Recommendation is the service's current physical design advice.
+type Recommendation struct {
+	GeneratedAt    time.Time `json:"generated_at"`
+	Statements     int       `json:"statements"`
+	TotalWeight    float64   `json:"total_weight"`
+	InitialCost    float64   `json:"initial_cost"`
+	Cost           float64   `json:"cost"`
+	ImprovementPct float64   `json:"improvement_pct"`
+	SizeBytes      int64     `json:"size_bytes"`
+	Indexes        []string  `json:"indexes"`
+	Views          []string  `json:"views,omitempty"`
+	DDL            string    `json:"ddl"`
+	WarmStart      bool      `json:"warm_start"`
+	OptimizerCalls int64     `json:"optimizer_calls"`
+	Iterations     int       `json:"iterations"`
+	ElapsedMillis  int64     `json:"elapsed_millis"`
+
+	// Config is the recommended configuration itself (not serialized).
+	Config *physical.Configuration `json:"-"`
+}
+
+// ErrEmptyWindow is returned by Retune when nothing has been ingested.
+var ErrEmptyWindow = errors.New("service: workload window is empty")
+
+// Service is a running online tuning service. All methods are safe for
+// concurrent use.
+type Service struct {
+	opts    Options
+	db      *catalog.Database
+	window  *workloads.SlidingWindow
+	cache   *core.RequestCache
+	metrics *Metrics
+
+	// mu guards the recommendation state, drift baseline, and the
+	// drift-probe optimizer + per-statement cost cache.
+	mu        sync.Mutex
+	rec       *Recommendation
+	baseline  *Fingerprint
+	costCache map[string]float64
+	driftOpt  *optimizer.Optimizer
+
+	// tuneMu serializes tuning sessions (one retune at a time).
+	tuneMu sync.Mutex
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	retuneCh chan struct{}
+
+	closeOnce sync.Once
+}
+
+// New starts an online tuning service over opts.DB.
+func New(opts Options) (*Service, error) {
+	if opts.DB == nil {
+		return nil, errors.New("service: Options.DB is required")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		opts:      opts,
+		db:        opts.DB,
+		window:    workloads.NewSlidingWindow(opts.DB.Name, opts.Window),
+		cache:     core.NewRequestCache(),
+		metrics:   &Metrics{},
+		costCache: map[string]float64{},
+		driftOpt:  optimizer.New(opts.DB),
+		ctx:       ctx,
+		cancel:    cancel,
+		retuneCh:  make(chan struct{}, 1),
+	}
+	s.wg.Add(1)
+	go s.retuneWorker()
+	if opts.DriftCheckInterval > 0 {
+		s.wg.Add(1)
+		go s.driftWorker()
+	}
+	return s, nil
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// IngestResult summarizes one ingestion batch.
+type IngestResult struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	// Window state after the batch.
+	WindowObservations int `json:"window_observations"`
+	WindowUnique       int `json:"window_unique"`
+	// Drift carries the post-batch drift assessment when the batch
+	// crossed a DriftCheckEvery boundary.
+	Drift *DriftReport `json:"drift,omitempty"`
+}
+
+// Ingest feeds a batch of observed SQL statements into the window.
+// Statements that fail to parse are counted and skipped; the rest are
+// admitted.
+func (s *Service) Ingest(sqls []string) IngestResult {
+	s.metrics.ingestRequests.Add(1)
+	res := IngestResult{}
+	for _, sql := range sqls {
+		s.metrics.statementsIngested.Add(1)
+		if err := s.window.Observe(sql); err != nil {
+			s.metrics.parseErrors.Add(1)
+			res.Rejected++
+			continue
+		}
+		res.Accepted++
+	}
+	st := s.window.Stats()
+	res.WindowObservations = st.InWindow
+	res.WindowUnique = st.Unique
+	if n := s.opts.DriftCheckEvery; n > 0 && res.Accepted > 0 {
+		before := s.metrics.statementsIngested.Load() - int64(len(sqls))
+		if before/int64(n) != s.metrics.statementsIngested.Load()/int64(n) {
+			rep := s.CheckDrift()
+			res.Drift = &rep
+		}
+	}
+	return res
+}
+
+// Recommendation returns the current recommendation, or nil before the
+// first successful retune.
+func (s *Service) Recommendation() *Recommendation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
+
+// CheckDrift assesses whether the windowed workload has drifted from the
+// last-tuned one; when it has and AutoRetune is set, an asynchronous
+// retune is triggered.
+func (s *Service) CheckDrift() DriftReport {
+	s.metrics.driftChecks.Add(1)
+	snap := s.window.Snapshot()
+	st := s.window.Stats()
+
+	s.mu.Lock()
+	baseline := s.baseline
+	rec := s.rec
+	s.mu.Unlock()
+
+	cur := Fingerprint{Shares: shapeHistogram(snap)}
+	if rec != nil {
+		cur.CostPerWeight = s.windowCostPerWeight(snap, rec)
+	}
+	rep := assess(s.opts.Drift, baseline, cur, int64(st.InWindow))
+	if rep.Drifted {
+		s.metrics.driftEvents.Add(1)
+		s.logf("service: drift detected: %s", rep.Reason)
+		if s.opts.AutoRetune {
+			s.TriggerRetune()
+		}
+	}
+	return rep
+}
+
+// windowCostPerWeight prices the window under the current recommendation,
+// reusing the per-statement costs recorded at retune time; only
+// statements unseen since the last retune cost an optimizer call.
+func (s *Service) windowCostPerWeight(snap *workloads.Workload, rec *Recommendation) float64 {
+	total := snap.TotalWeight()
+	if total <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rec != rec {
+		return 0 // a retune happened in between; skip the cost signal
+	}
+	sum := 0.0
+	for _, q := range snap.Queries {
+		c, ok := s.costCache[q.SQL]
+		if !ok {
+			bound, err := optimizer.Bind(s.db, q.Stmt)
+			if err != nil {
+				continue
+			}
+			res, err := s.driftOpt.OptimizeFull(bound, rec.Config)
+			if err != nil {
+				continue
+			}
+			s.metrics.driftOptimizerCalls.Add(1)
+			c = res.TotalCost()
+			s.costCache[q.SQL] = c
+		}
+		sum += q.Weight * c
+	}
+	return sum / total
+}
+
+// TriggerRetune schedules an asynchronous retune; a retune already
+// pending or running absorbs the trigger.
+func (s *Service) TriggerRetune() {
+	select {
+	case s.retuneCh <- struct{}{}:
+	default:
+	}
+}
+
+// Retune tunes the current window synchronously and installs the result
+// as the new recommendation. The first retune runs cold; later ones
+// warm-start from the previous recommendation and reuse cached fragments
+// for every statement already seen.
+func (s *Service) Retune() (*Recommendation, error) {
+	s.tuneMu.Lock()
+	defer s.tuneMu.Unlock()
+
+	snap := s.window.Snapshot()
+	if len(snap.Queries) == 0 {
+		return nil, ErrEmptyWindow
+	}
+
+	opts := s.opts.Tuning
+	opts.Cache = s.cache
+	s.mu.Lock()
+	prev := s.rec
+	s.mu.Unlock()
+	warm := prev != nil
+	if warm {
+		opts.WarmStart = prev.Config
+	}
+
+	t, err := core.NewTuner(s.db, snap, opts)
+	if err != nil {
+		return nil, fmt.Errorf("service: retune: %w", err)
+	}
+	res, err := t.Tune()
+	if err != nil {
+		return nil, fmt.Errorf("service: retune: %w", err)
+	}
+
+	rec := &Recommendation{
+		GeneratedAt:    time.Now().UTC(),
+		Statements:     len(snap.Queries),
+		TotalWeight:    snap.TotalWeight(),
+		InitialCost:    res.Initial.Cost,
+		Cost:           res.Best.Cost,
+		ImprovementPct: res.ImprovementPct(),
+		SizeBytes:      res.Best.SizeBytes,
+		DDL:            physical.ConfigurationDDL(res.Best.Config),
+		WarmStart:      warm,
+		OptimizerCalls: res.OptimizerCalls,
+		Iterations:     res.Iterations,
+		ElapsedMillis:  res.Elapsed.Milliseconds(),
+		Config:         res.Best.Config,
+	}
+	for _, ix := range res.Best.Config.Indexes() {
+		rec.Indexes = append(rec.Indexes, ix.ID())
+	}
+	for _, v := range res.Best.Config.Views() {
+		rec.Views = append(rec.Views, v.Name+" := "+v.SQL())
+	}
+
+	s.metrics.retunes.Add(1)
+	if warm {
+		s.metrics.warmRetunes.Add(1)
+	}
+	s.metrics.tuneOptimizerCalls.Add(res.OptimizerCalls)
+	s.metrics.lastRetuneCalls.Store(res.OptimizerCalls)
+	s.metrics.lastRetuneMillis.Store(res.Elapsed.Milliseconds())
+
+	s.mu.Lock()
+	s.rec = rec
+	s.baseline = &Fingerprint{
+		Shares:        shapeHistogram(snap),
+		CostPerWeight: res.Best.Cost / snap.TotalWeight(),
+	}
+	s.costCache = make(map[string]float64, len(snap.Queries))
+	for i, q := range snap.Queries {
+		s.costCache[q.SQL] = res.Best.Results[i].TotalCost()
+	}
+	s.mu.Unlock()
+
+	s.logf("service: retuned %d statements (warm=%v): cost %.1f -> %.1f (%.1f%%), %d optimizer calls",
+		rec.Statements, warm, rec.InitialCost, rec.Cost, rec.ImprovementPct, rec.OptimizerCalls)
+	return rec, nil
+}
+
+// MetricsSnapshot assembles the /metrics payload.
+func (s *Service) MetricsSnapshot() MetricsSnapshot {
+	st := s.window.Stats()
+	cs := s.cache.Stats()
+	return MetricsSnapshot{
+		IngestRequests:     s.metrics.ingestRequests.Load(),
+		StatementsIngested: s.metrics.statementsIngested.Load(),
+		ParseErrors:        s.metrics.parseErrors.Load(),
+
+		WindowObservations: int64(st.InWindow),
+		WindowUnique:       int64(st.Unique),
+		WindowWeight:       st.TotalWeight,
+		WindowEvicted:      st.EvictedOldest + st.EvictedUnique,
+
+		DriftChecks: s.metrics.driftChecks.Load(),
+		DriftEvents: s.metrics.driftEvents.Load(),
+
+		Retunes:     s.metrics.retunes.Load(),
+		WarmRetunes: s.metrics.warmRetunes.Load(),
+
+		TuneOptimizerCalls:  s.metrics.tuneOptimizerCalls.Load(),
+		DriftOptimizerCalls: s.metrics.driftOptimizerCalls.Load(),
+		LastRetuneCalls:     s.metrics.lastRetuneCalls.Load(),
+		LastRetuneMillis:    s.metrics.lastRetuneMillis.Load(),
+
+		CacheEntries:        cs.Entries,
+		CacheHits:           cs.Hits,
+		OptimizerCallsSaved: cs.CallsSaved,
+		OptimizerCallsSpent: cs.CallsSpent,
+	}
+}
+
+// retuneWorker runs triggered retunes until the service closes.
+func (s *Service) retuneWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.retuneCh:
+			if _, err := s.Retune(); err != nil {
+				s.logf("service: async retune failed: %v", err)
+			}
+		}
+	}
+}
+
+// driftWorker periodically assesses drift.
+func (s *Service) driftWorker() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.DriftCheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+			s.CheckDrift()
+		}
+	}
+}
+
+// Close stops the background goroutines and waits for any in-flight
+// tuning session to drain. It is idempotent.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		s.cancel()
+		s.wg.Wait()
+	})
+	return nil
+}

@@ -1,0 +1,239 @@
+package service
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/workloads"
+)
+
+var phase1 = []string{
+	`SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate >= 9131 AND o_orderdate < 9496 GROUP BY o_orderpriority`,
+	`SELECT c_name, o_orderkey FROM customer, orders WHERE c_custkey = o_custkey AND o_totalprice > 400000`,
+	`SELECT l_shipmode, SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN 9131 AND 9496 GROUP BY l_shipmode`,
+}
+
+var phase2 = []string{
+	`SELECT s_name, s_acctbal FROM supplier WHERE s_acctbal > 5000`,
+	`SELECT p_type, COUNT(*) FROM part WHERE p_size > 40 GROUP BY p_type`,
+	`SELECT l_returnflag, SUM(l_quantity) FROM lineitem WHERE l_discount > 0.05 GROUP BY l_returnflag`,
+}
+
+func testTuning() core.Options {
+	return core.Options{SpaceBudget: 2 << 20, MaxIterations: 40}
+}
+
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	if opts.DB == nil {
+		opts.DB = datagen.TPCH(0.001)
+	}
+	if opts.Tuning == (core.Options{}) {
+		opts.Tuning = testTuning()
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("service: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// repeat replays each statement the given number of times, interleaved
+// the way a client stream would.
+func repeat(sqls []string, n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, sqls...)
+	}
+	return out
+}
+
+// TestServiceRetuneMatchesBatch: the online path (stream with duplicates
+// → window compression → retune) must produce exactly the recommendation
+// of the batch path (replicated workload → Compress → core.Tuner.Tune).
+func TestServiceRetuneMatchesBatch(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	const copies = 5
+	s := newTestService(t, Options{DB: db})
+
+	res := s.Ingest(repeat(phase1, copies))
+	if res.Rejected != 0 || res.Accepted != copies*len(phase1) {
+		t.Fatalf("ingest: %+v", res)
+	}
+	if res.WindowUnique != len(phase1) {
+		t.Fatalf("window kept %d unique statements, want %d (dedupe failed)", res.WindowUnique, len(phase1))
+	}
+	rec, err := s.Retune()
+	if err != nil {
+		t.Fatalf("retune: %v", err)
+	}
+
+	batchRaw, err := workloads.FromStatements("batch", db.Name, repeat(phase1, copies))
+	if err != nil {
+		t.Fatalf("batch workload: %v", err)
+	}
+	batch := workloads.Compress(batchRaw)
+	tn, err := core.NewTuner(db, batch, testTuning())
+	if err != nil {
+		t.Fatalf("batch tuner: %v", err)
+	}
+	want, err := tn.Tune()
+	if err != nil {
+		t.Fatalf("batch tune: %v", err)
+	}
+
+	if math.Abs(rec.Cost-want.Best.Cost) > 1e-9 {
+		t.Errorf("online cost %.6f != batch cost %.6f", rec.Cost, want.Best.Cost)
+	}
+	if rec.Config.Fingerprint() != want.Best.Config.Fingerprint() {
+		t.Errorf("online recommendation differs from batch:\n%s\nvs\n%s", rec.Config, want.Best.Config)
+	}
+	if rec.WarmStart {
+		t.Errorf("first retune should be cold")
+	}
+}
+
+// TestWarmRetuneSavesOptimizerCalls: on a repeat-heavy stream, the warm
+// retune must issue strictly fewer optimizer calls than a cold tune of
+// the same window (cached fragments + warm start), while recommending a
+// design at least as good.
+func TestWarmRetuneSavesOptimizerCalls(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	s := newTestService(t, Options{DB: db})
+	s.Ingest(repeat(phase1, 4))
+	if _, err := s.Retune(); err != nil {
+		t.Fatalf("first retune: %v", err)
+	}
+
+	// More of the same statements plus one newcomer: the stream is
+	// repeat-heavy, so almost all fragments come from the cache.
+	s.Ingest(repeat(phase1, 3))
+	newcomer := `SELECT s_name, s_acctbal FROM supplier WHERE s_acctbal > 5000`
+	s.Ingest([]string{newcomer})
+	second, err := s.Retune()
+	if err != nil {
+		t.Fatalf("second retune: %v", err)
+	}
+
+	// The cold equivalent: tuning the identical window workload from
+	// scratch, no cache, no warm start.
+	coldRaw, err := workloads.FromStatements("cold", db.Name,
+		append(repeat(phase1, 7), newcomer))
+	if err != nil {
+		t.Fatalf("cold workload: %v", err)
+	}
+	coldTn, err := core.NewTuner(db, workloads.Compress(coldRaw), testTuning())
+	if err != nil {
+		t.Fatalf("cold tuner: %v", err)
+	}
+	cold, err := coldTn.Tune()
+	if err != nil {
+		t.Fatalf("cold tune: %v", err)
+	}
+
+	if !second.WarmStart {
+		t.Errorf("second retune should be warm")
+	}
+	t.Logf("warm retune: %d calls, cost %.2f; cold: %d calls, cost %.2f",
+		second.OptimizerCalls, second.Cost, cold.OptimizerCalls, cold.Best.Cost)
+	if second.OptimizerCalls >= cold.OptimizerCalls {
+		t.Errorf("warm retune did not save optimizer calls: %d >= %d",
+			second.OptimizerCalls, cold.OptimizerCalls)
+	}
+	if second.Cost > cold.Best.Cost+1e-9 {
+		t.Errorf("warm recommendation worse than cold: %.3f > %.3f", second.Cost, cold.Best.Cost)
+	}
+	m := s.MetricsSnapshot()
+	if m.OptimizerCallsSaved <= 0 {
+		t.Errorf("metrics report no optimizer calls saved: %+v", m)
+	}
+	if m.WarmRetunes != 1 || m.Retunes != 2 {
+		t.Errorf("retune counters: warm=%d total=%d, want 1/2", m.WarmRetunes, m.Retunes)
+	}
+	if m.LastRetuneCalls != second.OptimizerCalls {
+		t.Errorf("last retune calls %d != %d", m.LastRetuneCalls, second.OptimizerCalls)
+	}
+}
+
+func TestDriftDetection(t *testing.T) {
+	s := newTestService(t, Options{Drift: DriftOptions{MinStatements: 6, ShapeThreshold: 0.5}})
+
+	// Too few observations: no drift yet.
+	s.Ingest(phase1)
+	if rep := s.CheckDrift(); rep.Drifted {
+		t.Errorf("drifted below MinStatements: %+v", rep)
+	}
+	// Enough observations, never tuned: drift.
+	s.Ingest(phase1)
+	if rep := s.CheckDrift(); !rep.Drifted {
+		t.Errorf("expected never-tuned drift: %+v", rep)
+	}
+	if _, err := s.Retune(); err != nil {
+		t.Fatalf("retune: %v", err)
+	}
+	// Same workload shape right after tuning: no drift.
+	s.Ingest(phase1)
+	if rep := s.CheckDrift(); rep.Drifted {
+		t.Errorf("drift immediately after retune: %+v", rep)
+	}
+	// Flood the window with a different workload: shape drift.
+	s.Ingest(repeat(phase2, 12))
+	rep := s.CheckDrift()
+	if !rep.Drifted {
+		t.Errorf("expected shape drift: %+v", rep)
+	}
+	if rep.ShapeDistance < 0.5 {
+		t.Errorf("shape distance %.3f too small", rep.ShapeDistance)
+	}
+	m := s.MetricsSnapshot()
+	if m.DriftChecks != 4 || m.DriftEvents != 2 {
+		t.Errorf("drift counters: checks=%d events=%d, want 4/2", m.DriftChecks, m.DriftEvents)
+	}
+}
+
+func TestAutoRetuneOnDrift(t *testing.T) {
+	s := newTestService(t, Options{
+		AutoRetune:      true,
+		DriftCheckEvery: 6,
+		Drift:           DriftOptions{MinStatements: 6},
+	})
+	s.Ingest(repeat(phase1, 2)) // crosses the 6-statement boundary → drift (never tuned) → async retune
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Recommendation() == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	rec := s.Recommendation()
+	if rec == nil {
+		t.Fatal("auto retune never produced a recommendation")
+	}
+	if m := s.MetricsSnapshot(); m.DriftEvents < 1 || m.Retunes < 1 {
+		t.Errorf("metrics after auto retune: %+v", m)
+	}
+}
+
+// TestCloseDrainsInflightRetune: Close must wait for an in-flight async
+// retune instead of panicking or racing.
+func TestCloseDrainsInflightRetune(t *testing.T) {
+	s := newTestService(t, Options{})
+	s.Ingest(repeat(phase1, 3))
+	s.TriggerRetune()
+	time.Sleep(time.Millisecond) // let the worker pick it up
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Idempotent.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestRetuneEmptyWindow(t *testing.T) {
+	s := newTestService(t, Options{})
+	if _, err := s.Retune(); err != ErrEmptyWindow {
+		t.Fatalf("got %v, want ErrEmptyWindow", err)
+	}
+}

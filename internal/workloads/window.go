@@ -1,0 +1,272 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/sqlx"
+)
+
+// WindowOptions configure a sliding workload window.
+type WindowOptions struct {
+	// MaxObservations bounds the window: when a new statement arrives and
+	// the window is full, the oldest observation is evicted (0 = default
+	// 4096).
+	MaxObservations int
+	// MaxUnique bounds the number of distinct statements kept; when
+	// exceeded, the lightest (lowest current weight) statement is dropped
+	// with all its observations (0 = default 512).
+	MaxUnique int
+	// HalfLife, in observations, makes statement weights decay
+	// exponentially with age: an observation HalfLife arrivals old counts
+	// half. 0 disables decay (weight = occurrence count).
+	HalfLife int
+}
+
+func (o WindowOptions) withDefaults() WindowOptions {
+	if o.MaxObservations <= 0 {
+		o.MaxObservations = 4096
+	}
+	if o.MaxUnique <= 0 {
+		o.MaxUnique = 512
+	}
+	return o
+}
+
+// decayFactor is the per-arrival multiplier implied by HalfLife.
+func (o WindowOptions) decayFactor() float64 {
+	if o.HalfLife <= 0 {
+		return 1
+	}
+	return math.Exp2(-1 / float64(o.HalfLife))
+}
+
+// WindowStats is a point-in-time summary of window activity.
+type WindowStats struct {
+	Observed       int64 // statements ever observed
+	ParseErrors    int64
+	InWindow       int // observations currently inside the window
+	Unique         int // distinct statements currently inside the window
+	EvictedOldest  int64
+	EvictedUnique  int64
+	TotalWeight    float64
+}
+
+// windowEntry is one distinct statement inside the window.
+type windowEntry struct {
+	stmt  sqlx.Statement
+	sql   string
+	count int // raw observations still in the window
+	// weight is the decayed weight normalized to lastUpd; reading it at a
+	// later sequence number multiplies by decay^(now-lastUpd).
+	weight  float64
+	lastUpd int64
+	firstAt int64 // arrival order, for stable snapshots
+}
+
+// observation is one arrival in the ring: which entry, at which sequence.
+type observation struct {
+	entry *windowEntry
+	seq   int64
+}
+
+// SlidingWindow is a concurrent-safe sliding window of observed SQL
+// statements with duplicate-statement compression: repeated statements
+// collapse into one entry whose weight accumulates (optionally with
+// exponential decay), exactly like the batch Compress step — a snapshot of
+// the window is a weighted Workload ready for tuning.
+type SlidingWindow struct {
+	database string
+	opts     WindowOptions
+	decay    float64
+
+	mu      sync.Mutex
+	entries map[string]*windowEntry // keyed by canonical SQL
+	ring    []observation           // FIFO of in-window observations
+	head    int                     // index of the oldest observation
+	seq     int64                   // arrival counter
+
+	observed      int64
+	parseErrors   int64
+	evictedOldest int64
+	evictedUnique int64
+}
+
+// NewSlidingWindow returns an empty window over the named database.
+func NewSlidingWindow(database string, opts WindowOptions) *SlidingWindow {
+	o := opts.withDefaults()
+	return &SlidingWindow{
+		database: database,
+		opts:     o,
+		decay:    o.decayFactor(),
+		entries:  map[string]*windowEntry{},
+	}
+}
+
+// Observe parses one SQL statement and adds it to the window.
+func (w *SlidingWindow) Observe(sql string) error {
+	stmt, err := sqlx.Parse(sql)
+	if err != nil {
+		w.mu.Lock()
+		w.observed++
+		w.parseErrors++
+		w.mu.Unlock()
+		return fmt.Errorf("workloads: window observe: %w", err)
+	}
+	w.ObserveStatement(stmt)
+	return nil
+}
+
+// ObserveStatement adds an already-parsed statement to the window.
+// Statements are deduplicated by their canonical SQL rendering, so
+// differently formatted copies of the same statement compress together.
+func (w *SlidingWindow) ObserveStatement(stmt sqlx.Statement) {
+	key := stmt.SQL()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.observed++
+	w.seq++
+
+	e, ok := w.entries[key]
+	if !ok {
+		if len(w.entries) >= w.opts.MaxUnique {
+			w.evictLightest()
+		}
+		e = &windowEntry{stmt: stmt, sql: key, firstAt: w.seq}
+		e.lastUpd = w.seq
+		w.entries[key] = e
+	}
+	e.weight = e.weightAt(w.seq, w.decay) + 1
+	e.lastUpd = w.seq
+	e.count++
+	w.ring = append(w.ring, observation{entry: e, seq: w.seq})
+
+	for w.inWindow() > w.opts.MaxObservations {
+		w.evictOldest()
+	}
+	w.compactRing()
+}
+
+// weightAt returns the entry's decayed weight as of sequence now.
+func (e *windowEntry) weightAt(now int64, decay float64) float64 {
+	if decay >= 1 || now <= e.lastUpd {
+		return e.weight
+	}
+	return e.weight * math.Pow(decay, float64(now-e.lastUpd))
+}
+
+// inWindow returns the number of live observations (mu held).
+func (w *SlidingWindow) inWindow() int { return len(w.ring) - w.head }
+
+// evictOldest removes the oldest observation (mu held).
+func (w *SlidingWindow) evictOldest() {
+	if w.head >= len(w.ring) {
+		return
+	}
+	obs := w.ring[w.head]
+	w.ring[w.head] = observation{}
+	w.head++
+	e := obs.entry
+	if e.count == 0 {
+		return // entry already evicted wholesale by evictLightest
+	}
+	// Subtract this observation's decayed contribution.
+	contribution := 1.0
+	if w.decay < 1 {
+		contribution = math.Pow(w.decay, float64(w.seq-obs.seq))
+	}
+	e.weight = e.weightAt(w.seq, w.decay) - contribution
+	e.lastUpd = w.seq
+	if e.weight < 0 {
+		e.weight = 0
+	}
+	e.count--
+	w.evictedOldest++
+	if e.count == 0 {
+		delete(w.entries, e.sql)
+	}
+}
+
+// evictLightest drops the distinct statement with the smallest current
+// weight to make room for a new one (mu held).
+func (w *SlidingWindow) evictLightest() {
+	var victim *windowEntry
+	for _, e := range w.entries {
+		if e.count == 0 {
+			continue
+		}
+		ew := e.weightAt(w.seq, w.decay)
+		if victim == nil || ew < victim.weightAt(w.seq, w.decay) ||
+			(ew == victim.weightAt(w.seq, w.decay) && e.firstAt < victim.firstAt) {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.count = 0
+	delete(w.entries, victim.sql)
+	w.evictedUnique++
+}
+
+// compactRing drops the leading evicted prefix once it dominates the
+// slice, keeping memory proportional to the window (mu held).
+func (w *SlidingWindow) compactRing() {
+	if w.head > len(w.ring)/2 && w.head > 64 {
+		w.ring = append([]observation(nil), w.ring[w.head:]...)
+		w.head = 0
+	}
+}
+
+// Snapshot returns the window contents as a compressed weighted workload,
+// in first-observation order. The workload shares no mutable state with
+// the window and is safe to tune while ingestion continues.
+func (w *SlidingWindow) Snapshot() *Workload {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	entries := make([]*windowEntry, 0, len(w.entries))
+	for _, e := range w.entries {
+		if e.count > 0 {
+			entries = append(entries, e)
+		}
+	}
+	// Sort by first observation for deterministic output.
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].firstAt < entries[j-1].firstAt; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+	out := &Workload{Name: "window", Database: w.database}
+	for i, e := range entries {
+		weight := e.weightAt(w.seq, w.decay)
+		if weight <= 0 {
+			continue
+		}
+		out.Queries = append(out.Queries, &Query{
+			ID:     fmt.Sprintf("win-q%d", i+1),
+			SQL:    e.sql,
+			Stmt:   e.stmt,
+			Weight: weight,
+		})
+	}
+	return out
+}
+
+// Stats returns a snapshot of the window counters.
+func (w *SlidingWindow) Stats() WindowStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := WindowStats{
+		Observed:      w.observed,
+		ParseErrors:   w.parseErrors,
+		InWindow:      w.inWindow(),
+		Unique:        len(w.entries),
+		EvictedOldest: w.evictedOldest,
+		EvictedUnique: w.evictedUnique,
+	}
+	for _, e := range w.entries {
+		s.TotalWeight += e.weightAt(w.seq, w.decay)
+	}
+	return s
+}

@@ -1,0 +1,221 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+const winStmtA = `SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate >= 9131 GROUP BY o_orderpriority`
+const winStmtB = `SELECT l_shipmode, SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN 9131 AND 9496 GROUP BY l_shipmode`
+
+// TestWindowDuplicateCompression is the regression test for the online
+// dedupe path: observing the same statement N times must compress into a
+// single entry with weight N, exactly matching the batch Compress result.
+func TestWindowDuplicateCompression(t *testing.T) {
+	const n = 17
+	w := NewSlidingWindow("tpch", WindowOptions{})
+	for i := 0; i < n; i++ {
+		if err := w.Observe(winStmtA); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	snap := w.Snapshot()
+	if len(snap.Queries) != 1 {
+		t.Fatalf("got %d distinct statements, want 1", len(snap.Queries))
+	}
+	if got := snap.Queries[0].Weight; got != n {
+		t.Errorf("got weight %v, want %d", got, n)
+	}
+
+	// The batch path: N copies through Compress.
+	var sqls []string
+	for i := 0; i < n; i++ {
+		sqls = append(sqls, winStmtA)
+	}
+	batch, err := FromStatements("batch", "tpch", sqls)
+	if err != nil {
+		t.Fatalf("batch workload: %v", err)
+	}
+	compressed := Compress(batch)
+	if len(compressed.Queries) != 1 {
+		t.Fatalf("batch compress: got %d statements, want 1", len(compressed.Queries))
+	}
+	if compressed.Queries[0].Weight != snap.Queries[0].Weight {
+		t.Errorf("window weight %v != batch compressed weight %v",
+			snap.Queries[0].Weight, compressed.Queries[0].Weight)
+	}
+	if compressed.Queries[0].SQL != snap.Queries[0].SQL {
+		t.Errorf("window SQL %q != batch SQL %q", snap.Queries[0].SQL, compressed.Queries[0].SQL)
+	}
+}
+
+// Differently formatted copies of a statement share one window entry.
+func TestWindowNormalizesFormatting(t *testing.T) {
+	w := NewSlidingWindow("tpch", WindowOptions{})
+	variants := []string{
+		winStmtA,
+		"select o_orderpriority, count(*)\n  from orders\n  where o_orderdate >= 9131\n  group by o_orderpriority",
+	}
+	for _, v := range variants {
+		if err := w.Observe(v); err != nil {
+			t.Fatalf("observe: %v", err)
+		}
+	}
+	snap := w.Snapshot()
+	if len(snap.Queries) != 1 || snap.Queries[0].Weight != 2 {
+		t.Fatalf("formatting variants did not compress: %d statements, weight %v",
+			len(snap.Queries), snap.Queries[0].Weight)
+	}
+}
+
+func TestWindowSlidingEviction(t *testing.T) {
+	w := NewSlidingWindow("tpch", WindowOptions{MaxObservations: 10})
+	for i := 0; i < 10; i++ {
+		if err := w.Observe(winStmtA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 more of B push every A out of the window.
+	for i := 0; i < 10; i++ {
+		if err := w.Observe(winStmtB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := w.Snapshot()
+	if len(snap.Queries) != 1 {
+		t.Fatalf("got %d statements, want 1 (A fully evicted)", len(snap.Queries))
+	}
+	if snap.Queries[0].SQL == "" || snap.Queries[0].Weight != 10 {
+		t.Errorf("survivor: weight %v, want 10", snap.Queries[0].Weight)
+	}
+	st := w.Stats()
+	if st.EvictedOldest != 10 {
+		t.Errorf("evicted %d observations, want 10", st.EvictedOldest)
+	}
+	if st.InWindow != 10 || st.Unique != 1 {
+		t.Errorf("window state: %d observations / %d unique, want 10 / 1", st.InWindow, st.Unique)
+	}
+}
+
+func TestWindowMaxUnique(t *testing.T) {
+	w := NewSlidingWindow("tpch", WindowOptions{MaxUnique: 3})
+	// Heavy statement, then light ones; a fourth unique statement evicts
+	// the lightest.
+	for i := 0; i < 5; i++ {
+		if err := w.Observe(winStmtA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	light := func(i int) string {
+		return fmt.Sprintf("SELECT c_name FROM customer WHERE c_acctbal > %d", 1000+i)
+	}
+	if err := w.Observe(light(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Observe(light(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Observe(light(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Observe(light(3)); err != nil { // evicts light(1), weight 1
+		t.Fatal(err)
+	}
+	snap := w.Snapshot()
+	if len(snap.Queries) != 3 {
+		t.Fatalf("got %d unique statements, want 3", len(snap.Queries))
+	}
+	for _, q := range snap.Queries {
+		if q.SQL == light(1) {
+			t.Errorf("lightest statement was not evicted: %s", q.SQL)
+		}
+	}
+	if w.Stats().EvictedUnique != 1 {
+		t.Errorf("evicted %d unique, want 1", w.Stats().EvictedUnique)
+	}
+}
+
+func TestWindowExponentialDecay(t *testing.T) {
+	w := NewSlidingWindow("tpch", WindowOptions{HalfLife: 4})
+	if err := w.Observe(winStmtA); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Observe(winStmtB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := w.Snapshot()
+	var wa, wb float64
+	for _, q := range snap.Queries {
+		switch q.SQL {
+		case snap.Queries[0].SQL:
+			wa = q.Weight
+		default:
+			wb = q.Weight
+		}
+	}
+	// A is 4 arrivals old: weight 0.5. B accumulated 4 decayed arrivals.
+	if math.Abs(wa-0.5) > 1e-9 {
+		t.Errorf("A weight %v, want 0.5", wa)
+	}
+	wantB := 1 + math.Exp2(-0.25) + math.Exp2(-0.5) + math.Exp2(-0.75)
+	if math.Abs(wb-wantB) > 1e-9 {
+		t.Errorf("B weight %v, want %v", wb, wantB)
+	}
+}
+
+func TestWindowParseError(t *testing.T) {
+	w := NewSlidingWindow("tpch", WindowOptions{})
+	if err := w.Observe("NOT VALID SQL"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	st := w.Stats()
+	if st.ParseErrors != 1 || st.Unique != 0 {
+		t.Errorf("stats after parse error: %+v", st)
+	}
+}
+
+// TestWindowConcurrentObserve hammers the window from many goroutines;
+// run with -race this validates the ingester's synchronization.
+func TestWindowConcurrentObserve(t *testing.T) {
+	w := NewSlidingWindow("tpch", WindowOptions{MaxObservations: 256})
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 100
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				stmt := winStmtA
+				if i%2 == 0 {
+					stmt = winStmtB
+				}
+				if err := w.Observe(stmt); err != nil {
+					t.Errorf("observe: %v", err)
+				}
+				if i%10 == 0 {
+					_ = w.Snapshot()
+					_ = w.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.Stats()
+	if st.Observed != workers*perWorker {
+		t.Errorf("observed %d, want %d", st.Observed, workers*perWorker)
+	}
+	if st.InWindow != 256 {
+		t.Errorf("in window %d, want 256", st.InWindow)
+	}
+	snap := w.Snapshot()
+	if len(snap.Queries) != 2 {
+		t.Errorf("got %d unique statements, want 2", len(snap.Queries))
+	}
+	if math.Abs(snap.TotalWeight()-256) > 1e-6 {
+		t.Errorf("total weight %v, want 256", snap.TotalWeight())
+	}
+}

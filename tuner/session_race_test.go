@@ -1,0 +1,98 @@
+package tuner
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestSessionParallelTune hammers one Session from several goroutines
+// (run under -race in CI): concurrent Tune, Evaluate, and WhatIf calls
+// must not race, and every Tune must return the same recommendation
+// since the session's inputs never change.
+func TestSessionParallelTune(t *testing.T) {
+	db := TPCH(0.001)
+	w, err := ParseWorkload("race", "tpch", `
+		SELECT o_orderpriority, COUNT(*) FROM orders
+		WHERE o_orderdate >= 9131 AND o_orderdate < 9496
+		GROUP BY o_orderpriority;
+		SELECT c_name, o_orderkey FROM customer, orders
+		WHERE c_custkey = o_custkey AND o_totalprice > 400000;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(db, w, Options{SpaceBudget: 2 << 20, MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Tune()
+		}(i)
+	}
+	// Mixed readers racing against the tuning calls.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Evaluate(BaseConfiguration(db)); err != nil {
+			t.Errorf("evaluate: %v", err)
+		}
+		if _, err := s.OptimalConfiguration(); err != nil {
+			t.Errorf("optimal: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("tune %d: %v", i, errs[i])
+		}
+	}
+	for i := 1; i < workers; i++ {
+		if math.Abs(results[i].Best.Cost-results[0].Best.Cost) > 1e-9 {
+			t.Errorf("tune %d cost %.6f != tune 0 cost %.6f",
+				i, results[i].Best.Cost, results[0].Best.Cost)
+		}
+		if results[i].Best.Config.Fingerprint() != results[0].Best.Config.Fingerprint() {
+			t.Errorf("tune %d recommendation differs from tune 0", i)
+		}
+	}
+}
+
+// TestSharedRequestCache: two sessions over the same workload sharing a
+// RequestCache — the second session derives its per-statement requests
+// entirely from the cache.
+func TestSharedRequestCache(t *testing.T) {
+	db := TPCH(0.001)
+	w, err := ParseWorkload("cache", "tpch", `
+		SELECT o_orderstatus, SUM(o_totalprice) FROM orders
+		WHERE o_orderdate >= 9131 GROUP BY o_orderstatus;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewRequestCache()
+	opts := Options{SpaceBudget: 2 << 20, MaxIterations: 30, Cache: cache}
+	first, err := Tune(db, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Tune(db, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Best.Config.Fingerprint() != second.Best.Config.Fingerprint() {
+		t.Errorf("cached session recommendation differs")
+	}
+	if st := cache.Stats(); st.Hits == 0 || st.CallsSaved == 0 {
+		t.Errorf("cache unused: %+v", st)
+	}
+}

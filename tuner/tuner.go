@@ -93,10 +93,25 @@ func GenerateWorkload(db *Database, opts GenOptions) (*Workload, error) {
 // TPCH22Workload returns the 22-query TPC-H-style batch.
 func TPCH22Workload() (*Workload, error) { return workloads.TPCH22() }
 
+// Session is a bound tuning session: a workload fixed against a
+// database, exposing evaluation and the instrumented-optimizer
+// primitives (optimal configuration, request counts) in addition to
+// Tune. Sessions are safe for concurrent use; calls are serialized
+// internally.
+type Session = core.Tuner
+
+// RequestCache memoizes per-statement optimal configuration fragments
+// across sessions, so repeat statements cost zero extra optimizer
+// calls. Share one cache between sessions via Options.Cache. Safe for
+// concurrent use.
+type RequestCache = core.RequestCache
+
+// NewRequestCache returns an empty cross-session fragment cache.
+func NewRequestCache() *RequestCache { return core.NewRequestCache() }
+
 // NewSession binds a workload against a database and returns the tuning
-// session, exposing evaluation and the instrumented-optimizer primitives
-// (optimal configuration, request counts) in addition to Tune.
-func NewSession(db *Database, w *Workload, opts Options) (*core.Tuner, error) {
+// session.
+func NewSession(db *Database, w *Workload, opts Options) (*Session, error) {
 	return core.NewTuner(db, w, opts)
 }
 
