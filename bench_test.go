@@ -22,6 +22,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/sqlx"
@@ -210,6 +211,55 @@ func BenchmarkAblationNoShortcut(b *testing.B) {
 func BenchmarkAblationFullReoptimize(b *testing.B) {
 	benchAblation(b, core.Options{FullReoptimize: true})
 }
+
+// --- observability overhead guard ---
+//
+// Tracing must be effectively free when disabled (nil Options.Trace
+// costs one pointer check per emission site; measured well under the
+// 5% budget) and cheap when enabled. Compare:
+//
+//	go test -bench='BenchmarkTune(TracingOff|TracingOn)' -benchtime=5x
+
+func benchTuneTracing(b *testing.B, trace bool) {
+	db := datagen.TPCH(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe, err := core.NewTuner(db, w, core.Options{NoViews: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	optCfg, err := probe.OptimalConfiguration()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{
+		NoViews:       true,
+		MaxIterations: 40,
+		SpaceBudget:   probe.Opt.Sizer().ConfigBytes(optCfg) / 3,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if trace {
+			opts.Trace = obs.NewTracer(obs.NewMemorySink())
+		}
+		tn, err := core.NewTuner(db, w, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tn.Tune()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Iterations), "iterations")
+		}
+	}
+}
+
+func BenchmarkTuneTracingOff(b *testing.B) { benchTuneTracing(b, false) }
+func BenchmarkTuneTracingOn(b *testing.B)  { benchTuneTracing(b, true) }
 
 // --- micro-benchmarks of the hot paths ---
 

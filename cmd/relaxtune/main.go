@@ -36,7 +36,9 @@ func main() {
 		frontier = flag.Bool("frontier", false, "print the full space/cost frontier")
 		jsonOut  = flag.String("json", "", "write a JSON tuning report to this path")
 		whatIf   = flag.String("whatif", "", "skip tuning; evaluate the CREATE INDEX/VIEW script at this path")
-		explain  = flag.Bool("explain", false, "print each query's plan under the recommended configuration")
+		explain  = flag.Bool("explain", false, "print the per-structure decision log (why each index/view was kept, merged, or dropped)")
+		plans    = flag.Bool("plans", false, "print each query's plan under the recommended configuration")
+		traceOut = flag.String("trace", "", "write search trace events (JSONL) to this path")
 	)
 	flag.Parse()
 
@@ -57,8 +59,19 @@ func main() {
 		TimeBudget:    *timeout,
 	}
 
+	var trace *tuner.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		trace = tuner.NewTracer(tuner.NewJSONLTraceSink(f))
+		opts.Trace = trace
+	}
+
 	if *whatIf != "" {
 		runWhatIf(db, w, opts, *whatIf)
+		closeTrace(trace, *traceOut)
 		return
 	}
 
@@ -71,10 +84,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	closeTrace(trace, *traceOut)
 	printResult(res, *frontier)
 	fmt.Printf("relaxation tuning took %s (%d optimizer calls)\n\n", time.Since(start).Round(time.Millisecond), res.OptimizerCalls)
 
-	if *explain {
+	if *explain && res.Explain != nil {
+		fmt.Println("decision log (why each structure ended up this way):")
+		res.Explain.WriteText(os.Stdout)
+		fmt.Println()
+	}
+	if *plans {
 		printPlans(res)
 	}
 	if *jsonOut != "" {
@@ -213,6 +232,17 @@ func printPlans(res *tuner.Result) {
 		}
 		fmt.Printf("-- query %d (cost %.2f):\n%s\n", i+1, r.TotalCost(), plan.Format(r.Plan.Root))
 	}
+}
+
+// closeTrace flushes the JSONL trace file, if tracing was requested.
+func closeTrace(trace *tuner.Tracer, path string) {
+	if trace == nil {
+		return
+	}
+	if err := trace.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote search trace to %s\n\n", path)
 }
 
 func fatal(err error) {

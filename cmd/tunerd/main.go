@@ -12,9 +12,11 @@
 //
 //	POST /ingest          {"statements": ["SELECT ...", ...]}
 //	GET  /recommendation  current physical design advice
+//	GET  /explain         per-structure decision log of the last retune
 //	POST /retune          tune the current window now
 //	GET  /drift           assess workload drift
-//	GET  /metrics         activity counters
+//	GET  /metrics         activity counters (JSON; Prometheus text with
+//	                      Accept: text/plain or ?format=prometheus)
 //	GET  /healthz         liveness
 //
 // Quickstart:
@@ -22,6 +24,7 @@
 //	curl -s -XPOST localhost:8347/ingest -d '{"statements": ["SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate >= 9131 GROUP BY o_orderpriority"]}'
 //	curl -s -XPOST localhost:8347/retune
 //	curl -s localhost:8347/recommendation
+//	curl -s -H 'Accept: text/plain' localhost:8347/metrics
 package main
 
 import (
@@ -29,8 +32,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +42,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/workloads"
 	"repro/tuner"
@@ -46,6 +51,9 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8347", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "listen address for net/http/pprof profiling (empty = off)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		tracePath  = flag.String("trace", "", "write search trace events (JSONL) to this file")
 		dbName     = flag.String("db", "tpch", "database: tpch, ds1, or bench")
 		sf         = flag.Float64("sf", 0.001, "database scale factor")
 		budgetMB   = flag.Int64("budget", 0, "storage budget in MB (0 = unconstrained)")
@@ -63,10 +71,31 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
+
 	db, err := database(*dbName, *sf)
 	if err != nil {
-		log.Fatal(err)
+		fatal("tunerd: bad -db", err)
 	}
+
+	var traceSink obs.Sink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("tunerd: creating trace file", err)
+		}
+		traceSink = obs.NewJSONLSink(f)
+		logger.Info("tunerd: tracing retunes", "path", *tracePath)
+	}
+
 	svc, err := service.New(service.Options{
 		DB: db,
 		Tuning: core.Options{
@@ -87,35 +116,75 @@ func main() {
 		},
 		DriftCheckInterval: *driftEvery,
 		AutoRetune:         *autoRetune,
-		Logf:               log.Printf,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+		TraceSink: traceSink,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("tunerd: starting service", err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	srv := &http.Server{Addr: *addr, Handler: service.AccessLog(logger, service.NewHandler(svc))}
 	go func() {
-		log.Printf("tunerd: serving %s (sf %g) on %s", db.Name, *sf, *addr)
+		logger.Info("tunerd: serving", "db", db.Name, "sf", *sf, "addr", *addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("tunerd: %v", err)
+			fatal("tunerd: listen", err)
 		}
 	}()
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: pprofMux()}
+		go func() {
+			logger.Info("tunerd: pprof", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("tunerd: pprof listen", "error", err)
+			}
+		}()
+	}
 
 	// Graceful shutdown: stop accepting requests, then drain any
 	// in-flight tuning session.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("tunerd: shutting down")
+	logger.Info("tunerd: shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("tunerd: http shutdown: %v", err)
+		logger.Error("tunerd: http shutdown", "error", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(ctx)
 	}
 	if err := svc.Close(); err != nil {
-		log.Printf("tunerd: service close: %v", err)
+		logger.Error("tunerd: service close", "error", err)
 	}
-	log.Printf("tunerd: bye")
+	logger.Info("tunerd: bye")
+}
+
+// newLogger builds the process logger in the requested format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("tunerd: unknown -log-format %q (want text or json)", format)
+}
+
+// pprofMux exposes net/http/pprof on a dedicated mux, so profiling never
+// shares a listener with the service API.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func database(name string, sf float64) (*catalog.Database, error) {

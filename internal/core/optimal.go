@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/sqlx"
@@ -206,11 +207,18 @@ func (t *Tuner) OptimalConfiguration() (*physical.Configuration, error) {
 func (t *Tuner) optimalConfiguration() (*physical.Configuration, error) {
 	union := t.Base.Clone()
 	cache := t.Options.Cache
+	trace := t.Options.Trace
+	clear(t.demandedBy)
 	for _, tq := range t.Queries {
 		var frag *physical.Configuration
+		cached := false
 		if cache != nil {
 			if hit, ok := cache.lookup(t.cacheKey(tq)); ok {
 				frag = hit
+				cached = true
+			}
+			if trace.Enabled() {
+				trace.Emit(obs.EvCache, obs.F{"hit": cached, "query": tq.Query.ID})
 			}
 		}
 		if frag == nil {
@@ -224,14 +232,35 @@ func (t *Tuner) optimalConfiguration() (*physical.Configuration, error) {
 				cache.store(t.cacheKey(tq), f, t.Opt.Stats().OptimizeCalls-before)
 			}
 		}
+		if trace.Enabled() {
+			trace.Emit(obs.EvFragment, obs.F{
+				"query":   tq.Query.ID,
+				"cached":  cached,
+				"indexes": frag.NumIndexes(),
+				"views":   frag.NumViews(),
+			})
+		}
 		for _, v := range frag.Views() {
 			union.AddView(v)
+			t.demand("v:"+v.Name, tq.Query.ID)
 		}
 		for _, ix := range frag.Indexes() {
 			union.AddIndex(ix)
+			t.demand("i:"+ix.ID(), tq.Query.ID)
 		}
 	}
 	return union, nil
+}
+
+// demand records that the statement qid requested the structure key
+// during the §2 instrumented optimization (explain provenance).
+func (t *Tuner) demand(key, qid string) {
+	for _, q := range t.demandedBy[key] {
+		if q == qid {
+			return
+		}
+	}
+	t.demandedBy[key] = append(t.demandedBy[key], qid)
 }
 
 // RequestCounts runs the instrumented optimization over the workload and

@@ -31,6 +31,8 @@ type Report struct {
 
 	Frontier []FrontierPoint `json:"frontier,omitempty"`
 	PerQuery []QueryReport   `json:"per_query"`
+	// Explain is the per-structure decision log of the session.
+	Explain *ExplainReport `json:"explain,omitempty"`
 	// DDL is the executable script materializing the recommendation.
 	DDL string `json:"ddl"`
 }
@@ -85,6 +87,7 @@ func (t *Tuner) BuildReport(workloadName string, res *Result) *Report {
 		IndexRequests:  res.IndexRequests,
 		ViewRequests:   res.ViewRequests,
 		Frontier:       res.Frontier,
+		Explain:        res.Explain,
 		DDL:            physical.ConfigurationDDL(res.Best.Config),
 	}
 	for i, tq := range t.Queries {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 )
@@ -39,6 +40,11 @@ type Result struct {
 	IndexRequests  int64
 	ViewRequests   int64
 	Elapsed        time.Duration
+	// Explain is the per-structure decision log: which statements
+	// demanded each structure, which transformations touched it along
+	// the winning lineage, and why the final state won. Always built;
+	// costs no optimizer calls.
+	Explain *ExplainReport
 }
 
 // ImprovementPct returns the paper's improvement metric for the final
@@ -61,6 +67,11 @@ type searchNode struct {
 	deltas          map[string]Delta
 	penalties       map[string]float64
 	tried           map[string]bool
+	// iteration and applied record the node's provenance (the
+	// transformations that produced it from its parent, and when) so
+	// the winning lineage can be replayed and explained.
+	iteration int
+	applied   []*physical.Transformation
 }
 
 func (n *searchNode) untried() int {
@@ -85,22 +96,59 @@ func (t *Tuner) Tune() (*Result, error) {
 func (t *Tuner) tune() (*Result, error) {
 	start := time.Now()
 	stats0 := t.Opt.Stats()
+	endTune := t.span("tune")
+	res, err := t.runSearch(start)
+	if err != nil {
+		endTune(obs.F{"error": err.Error()})
+		return nil, err
+	}
+	t.fillStats(res, stats0, start)
+	if t.Options.Trace.Enabled() {
+		endTune(obs.F{
+			"best_fp":         res.Best.Config.Fingerprint(),
+			"best_cost":       res.Best.Cost,
+			"best_size":       res.Best.SizeBytes,
+			"improvement_pct": res.ImprovementPct(),
+			"iterations":      res.Iterations,
+		})
+	} else {
+		endTune(nil)
+	}
+	return res, nil
+}
+
+// runSearch is the traced body of Tune: Figure 5 instantiated with the
+// §3.4 heuristics, emitting one iteration/candidates/eval event group
+// per relaxation step and recording the winning lineage for the
+// explain report.
+func (t *Tuner) runSearch(start time.Time) (*Result, error) {
+	trace := t.Options.Trace
 	res := &Result{}
 
+	endPhase := t.span("evaluate-initial")
 	initial, err := t.evaluate(t.Base)
 	if err != nil {
+		endPhase(obs.F{"error": err.Error()})
 		return nil, err
 	}
+	endPhase(obs.F{"cost": initial.Cost, "size": initial.SizeBytes})
 	res.Initial = initial
 
+	endPhase = t.span("optimal-config")
 	optimalCfg, err := t.optimalConfiguration()
 	if err != nil {
+		endPhase(obs.F{"error": err.Error()})
 		return nil, err
 	}
+	endPhase(obs.F{"indexes": optimalCfg.NumIndexes(), "views": optimalCfg.NumViews()})
+
+	endPhase = t.span("evaluate-optimal")
 	optimal, err := t.evaluate(optimalCfg)
 	if err != nil {
+		endPhase(obs.F{"error": err.Error()})
 		return nil, err
 	}
+	endPhase(obs.F{"cost": optimal.Cost, "size": optimal.SizeBytes, "fp": optimal.Config.Fingerprint()})
 	res.Optimal = optimal
 
 	hasUpdates := t.hasUpdates()
@@ -112,7 +160,7 @@ func (t *Tuner) tune() (*Result, error) {
 		res.Best = optimal
 		res.Frontier = append(res.Frontier,
 			FrontierPoint{SizeBytes: optimal.SizeBytes, Cost: optimal.Cost, Fits: true})
-		t.fillStats(res, stats0, start)
+		res.Explain = t.buildExplain(res, nil, explainSourceOptimal)
 		return res, nil
 	}
 	effBudget := budget
@@ -121,15 +169,16 @@ func (t *Tuner) tune() (*Result, error) {
 	}
 
 	fits := func(ec *EvaluatedConfig) bool { return ec.SizeBytes <= effBudget }
+	root := t.newSearchNode(optimal, nil, 0)
 	var cbest *EvaluatedConfig
+	var bestNode *searchNode
 	if fits(initial) {
 		cbest = initial
 	}
 	if fits(optimal) && (cbest == nil || optimal.Cost < cbest.Cost) {
-		cbest = optimal
+		cbest, bestNode = optimal, root
 	}
 
-	root := t.newSearchNode(optimal, nil, 0)
 	pool := []*searchNode{root}
 	seen := map[string]bool{optimalCfg.Fingerprint(): true}
 	res.Frontier = append(res.Frontier,
@@ -144,6 +193,7 @@ func (t *Tuner) tune() (*Result, error) {
 	// configuration are re-optimized, so a warm start over a repeat-heavy
 	// workload costs only a handful of optimizer calls.
 	if ws := t.Options.WarmStart; ws != nil {
+		endPhase = t.span("warm-start")
 		warmCfg := ws.Clone()
 		for _, ix := range t.Base.Indexes() {
 			warmCfg.AddIndex(ix)
@@ -153,16 +203,23 @@ func (t *Tuner) tune() (*Result, error) {
 			removedIdx, removedViews := optimalCfg.Diff(warmCfg)
 			warm, ok, err := t.evaluateIncremental(optimal, warmCfg, removedIdx, removedViews, 0)
 			if err != nil {
+				endPhase(obs.F{"error": err.Error()})
 				return nil, err
 			}
 			if ok {
 				res.Frontier = append(res.Frontier,
 					FrontierPoint{SizeBytes: warm.SizeBytes, Cost: warm.Cost, Fits: fits(warm)})
-				pool = append(pool, t.newSearchNode(warm, nil, 0))
+				warmNode := t.newSearchNode(warm, nil, 0)
+				pool = append(pool, warmNode)
 				if fits(warm) && (cbest == nil || warm.Cost < cbest.Cost) {
-					cbest = warm
+					cbest, bestNode = warm, warmNode
 				}
+				endPhase(obs.F{"cost": warm.Cost, "size": warm.SizeBytes, "adopted": cbest == warm})
+			} else {
+				endPhase(obs.F{"adopted": false, "pruned": true})
 			}
+		} else {
+			endPhase(obs.F{"adopted": false, "duplicate": true})
 		}
 	}
 
@@ -172,37 +229,74 @@ func (t *Tuner) tune() (*Result, error) {
 	}
 	last := root
 
+	endSearch := t.span("search")
 	for iter := 0; iter < maxIter; iter++ {
 		if t.Options.TimeBudget > 0 && time.Since(start) > t.Options.TimeBudget {
+			if trace.Enabled() {
+				trace.Emit(obs.EvSkip, obs.F{"reason": "time-budget", "iter": iter})
+			}
 			break
 		}
-		node := t.pickNode(pool, last, effBudget, hasUpdates)
+		node, pickReason := t.pickNode(pool, last, effBudget, hasUpdates)
 		if node == nil {
 			break // no configuration has an applicable transformation left
 		}
 		res.TransCensus = append(res.TransCensus, poolCensus(pool))
+		if trace.Enabled() {
+			trace.Emit(obs.EvIteration, obs.F{
+				"iter":        iter,
+				"pick_reason": pickReason,
+				"node_fp":     node.eval.Config.Fingerprint(),
+				"node_cost":   node.eval.Cost,
+				"node_size":   node.eval.SizeBytes,
+				"pool":        len(pool),
+				"untried":     node.untried(),
+			})
+		}
 
-		ranked := t.rankTransformations(node, effBudget, hasUpdates)
+		ranked, skyPruned := t.rankTransformations(node, effBudget, hasUpdates)
+		if trace.Enabled() {
+			trace.Emit(obs.EvCandidates, candidateFields(iter, ranked, skyPruned))
+		}
 		if len(ranked) == 0 {
 			// Exhausted this node; try another next iteration.
 			node.tried = allTried(node)
 			last = nil
+			if trace.Enabled() {
+				trace.Emit(obs.EvSkip, obs.F{"reason": "exhausted", "iter": iter})
+			}
 			continue
 		}
 		chosen := t.selectNonConflicting(ranked)
 		cfgNew := node.eval.Config
 		var removedIdx, removedViews []string
-		for _, tr := range chosen {
-			node.tried[tr.ID()] = true
-			cfgNew = tr.Apply(cfgNew)
-			removedIdx = append(removedIdx, tr.RemovedIndexIDs()...)
-			removedViews = append(removedViews, tr.RemovedViewNames()...)
+		var chosenIDs []string
+		estDT, estDS := 0.0, int64(0)
+		for _, tf := range chosen {
+			node.tried[tf.ID()] = true
+			cfgNew = tf.Apply(cfgNew)
+			removedIdx = append(removedIdx, tf.RemovedIndexIDs()...)
+			removedViews = append(removedViews, tf.RemovedViewNames()...)
+			if d, ok := node.deltas[tf.ID()]; ok {
+				estDT += d.DT
+				estDS += d.DS
+			}
+			chosenIDs = append(chosenIDs, tf.ID())
 		}
 		res.Iterations++
+		if trace.Enabled() {
+			trace.Emit(obs.EvApply, obs.F{
+				"iter": iter, "trans": chosenIDs,
+				"est_dt": estDT, "est_ds": estDS, "penalty": ranked[0].penalty,
+			})
+		}
 
 		fp := cfgNew.Fingerprint()
 		if seen[fp] {
 			last = node
+			if trace.Enabled() {
+				trace.Emit(obs.EvSkip, obs.F{"reason": "duplicate", "iter": iter, "fp": fp})
+			}
 			continue
 		}
 		seen[fp] = true
@@ -220,14 +314,19 @@ func (t *Tuner) tune() (*Result, error) {
 		}
 		evalNew, ok, err := t.evaluateIncremental(node.eval, cfgNew, removedIdx, removedViews, cutoff)
 		if err != nil {
+			endSearch(obs.F{"error": err.Error()})
 			return nil, err
 		}
 		if !ok {
 			last = node
+			if trace.Enabled() {
+				trace.Emit(obs.EvSkip, obs.F{"reason": "shortcut", "iter": iter, "fp": fp, "cutoff": cutoff})
+			}
 			continue
 		}
 		if t.Options.ShrinkUnused {
 			if shrunk, serr := t.shrinkUnused(evalNew); serr != nil {
+				endSearch(obs.F{"error": serr.Error()})
 				return nil, serr
 			} else if shrunk != nil {
 				evalNew = shrunk
@@ -235,21 +334,93 @@ func (t *Tuner) tune() (*Result, error) {
 		}
 		realized := realizedPenalty(node.eval, evalNew)
 		child := t.newSearchNode(evalNew, node, realized)
+		child.iteration = res.Iterations
+		child.applied = chosen
 		pool = append(pool, child)
 		res.Frontier = append(res.Frontier,
 			FrontierPoint{Iteration: res.Iterations, SizeBytes: evalNew.SizeBytes, Cost: evalNew.Cost, Fits: fits(evalNew)})
-		if fits(evalNew) && (cbest == nil || evalNew.Cost < cbest.Cost) {
-			cbest = evalNew
+		newBest := fits(evalNew) && (cbest == nil || evalNew.Cost < cbest.Cost)
+		if newBest {
+			cbest, bestNode = evalNew, child
+		}
+		if trace.Enabled() {
+			realizedDT := evalNew.Cost - node.eval.Cost
+			f := obs.F{
+				"iter":        iter,
+				"fp":          evalNew.Config.Fingerprint(),
+				"parent_fp":   node.eval.Config.Fingerprint(),
+				"chosen":      chosenIDs,
+				"cost":        evalNew.Cost,
+				"size":        evalNew.SizeBytes,
+				"fits":        fits(evalNew),
+				"est_dt":      estDT,
+				"realized_dt": realizedDT,
+				"new_best":    newBest,
+			}
+			if estDT > 0 {
+				// Bound tightness: the §3.3.2 estimate is an upper
+				// bound, so values ≤ 1 mean the bound held.
+				f["tightness"] = realizedDT / estDT
+			}
+			trace.Emit(obs.EvEval, f)
 		}
 		last = child
 	}
+	endSearch(obs.F{"iterations": res.Iterations, "pool": len(pool), "evaluated": len(res.Frontier)})
 
+	source := explainSourceRelaxed
 	if cbest == nil {
 		cbest = initial // nothing fit: fall back to the existing design
+		bestNode = nil
+	}
+	switch {
+	case bestNode == nil:
+		source = explainSourceInitial
+	case bestNode == root:
+		source = explainSourceOptimal
+	case bestNode.parent == nil:
+		source = explainSourceWarmStart
 	}
 	res.Best = cbest
-	t.fillStats(res, stats0, start)
+	res.Explain = t.buildExplain(res, bestNode, source)
 	return res, nil
+}
+
+// candidateFields renders the ranked-candidate trace payload: the
+// penalty components of the top candidates plus skyline accounting.
+// The list is capped so traces of transformation-rich nodes stay small.
+func candidateFields(iter int, ranked, skyPruned []candidate) obs.F {
+	const maxList = 16
+	top := make([]obs.F, 0, min(len(ranked), maxList))
+	for i, c := range ranked {
+		if i >= maxList {
+			break
+		}
+		top = append(top, obs.F{
+			"id": c.tr.ID(), "kind": c.tr.Kind.String(),
+			"dt": c.delta.DT, "ds": c.delta.DS, "penalty": c.penalty,
+		})
+	}
+	f := obs.F{
+		"iter":           iter,
+		"survivors":      len(ranked),
+		"skyline_pruned": len(skyPruned),
+		"top":            top,
+	}
+	if len(skyPruned) > 0 {
+		ids := make([]string, 0, min(len(skyPruned), maxList))
+		for i, c := range skyPruned {
+			if i >= maxList {
+				break
+			}
+			ids = append(ids, c.tr.ID())
+		}
+		f["pruned"] = ids
+	}
+	if len(ranked) > maxList || len(skyPruned) > maxList {
+		f["truncated"] = true
+	}
+	return f
 }
 
 func (t *Tuner) fillStats(res *Result, stats0 optimizer.Stats, start time.Time) {
@@ -412,12 +583,14 @@ func (t *Tuner) newSearchNode(ec *EvaluatedConfig, parent *searchNode, realized 
 //  2. otherwise revisit the chain node whose relaxation realized the
 //     largest penalty;
 //  3. otherwise pick the cheapest configuration with work left.
-func (t *Tuner) pickNode(pool []*searchNode, last *searchNode, budget int64, hasUpdates bool) *searchNode {
+// The returned reason string labels which heuristic selected the node
+// (for the trace): "relax-last", "chain-correction", or "cheapest".
+func (t *Tuner) pickNode(pool []*searchNode, last *searchNode, budget int64, hasUpdates bool) (*searchNode, string) {
 	if last != nil && last.untried() > 0 {
 		over := last.eval.SizeBytes > budget
 		improved := hasUpdates && last.parent != nil && last.eval.Cost < last.parent.eval.Cost
 		if over || improved {
-			return last
+			return last, "relax-last"
 		}
 	}
 	if !t.Options.DisableChainCorrection && last != nil {
@@ -431,7 +604,7 @@ func (t *Tuner) pickNode(pool []*searchNode, last *searchNode, budget int64, has
 			}
 		}
 		if best != nil {
-			return best
+			return best, "chain-correction"
 		}
 	}
 	var best *searchNode
@@ -443,23 +616,13 @@ func (t *Tuner) pickNode(pool []*searchNode, last *searchNode, budget int64, has
 			best = n
 		}
 	}
-	return best
-}
-
-// pickTransformation evaluates penalties for the node's untried
-// transformations and returns the minimum-penalty one (§3.4), applying
-// the §3.6 skyline filter for update workloads.
-func (t *Tuner) pickTransformation(node *searchNode, budget int64, hasUpdates bool, cbest *EvaluatedConfig) *physical.Transformation {
-	cands := t.rankTransformations(node, budget, hasUpdates)
-	if len(cands) == 0 {
-		return nil
-	}
-	return cands[0].tr
+	return best, "cheapest"
 }
 
 // rankTransformations returns the node's untried transformations sorted
-// by increasing penalty.
-func (t *Tuner) rankTransformations(node *searchNode, budget int64, hasUpdates bool) []candidate {
+// by increasing penalty, plus the candidates the §3.6 skyline filter
+// discarded (for the trace; empty unless the workload has updates).
+func (t *Tuner) rankTransformations(node *searchNode, budget int64, hasUpdates bool) (ranked, skyPruned []candidate) {
 	var cands []candidate
 	spaceOver := node.eval.SizeBytes - budget
 	fitsAlready := spaceOver <= 0
@@ -510,13 +673,25 @@ func (t *Tuner) rankTransformations(node *searchNode, budget int64, hasUpdates b
 		cands = append(cands, candidate{tr: tr, delta: d, penalty: pen})
 	}
 	if len(cands) == 0 {
-		return nil
+		return nil, nil
 	}
 	if hasUpdates && !t.Options.DisableSkyline {
-		cands = skyline(cands)
+		kept := skyline(cands)
+		if len(kept) < len(cands) {
+			keptIDs := make(map[string]bool, len(kept))
+			for _, c := range kept {
+				keptIDs[c.tr.ID()] = true
+			}
+			for _, c := range cands {
+				if !keptIDs[c.tr.ID()] {
+					skyPruned = append(skyPruned, c)
+				}
+			}
+		}
+		cands = kept
 	}
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].penalty < cands[j].penalty })
-	return cands
+	return cands, skyPruned
 }
 
 // candidate pairs a transformation with its estimated deltas and penalty.

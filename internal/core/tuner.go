@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/workloads"
@@ -78,6 +79,15 @@ type Options struct {
 	// becomes the incumbent if it fits the budget, so shortcut evaluation
 	// prunes against a good bound from the first iteration.
 	WarmStart *physical.Configuration
+
+	// Observability.
+
+	// Trace receives span/event telemetry from the search: per-iteration
+	// node selection, ranked candidates with penalty components, skyline
+	// pruning, bound tightness, cache activity, and optimizer-call
+	// attribution per phase. nil (the default) disables tracing at the
+	// cost of one pointer check per emission site.
+	Trace *obs.Tracer
 }
 
 // TunedQuery pairs a workload statement with its bound form.
@@ -108,6 +118,11 @@ type Tuner struct {
 	cbvCache map[string]float64
 	// evalCache deduplicates configuration evaluations by fingerprint.
 	evalCache map[string]*EvaluatedConfig
+	// demandedBy maps each optimal-fragment structure ("i:"+index ID or
+	// "v:"+view name) to the workload statements whose §2 instrumented
+	// optimization requested it — the provenance half of the explain
+	// report.
+	demandedBy map[string][]string
 }
 
 // NewTuner binds the workload against db and prepares a session. The base
@@ -122,6 +137,7 @@ func NewTuner(db *catalog.Database, w *workloads.Workload, opts Options) (*Tuner
 		heapTables: datagen.HeapTables(db),
 		cbvCache:   map[string]float64{},
 		evalCache:  map[string]*EvaluatedConfig{},
+		demandedBy: map[string][]string{},
 	}
 	for _, q := range w.Queries {
 		b, err := optimizer.Bind(db, q.Stmt)
@@ -245,6 +261,31 @@ func Improvement(initial, recommended float64) float64 {
 		return 0
 	}
 	return 100 * (1 - recommended/initial)
+}
+
+// span opens a trace phase and returns its closer. The closer stamps
+// the span-end event with the phase's elapsed time and optimizer-call
+// attribution (the delta of the optimizer's counters across the span),
+// merged with any extra fields. A disabled tracer costs one check.
+func (t *Tuner) span(phase string) func(extra obs.F) {
+	tr := t.Options.Trace
+	if !tr.Enabled() {
+		return func(obs.F) {}
+	}
+	before := t.Opt.Stats()
+	end := tr.Span(phase, nil)
+	return func(extra obs.F) {
+		after := t.Opt.Stats()
+		f := obs.F{
+			"optimizer_calls": after.OptimizeCalls - before.OptimizeCalls,
+			"index_requests":  after.IndexRequests - before.IndexRequests,
+			"view_requests":   after.ViewRequests - before.ViewRequests,
+		}
+		for k, v := range extra {
+			f[k] = v
+		}
+		end(f)
+	}
 }
 
 // widthOf returns the average width of a base column, for view merging.

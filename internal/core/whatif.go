@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/sqlx"
@@ -131,14 +132,22 @@ func (t *Tuner) buildWhatIfIndex(cfg *physical.Configuration, target string, s *
 func (t *Tuner) WhatIf(cfg *physical.Configuration) (*WhatIfResult, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	endSpan := t.span("what-if")
 	base, err := t.evaluate(t.Base)
 	if err != nil {
+		endSpan(obs.F{"error": err.Error()})
 		return nil, err
 	}
 	target, err := t.evaluate(cfg)
 	if err != nil {
+		endSpan(obs.F{"error": err.Error()})
 		return nil, err
 	}
+	endSpan(obs.F{
+		"base_cost":       base.Cost,
+		"target_cost":     target.Cost,
+		"improvement_pct": Improvement(base.Cost, target.Cost),
+	})
 	res := &WhatIfResult{
 		Base:           base,
 		Target:         target,

@@ -1,0 +1,121 @@
+package obs
+
+// TunerMetrics bundles the Prometheus metrics describing the relaxation
+// search. The search-internal metrics are fed from trace events via
+// Sink; the session-level ones (optimizer calls, retune duration) are
+// recorded directly by the caller that owns the tuning session.
+type TunerMetrics struct {
+	// OptimizerCalls counts what-if optimizer invocations across all
+	// tuning sessions (tuner_optimizer_calls_total).
+	OptimizerCalls *Counter
+	// PhaseOptimizerCalls attributes optimizer calls to search phases
+	// (initial/optimal/warm-start/search), fed from span-end events.
+	PhaseOptimizerCalls *CounterVec
+	// RetuneDuration is the wall-clock distribution of tuning sessions.
+	RetuneDuration *Histogram
+	// BoundTightness is realizedΔT/estimatedΔT per accepted relaxation
+	// step: the §3.3.2 estimate is an upper bound, so samples near 1
+	// mean the bound is tight and the penalty ranking trustworthy.
+	BoundTightness *Histogram
+
+	Iterations     *Counter
+	Evaluations    *Counter
+	ShortcutPrunes *Counter
+	DuplicateSkips *Counter
+	SkylinePruned  *Counter
+	CandidatesRanked *Counter
+	CacheHits      *Counter
+	CacheMisses    *Counter
+}
+
+// NewTunerMetrics registers the tuner metric family on reg.
+func NewTunerMetrics(reg *Registry) *TunerMetrics {
+	return &TunerMetrics{
+		OptimizerCalls: reg.NewCounter("tuner_optimizer_calls_total",
+			"What-if optimizer calls made by tuning sessions."),
+		PhaseOptimizerCalls: reg.NewCounterVec("tuner_phase_optimizer_calls_total",
+			"Optimizer calls attributed to each search phase.", "phase"),
+		RetuneDuration: reg.NewHistogram("tuner_retune_duration_seconds",
+			"Wall-clock duration of tuning sessions.",
+			[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}),
+		BoundTightness: reg.NewHistogram("tuner_penalty_bound_tightness",
+			"Realized ΔT over estimated ΔT bound per accepted relaxation step (≤1 means the §3.3.2 bound held).",
+			[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2, 5}),
+		Iterations: reg.NewCounter("tuner_search_iterations_total",
+			"Relaxation search loop iterations."),
+		Evaluations: reg.NewCounter("tuner_search_evaluations_total",
+			"Configuration evaluations completed during search."),
+		ShortcutPrunes: reg.NewCounter("tuner_search_shortcut_prunes_total",
+			"Evaluations aborted by §3.5 shortcut pruning."),
+		DuplicateSkips: reg.NewCounter("tuner_search_duplicate_skips_total",
+			"Iterations skipped because the configuration fingerprint was already seen."),
+		SkylinePruned: reg.NewCounter("tuner_skyline_pruned_total",
+			"Transformation candidates pruned by the §3.6 skyline filter."),
+		CandidatesRanked: reg.NewCounter("tuner_candidates_ranked_total",
+			"Transformation candidates that survived ranking."),
+		CacheHits: reg.NewCounter("tuner_fragment_cache_hits_total",
+			"Per-statement optimal-fragment cache hits."),
+		CacheMisses: reg.NewCounter("tuner_fragment_cache_misses_total",
+			"Per-statement optimal-fragment cache misses."),
+	}
+}
+
+// Sink returns a trace sink that keeps the search-internal metrics
+// current. Install it (possibly fanned out with a JSONL sink) as the
+// tuning session's tracer sink.
+func (m *TunerMetrics) Sink() Sink { return &metricsSink{m: m} }
+
+type metricsSink struct{ m *TunerMetrics }
+
+func (s *metricsSink) Emit(e Event) {
+	m := s.m
+	switch e.Type {
+	case EvIteration:
+		m.Iterations.Inc()
+	case EvCandidates:
+		m.CandidatesRanked.Add(fieldFloat(e.Fields, "survivors"))
+		m.SkylinePruned.Add(fieldFloat(e.Fields, "skyline_pruned"))
+	case EvEval:
+		m.Evaluations.Inc()
+		if est := fieldFloat(e.Fields, "est_dt"); est > 0 {
+			m.BoundTightness.Observe(fieldFloat(e.Fields, "realized_dt") / est)
+		}
+	case EvSkip:
+		switch e.Fields["reason"] {
+		case "shortcut":
+			m.ShortcutPrunes.Inc()
+		case "duplicate":
+			m.DuplicateSkips.Inc()
+		}
+	case EvCache:
+		if hit, _ := e.Fields["hit"].(bool); hit {
+			m.CacheHits.Inc()
+		} else {
+			m.CacheMisses.Inc()
+		}
+	case EvSpanEnd:
+		// Attribute phase-level optimizer calls; the "tune" span is the
+		// sum of its children and would double-count.
+		if e.Phase != "" && e.Phase != "tune" {
+			if calls := fieldFloat(e.Fields, "optimizer_calls"); calls > 0 {
+				m.PhaseOptimizerCalls.Add(e.Phase, calls)
+			}
+		}
+	}
+}
+
+func (s *metricsSink) Close() error { return nil }
+
+// fieldFloat reads a numeric field regardless of the concrete type the
+// instrumentation (or a JSON round-trip) stored.
+func fieldFloat(f F, key string) float64 {
+	switch v := f[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+// Package obs is the tuner's observability layer: a lightweight
+// span/event tracer for the relaxation search, a dependency-free
+// Prometheus text-format metrics registry, and the glue that turns
+// trace events into metrics.
+//
+// The tracer is nil-safe by design: a nil *Tracer is a valid no-op
+// tracer, so instrumented hot paths pay a single pointer comparison
+// when tracing is disabled. Callers guard expensive field construction
+// with Enabled():
+//
+//	if tr.Enabled() {
+//		tr.Emit(obs.EvIteration, obs.F{"iter": i, "cost": c})
+//	}
+//
+// Events flow into a Sink (JSONL file, in-memory buffer, Prometheus
+// metrics, or any fan-out of those).
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// F is shorthand for an event's field map.
+type F = map[string]any
+
+// Event types emitted by the relaxation search instrumentation.
+const (
+	// EvSpanStart / EvSpanEnd bracket one search phase. Span-end events
+	// carry elapsed_ms and the optimizer-call attribution of the phase
+	// (optimizer_calls, index_requests, view_requests).
+	EvSpanStart = "span_start"
+	EvSpanEnd   = "span_end"
+	// EvIteration is one pass of the relaxation loop: which node was
+	// selected and why (pick_reason), its cost/size, and pool state.
+	EvIteration = "iteration"
+	// EvCandidates is the ranked transformation list for the selected
+	// node, with per-candidate penalty components (dt, ds, penalty) and
+	// skyline survivors vs pruned.
+	EvCandidates = "candidates"
+	// EvApply records the transformation(s) chosen this iteration.
+	EvApply = "apply"
+	// EvEval is one configuration evaluation: estimated-bound ΔT vs the
+	// realized ΔT (bound tightness), cost, size, fits, and the lineage
+	// links (parent_fp -> fp via chosen transformation IDs) a replay
+	// needs.
+	EvEval = "eval"
+	// EvSkip is an iteration that produced no new configuration, with a
+	// reason: "duplicate" (fingerprint already seen), "shortcut"
+	// (§3.5 pruning), or "exhausted" (node had no useful candidate).
+	EvSkip = "skip"
+	// EvCache is one per-statement fragment-cache lookup (hit bool).
+	EvCache = "cache"
+	// EvFragment is one statement's §2 optimal fragment: the structures
+	// the instrumented optimization demanded for it.
+	EvFragment = "fragment"
+)
+
+// Event is one trace record. Fields hold event-specific payload; Phase
+// is the innermost open span at emission time.
+type Event struct {
+	Seq    int64     `json:"seq"`
+	Time   time.Time `json:"time"`
+	Type   string    `json:"type"`
+	Phase  string    `json:"phase,omitempty"`
+	Fields F         `json:"fields,omitempty"`
+}
+
+// Tracer stamps events with a sequence number and the current phase and
+// forwards them to its sink. A nil Tracer is a valid no-op. Tracer is
+// safe for concurrent use, though the relaxation search itself is
+// serialized by the session mutex.
+type Tracer struct {
+	mu     sync.Mutex
+	sink   Sink
+	seq    int64
+	phases []string
+	// now is swappable for tests.
+	now func() time.Time
+}
+
+// NewTracer returns a tracer writing to sink (nil sink = no-op tracer).
+func NewTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink, now: time.Now}
+}
+
+// Enabled reports whether emitted events go anywhere. Hot paths use it
+// to skip field-map construction entirely.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Emit sends one event to the sink. Safe on a nil tracer.
+func (t *Tracer) Emit(typ string, fields F) {
+	if !t.Enabled() {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	e := Event{Seq: t.seq, Time: t.now(), Type: typ, Fields: fields}
+	if n := len(t.phases); n > 0 {
+		e.Phase = t.phases[n-1]
+	}
+	sink := t.sink
+	t.mu.Unlock()
+	sink.Emit(e)
+}
+
+// Span opens a named phase and returns the closure that closes it. The
+// span-end event merges extra into the timing fields. Safe on a nil
+// tracer (returns a no-op closure).
+func (t *Tracer) Span(phase string, fields F) func(extra F) {
+	if !t.Enabled() {
+		return func(F) {}
+	}
+	t.mu.Lock()
+	t.phases = append(t.phases, phase)
+	t.mu.Unlock()
+	start := time.Now()
+	t.Emit(EvSpanStart, fields)
+	return func(extra F) {
+		f := F{"elapsed_ms": float64(time.Since(start).Microseconds()) / 1e3}
+		for k, v := range extra {
+			f[k] = v
+		}
+		t.Emit(EvSpanEnd, f)
+		t.mu.Lock()
+		if n := len(t.phases); n > 0 && t.phases[n-1] == phase {
+			t.phases = t.phases[:n-1]
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Close flushes and closes the underlying sink. Safe on a nil tracer.
+func (t *Tracer) Close() error {
+	if !t.Enabled() {
+		return nil
+	}
+	return t.sink.Close()
+}

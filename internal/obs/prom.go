@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a minimal, dependency-free Prometheus metrics registry:
+// counters, gauges, one-label counter vectors, and histograms, exposed
+// in the text exposition format (version 0.0.4). Metrics render in
+// registration order. All operations are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []promMetric
+	byName  map[string]promMetric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]promMetric{}}
+}
+
+type promMetric interface {
+	meta() (name, help, typ string)
+	write(w io.Writer)
+}
+
+func (r *Registry) register(m promMetric) {
+	name, _, _ := m.meta()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// Render writes every metric in the Prometheus text format.
+func (r *Registry) Render(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]promMetric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	for _, m := range ms {
+		name, help, typ := m.meta()
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		m.write(w)
+	}
+}
+
+// Handler serves the registry over HTTP with the canonical content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Render(w)
+	})
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// atomicFloat is a float64 with atomic add/load (counters and gauges).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(d float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	name, help string
+	v          atomicFloat
+}
+
+// NewCounter registers a counter; by convention the name ends in
+// "_total".
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds d (must be non-negative for Prometheus semantics).
+func (c *Counter) Add(d float64) { c.v.add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+func (c *Counter) meta() (string, string, string) { return c.name, c.help, "counter" }
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", c.name, formatFloat(c.v.load()))
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	name, help string
+	v          atomicFloat
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) { g.v.add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+func (g *Gauge) meta() (string, string, string) { return g.name, g.help, "gauge" }
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.v.load()))
+}
+
+// CounterVec is a counter partitioned by one label (enough for phase
+// attribution without pulling in a full label model).
+type CounterVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	vals              map[string]float64
+}
+
+// NewCounterVec registers a one-label counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label, vals: map[string]float64{}}
+	r.register(v)
+	return v
+}
+
+// Add adds d to the series with the given label value.
+func (v *CounterVec) Add(labelValue string, d float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.vals[labelValue] += d
+}
+
+// Value returns the count for one label value.
+func (v *CounterVec) Value(labelValue string) float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.vals[labelValue]
+}
+
+func (v *CounterVec) meta() (string, string, string) { return v.name, v.help, "counter" }
+func (v *CounterVec) write(w io.Writer) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	vals := make(map[string]float64, len(v.vals))
+	for k, x := range v.vals {
+		vals[k] = x
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", v.name, v.label, escapeLabel(k), formatFloat(vals[k]))
+	}
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// Histogram is a cumulative-bucket histogram.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // strictly increasing upper bounds, +Inf implicit
+
+	mu     sync.Mutex
+	counts []uint64 // one per bound, plus the +Inf overflow at the end
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram registers a histogram with the given upper bounds (the
+// +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	h := &Histogram{name: name, help: help, bounds: sorted, counts: make([]uint64, len(sorted)+1)}
+	r.register(h)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+func (h *Histogram) meta() (string, string, string) { return h.name, h.help, "histogram" }
+func (h *Histogram) write(w io.Writer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.total)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.total)
+}

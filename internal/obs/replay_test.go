@@ -1,0 +1,109 @@
+package obs_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/physical"
+	"repro/internal/workloads"
+)
+
+// TestTraceReplaysToFinalConfiguration checks the trace's correctness
+// end to end: the accepted-transformation sequence recorded in eval
+// events, applied in order starting from the traced optimal
+// configuration, must land exactly on the recommended configuration.
+// This guards both halves at once — the search must emit every accepted
+// step, and the emitted lineage must be the one it actually took.
+func TestTraceReplaysToFinalConfiguration(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mem := obs.NewMemorySink()
+	tuner, err := core.NewTuner(db, w, core.Options{
+		SpaceBudget:   4 << 20,
+		NoViews:       true,
+		MaxIterations: 60,
+		Trace:         obs.NewTracer(mem),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Index the eval events: child fingerprint -> (parent, chosen IDs).
+	type step struct {
+		parent string
+		chosen []string
+	}
+	steps := map[string]step{}
+	for _, e := range mem.Events() {
+		if e.Type != obs.EvEval {
+			continue
+		}
+		fp, _ := e.Fields["fp"].(string)
+		parent, _ := e.Fields["parent_fp"].(string)
+		chosen, _ := e.Fields["chosen"].([]string)
+		if fp == "" || parent == "" || len(chosen) == 0 {
+			t.Fatalf("eval event missing lineage fields: %+v", e.Fields)
+		}
+		steps[fp] = step{parent: parent, chosen: chosen}
+	}
+	if len(steps) == 0 {
+		t.Fatal("trace recorded no eval events; tune did not search")
+	}
+
+	// Walk the lineage back from the recommendation to the search root.
+	optimalFP := res.Optimal.Config.Fingerprint()
+	bestFP := res.Best.Config.Fingerprint()
+	if bestFP == optimalFP || bestFP == res.Initial.Config.Fingerprint() {
+		t.Fatalf("budget did not force a relaxed recommendation (source %s); the replay would be vacuous",
+			res.Explain.Source)
+	}
+	var lineage []step
+	for fp := bestFP; fp != optimalFP; {
+		s, ok := steps[fp]
+		if !ok {
+			t.Fatalf("no eval event for lineage fingerprint %s", fp)
+		}
+		lineage = append(lineage, s)
+		fp = s.parent
+	}
+	for i, j := 0, len(lineage)-1; i < j; i, j = i+1, j-1 {
+		lineage[i], lineage[j] = lineage[j], lineage[i]
+	}
+	if res.Explain == nil || res.Explain.Steps != len(lineage) {
+		t.Fatalf("explain reports %d steps, trace lineage has %d", res.Explain.Steps, len(lineage))
+	}
+
+	// Replay: enumerate the legal transformations at each configuration
+	// (exactly as the search does) and apply the recorded choices by ID.
+	enumOpts := physical.EnumerateOptions{
+		NoViews:    true,
+		HeapTables: datagen.HeapTables(db),
+	}
+	cfg := res.Optimal.Config
+	for i, s := range lineage {
+		byID := map[string]*physical.Transformation{}
+		for _, tr := range physical.Enumerate(cfg, enumOpts) {
+			byID[tr.ID()] = tr
+		}
+		for _, id := range s.chosen {
+			tr, ok := byID[id]
+			if !ok {
+				t.Fatalf("step %d: traced transformation %q is not enumerable at the replayed configuration", i+1, id)
+			}
+			cfg = tr.Apply(cfg)
+		}
+	}
+	if got := cfg.Fingerprint(); got != bestFP {
+		t.Fatalf("replayed configuration fingerprint %s != recommended %s", got, bestFP)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -36,8 +37,11 @@ type retuneResponse struct {
 //
 //	POST /ingest          {"statements": ["SELECT ...", ...]}
 //	GET  /recommendation  current advice (404 before the first retune)
+//	GET  /explain         per-structure decision log of the last retune
 //	POST /retune          tune the current window synchronously
-//	GET  /metrics         activity counters
+//	GET  /metrics         activity counters (JSON by default; Prometheus
+//	                      text when the Accept header asks for text/plain
+//	                      or ?format=prometheus)
 //	GET  /healthz         liveness
 func NewHandler(s *Service) http.Handler {
 	start := time.Now()
@@ -83,8 +87,23 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, rep)
 	})
 
+	mux.HandleFunc("GET /explain", func(w http.ResponseWriter, r *http.Request) {
+		rep := s.Explain()
+		if rep == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "no explain report yet; ingest a workload and POST /retune"})
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+		snap := s.MetricsSnapshot()
+		if wantsPrometheus(r) {
+			s.promGauges.update(snap)
+			s.promReg.Handler().ServeHTTP(w, r)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -97,6 +116,22 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	return mux
+}
+
+// wantsPrometheus decides the /metrics representation: the text
+// exposition is served when the client asks for it explicitly
+// (?format=prometheus) or when the Accept header prefers text/plain —
+// what a Prometheus scraper sends and a browser does not.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,10 +1,14 @@
 package service
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // Metrics holds the service's activity counters. All fields are updated
-// atomically; Snapshot returns a consistent-enough point-in-time copy for
-// the /metrics endpoint.
+// atomically; Snapshot returns a point-in-time copy for the /metrics
+// endpoint.
 type Metrics struct {
 	ingestRequests     atomic.Int64
 	statementsIngested atomic.Int64
@@ -20,10 +24,42 @@ type Metrics struct {
 	driftOptimizerCalls atomic.Int64
 	lastRetuneCalls     atomic.Int64
 	lastRetuneMillis    atomic.Int64
+	lastRetuneUnix      atomic.Int64
+}
+
+// snapshot reads every atomic exactly once into a plain copy, so the
+// JSON payload is assembled from a single coherent set of loads instead
+// of interleaving loads with concurrent updates.
+type metricsLocals struct {
+	ingestRequests, statementsIngested, parseErrors int64
+	driftChecks, driftEvents                        int64
+	retunes, warmRetunes                            int64
+	tuneOptimizerCalls, driftOptimizerCalls         int64
+	lastRetuneCalls, lastRetuneMillis               int64
+	lastRetuneUnix                                  int64
+}
+
+func (m *Metrics) snapshot() metricsLocals {
+	return metricsLocals{
+		ingestRequests:      m.ingestRequests.Load(),
+		statementsIngested:  m.statementsIngested.Load(),
+		parseErrors:         m.parseErrors.Load(),
+		driftChecks:         m.driftChecks.Load(),
+		driftEvents:         m.driftEvents.Load(),
+		retunes:             m.retunes.Load(),
+		warmRetunes:         m.warmRetunes.Load(),
+		tuneOptimizerCalls:  m.tuneOptimizerCalls.Load(),
+		driftOptimizerCalls: m.driftOptimizerCalls.Load(),
+		lastRetuneCalls:     m.lastRetuneCalls.Load(),
+		lastRetuneMillis:    m.lastRetuneMillis.Load(),
+		lastRetuneUnix:      m.lastRetuneUnix.Load(),
+	}
 }
 
 // MetricsSnapshot is the JSON shape served by /metrics.
 type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
 	IngestRequests     int64 `json:"ingest_requests"`
 	StatementsIngested int64 `json:"statements_ingested"`
 	ParseErrors        int64 `json:"parse_errors"`
@@ -43,6 +79,9 @@ type MetricsSnapshot struct {
 	DriftOptimizerCalls int64 `json:"drift_optimizer_calls"`
 	LastRetuneCalls     int64 `json:"last_retune_optimizer_calls"`
 	LastRetuneMillis    int64 `json:"last_retune_millis"`
+	// LastRetuneUnix is the Unix timestamp of the last successful retune
+	// (0 before the first one).
+	LastRetuneUnix int64 `json:"last_retune_unix"`
 
 	// Warm-start accounting from the shared request cache: calls invested
 	// building cached fragments vs. calls avoided on cache hits.
@@ -50,4 +89,45 @@ type MetricsSnapshot struct {
 	CacheHits           int64 `json:"cache_hits"`
 	OptimizerCallsSaved int64 `json:"optimizer_calls_saved"`
 	OptimizerCallsSpent int64 `json:"optimizer_calls_spent"`
+}
+
+// serviceGauges mirrors the service-level counters into the Prometheus
+// registry. Values are refreshed from a MetricsSnapshot on each scrape
+// (the tuner_* search metrics are event-driven and always current).
+type serviceGauges struct {
+	uptime         *obs.Gauge
+	ingested       *obs.Gauge
+	windowObs      *obs.Gauge
+	windowUnique   *obs.Gauge
+	retunes        *obs.Gauge
+	warmRetunes    *obs.Gauge
+	driftEvents    *obs.Gauge
+	cacheEntries   *obs.Gauge
+	lastRetuneUnix *obs.Gauge
+}
+
+func newServiceGauges(reg *obs.Registry) *serviceGauges {
+	return &serviceGauges{
+		uptime:         reg.NewGauge("tuner_uptime_seconds", "Seconds since the service started."),
+		ingested:       reg.NewGauge("tuner_statements_ingested", "Statements ingested since start."),
+		windowObs:      reg.NewGauge("tuner_window_observations", "Statement observations in the sliding window."),
+		windowUnique:   reg.NewGauge("tuner_window_unique", "Distinct statements in the sliding window."),
+		retunes:        reg.NewGauge("tuner_retunes", "Completed tuning sessions."),
+		warmRetunes:    reg.NewGauge("tuner_warm_retunes", "Tuning sessions that warm-started from the previous recommendation."),
+		driftEvents:    reg.NewGauge("tuner_drift_events", "Drift detections since start."),
+		cacheEntries:   reg.NewGauge("tuner_fragment_cache_entries", "Entries in the per-statement optimal-fragment cache."),
+		lastRetuneUnix: reg.NewGauge("tuner_last_retune_unix", "Unix timestamp of the last successful retune (0 = none)."),
+	}
+}
+
+func (g *serviceGauges) update(snap MetricsSnapshot) {
+	g.uptime.Set(snap.UptimeSeconds)
+	g.ingested.Set(float64(snap.StatementsIngested))
+	g.windowObs.Set(float64(snap.WindowObservations))
+	g.windowUnique.Set(float64(snap.WindowUnique))
+	g.retunes.Set(float64(snap.Retunes))
+	g.warmRetunes.Set(float64(snap.WarmRetunes))
+	g.driftEvents.Set(float64(snap.DriftEvents))
+	g.cacheEntries.Set(float64(snap.CacheEntries))
+	g.lastRetuneUnix.Set(float64(snap.LastRetuneUnix))
 }

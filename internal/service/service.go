@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/workloads"
@@ -45,6 +46,10 @@ type Options struct {
 	AutoRetune bool
 	// Logf receives service log lines (nil = silent).
 	Logf func(format string, args ...any)
+	// TraceSink, when set, receives the full span/event telemetry of
+	// every tuning session (in addition to the Prometheus metrics the
+	// service always derives from the same events).
+	TraceSink obs.Sink
 }
 
 // Recommendation is the service's current physical design advice.
@@ -79,11 +84,21 @@ type Service struct {
 	window  *workloads.SlidingWindow
 	cache   *core.RequestCache
 	metrics *Metrics
+	started time.Time
+
+	// Prometheus surface: the registry backs the text exposition of
+	// /metrics; tunerMetrics is fed from trace events, so every retune
+	// updates it without the core package knowing about Prometheus.
+	promReg      *obs.Registry
+	tunerMetrics *obs.TunerMetrics
+	promGauges   *serviceGauges
+	trace        *obs.Tracer
 
 	// mu guards the recommendation state, drift baseline, and the
 	// drift-probe optimizer + per-statement cost cache.
 	mu        sync.Mutex
 	rec       *Recommendation
+	explain   *core.ExplainReport
 	baseline  *Fingerprint
 	costCache map[string]float64
 	driftOpt  *optimizer.Optimizer
@@ -105,17 +120,25 @@ func New(opts Options) (*Service, error) {
 		return nil, errors.New("service: Options.DB is required")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	promReg := obs.NewRegistry()
+	tm := obs.NewTunerMetrics(promReg)
+	gauges := newServiceGauges(promReg)
 	s := &Service{
-		opts:      opts,
-		db:        opts.DB,
-		window:    workloads.NewSlidingWindow(opts.DB.Name, opts.Window),
-		cache:     core.NewRequestCache(),
-		metrics:   &Metrics{},
-		costCache: map[string]float64{},
-		driftOpt:  optimizer.New(opts.DB),
-		ctx:       ctx,
-		cancel:    cancel,
-		retuneCh:  make(chan struct{}, 1),
+		opts:         opts,
+		db:           opts.DB,
+		window:       workloads.NewSlidingWindow(opts.DB.Name, opts.Window),
+		cache:        core.NewRequestCache(),
+		metrics:      &Metrics{},
+		started:      time.Now(),
+		promReg:      promReg,
+		tunerMetrics: tm,
+		promGauges:   gauges,
+		trace:        obs.NewTracer(obs.MultiSink(tm.Sink(), opts.TraceSink)),
+		costCache:    map[string]float64{},
+		driftOpt:     optimizer.New(opts.DB),
+		ctx:          ctx,
+		cancel:       cancel,
+		retuneCh:     make(chan struct{}, 1),
 	}
 	s.wg.Add(1)
 	go s.retuneWorker()
@@ -266,6 +289,7 @@ func (s *Service) Retune() (*Recommendation, error) {
 
 	opts := s.opts.Tuning
 	opts.Cache = s.cache
+	opts.Trace = s.trace
 	s.mu.Lock()
 	prev := s.rec
 	s.mu.Unlock()
@@ -312,9 +336,15 @@ func (s *Service) Retune() (*Recommendation, error) {
 	s.metrics.tuneOptimizerCalls.Add(res.OptimizerCalls)
 	s.metrics.lastRetuneCalls.Store(res.OptimizerCalls)
 	s.metrics.lastRetuneMillis.Store(res.Elapsed.Milliseconds())
+	s.metrics.lastRetuneUnix.Store(time.Now().Unix())
+	// Session-level Prometheus metrics; the search-internal ones were
+	// already fed from trace events during Tune.
+	s.tunerMetrics.OptimizerCalls.Add(float64(res.OptimizerCalls))
+	s.tunerMetrics.RetuneDuration.Observe(res.Elapsed.Seconds())
 
 	s.mu.Lock()
 	s.rec = rec
+	s.explain = res.Explain
 	s.baseline = &Fingerprint{
 		Shares:        shapeHistogram(snap),
 		CostPerWeight: res.Best.Cost / snap.TotalWeight(),
@@ -330,30 +360,35 @@ func (s *Service) Retune() (*Recommendation, error) {
 	return rec, nil
 }
 
-// MetricsSnapshot assembles the /metrics payload.
+// MetricsSnapshot assembles the /metrics payload. The atomics are read
+// once into a local copy before the struct is built.
 func (s *Service) MetricsSnapshot() MetricsSnapshot {
+	m := s.metrics.snapshot()
 	st := s.window.Stats()
 	cs := s.cache.Stats()
 	return MetricsSnapshot{
-		IngestRequests:     s.metrics.ingestRequests.Load(),
-		StatementsIngested: s.metrics.statementsIngested.Load(),
-		ParseErrors:        s.metrics.parseErrors.Load(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+
+		IngestRequests:     m.ingestRequests,
+		StatementsIngested: m.statementsIngested,
+		ParseErrors:        m.parseErrors,
 
 		WindowObservations: int64(st.InWindow),
 		WindowUnique:       int64(st.Unique),
 		WindowWeight:       st.TotalWeight,
 		WindowEvicted:      st.EvictedOldest + st.EvictedUnique,
 
-		DriftChecks: s.metrics.driftChecks.Load(),
-		DriftEvents: s.metrics.driftEvents.Load(),
+		DriftChecks: m.driftChecks,
+		DriftEvents: m.driftEvents,
 
-		Retunes:     s.metrics.retunes.Load(),
-		WarmRetunes: s.metrics.warmRetunes.Load(),
+		Retunes:     m.retunes,
+		WarmRetunes: m.warmRetunes,
 
-		TuneOptimizerCalls:  s.metrics.tuneOptimizerCalls.Load(),
-		DriftOptimizerCalls: s.metrics.driftOptimizerCalls.Load(),
-		LastRetuneCalls:     s.metrics.lastRetuneCalls.Load(),
-		LastRetuneMillis:    s.metrics.lastRetuneMillis.Load(),
+		TuneOptimizerCalls:  m.tuneOptimizerCalls,
+		DriftOptimizerCalls: m.driftOptimizerCalls,
+		LastRetuneCalls:     m.lastRetuneCalls,
+		LastRetuneMillis:    m.lastRetuneMillis,
+		LastRetuneUnix:      m.lastRetuneUnix,
 
 		CacheEntries:        cs.Entries,
 		CacheHits:           cs.Hits,
@@ -361,6 +396,18 @@ func (s *Service) MetricsSnapshot() MetricsSnapshot {
 		OptimizerCallsSpent: cs.CallsSpent,
 	}
 }
+
+// Explain returns the decision log of the last successful retune, or nil
+// before the first one.
+func (s *Service) Explain() *core.ExplainReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.explain
+}
+
+// PromRegistry exposes the service's Prometheus registry, e.g. to mount
+// its Handler or register additional process metrics.
+func (s *Service) PromRegistry() *obs.Registry { return s.promReg }
 
 // retuneWorker runs triggered retunes until the service closes.
 func (s *Service) retuneWorker() {
@@ -398,6 +445,7 @@ func (s *Service) Close() error {
 	s.closeOnce.Do(func() {
 		s.cancel()
 		s.wg.Wait()
+		_ = s.trace.Close() // flushes the TraceSink, if any
 	})
 	return nil
 }

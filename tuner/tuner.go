@@ -19,10 +19,13 @@
 package tuner
 
 import (
+	"io"
+
 	"repro/internal/baseline"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/workloads"
 )
@@ -159,3 +162,47 @@ func MigrationDDL(from, to *Configuration) string { return physical.MigrationDDL
 
 // CompressWorkload merges duplicate statements into weighted entries.
 func CompressWorkload(w *Workload) *Workload { return workloads.Compress(w) }
+
+// Observability types, re-exported. Set Options.Trace to a Tracer to
+// receive span/event telemetry from a tuning session; Result.Explain
+// carries the per-structure decision log.
+type (
+	// Tracer records spans and events from a tuning session. A nil
+	// Tracer is a valid no-op.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded span or event.
+	TraceEvent = obs.Event
+	// TraceSink receives trace events (JSONL, in-memory, or metrics).
+	TraceSink = obs.Sink
+	// MemoryTraceSink buffers events in memory (tests, analysis).
+	MemoryTraceSink = obs.MemorySink
+	// ExplainReport is the per-structure decision log of a session.
+	ExplainReport = core.ExplainReport
+	// StructureDecision explains the fate of one index or view.
+	StructureDecision = core.StructureDecision
+	// DecisionEvent is one lineage transformation that touched a structure.
+	DecisionEvent = core.DecisionEvent
+	// MetricsRegistry is a dependency-free Prometheus text registry.
+	MetricsRegistry = obs.Registry
+	// TunerMetrics is the Prometheus metric family describing the search.
+	TunerMetrics = obs.TunerMetrics
+)
+
+// NewTracer builds a tracer over sink (nil sink = disabled tracer).
+func NewTracer(sink TraceSink) *Tracer { return obs.NewTracer(sink) }
+
+// NewJSONLTraceSink streams events to w as JSON lines; Close flushes.
+func NewJSONLTraceSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+
+// NewMemoryTraceSink buffers events in memory.
+func NewMemoryTraceSink() *MemoryTraceSink { return obs.NewMemorySink() }
+
+// MultiTraceSink fans events out to several sinks (nils are skipped).
+func MultiTraceSink(sinks ...TraceSink) TraceSink { return obs.MultiSink(sinks...) }
+
+// NewMetricsRegistry returns an empty Prometheus text registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTunerMetrics registers the tuner metric family on reg; feed it by
+// installing NewTracer(m.Sink()) as the session's Options.Trace.
+func NewTunerMetrics(reg *MetricsRegistry) *TunerMetrics { return obs.NewTunerMetrics(reg) }
