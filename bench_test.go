@@ -43,6 +43,7 @@ func verbose() bool { return testing.Verbose() }
 // --- one benchmark per paper exhibit ---
 
 func BenchmarkTable1Requests(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table1(cfg)
@@ -56,6 +57,7 @@ func BenchmarkTable1Requests(b *testing.B) {
 }
 
 func BenchmarkTable2Inventory(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Table2(cfg)
@@ -66,6 +68,7 @@ func BenchmarkTable2Inventory(b *testing.B) {
 }
 
 func BenchmarkTable3TuningTime(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table3(cfg)
@@ -79,6 +82,7 @@ func BenchmarkTable3TuningTime(b *testing.B) {
 }
 
 func BenchmarkFigure3Convergence(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Figure3(cfg)
@@ -92,6 +96,7 @@ func BenchmarkFigure3Convergence(b *testing.B) {
 }
 
 func BenchmarkFigure4Frontier(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Figure4(cfg)
@@ -105,6 +110,7 @@ func BenchmarkFigure4Frontier(b *testing.B) {
 }
 
 func BenchmarkFigure6Transformations(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		census, err := experiments.Figure6(cfg)
@@ -118,6 +124,7 @@ func BenchmarkFigure6Transformations(b *testing.B) {
 }
 
 func BenchmarkFigure8NoConstraints(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure8(cfg)
@@ -131,6 +138,7 @@ func BenchmarkFigure8NoConstraints(b *testing.B) {
 }
 
 func BenchmarkFigure9Updates(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure9(cfg)
@@ -144,6 +152,7 @@ func BenchmarkFigure9Updates(b *testing.B) {
 }
 
 func BenchmarkFigure10SpaceSweep(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.MaxIterations = 30
 	for i := 0; i < b.N; i++ {
@@ -177,6 +186,7 @@ func tunedCost(b *testing.B, opts core.Options) float64 {
 }
 
 func benchAblation(b *testing.B, opts core.Options) {
+	b.ReportAllocs()
 	// Derive a consistent budget once.
 	db := datagen.TPCH(0.001)
 	w, _ := workloads.TPCH22()
@@ -221,6 +231,7 @@ func BenchmarkAblationFullReoptimize(b *testing.B) {
 //	go test -bench='BenchmarkTune(TracingOff|TracingOn)' -benchtime=5x
 
 func benchTuneTracing(b *testing.B, trace bool) {
+	b.ReportAllocs()
 	db := datagen.TPCH(0.001)
 	w, err := workloads.TPCH22()
 	if err != nil {
@@ -264,6 +275,7 @@ func BenchmarkTuneTracingOn(b *testing.B)  { benchTuneTracing(b, true) }
 // --- micro-benchmarks of the hot paths ---
 
 func BenchmarkOptimizeSingleTable(b *testing.B) {
+	b.ReportAllocs()
 	db := datagen.TPCH(0.01)
 	o := optimizer.New(db)
 	cfg := datagen.BaseConfiguration(db)
@@ -284,6 +296,7 @@ func BenchmarkOptimizeSingleTable(b *testing.B) {
 }
 
 func BenchmarkOptimizeSixWayJoin(b *testing.B) {
+	b.ReportAllocs()
 	db := datagen.TPCH(0.01)
 	o := optimizer.New(db)
 	cfg := datagen.BaseConfiguration(db)
@@ -305,6 +318,7 @@ func BenchmarkOptimizeSixWayJoin(b *testing.B) {
 }
 
 func BenchmarkEnumerateTransformations(b *testing.B) {
+	b.ReportAllocs()
 	db := datagen.TPCH(0.001)
 	w, _ := workloads.TPCH22()
 	tn, err := core.NewTuner(db, w, core.Options{NoViews: true})
@@ -326,6 +340,7 @@ func BenchmarkEnumerateTransformations(b *testing.B) {
 }
 
 func BenchmarkBoundDelta(b *testing.B) {
+	b.ReportAllocs()
 	db := datagen.TPCH(0.001)
 	w, _ := workloads.TPCH22()
 	tn, err := core.NewTuner(db, w, core.Options{NoViews: true})
@@ -350,6 +365,7 @@ func BenchmarkBoundDelta(b *testing.B) {
 }
 
 func BenchmarkParseTPCHQuery(b *testing.B) {
+	b.ReportAllocs()
 	src := workloads.TPCH22SQL()[7]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -360,8 +376,10 @@ func BenchmarkParseTPCHQuery(b *testing.B) {
 }
 
 func BenchmarkBaselineBottomUp(b *testing.B) {
+	b.ReportAllocs()
 	db := datagen.TPCH(0.001)
 	w, _ := workloads.TPCH22()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tn, err := core.NewTuner(db, w, core.Options{NoViews: true})
 		if err != nil {
@@ -374,6 +392,7 @@ func BenchmarkBaselineBottomUp(b *testing.B) {
 }
 
 func BenchmarkValidateEstimates(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Validate(cfg)
@@ -387,6 +406,7 @@ func BenchmarkValidateEstimates(b *testing.B) {
 }
 
 func BenchmarkExecuteTPCHQuery(b *testing.B) {
+	b.ReportAllocs()
 	db, store := datagen.TPCHData(0.001)
 	stmt, err := sqlx.Parse(workloads.TPCH22SQL()[2]) // Q3: 3-way join + group
 	if err != nil {
@@ -405,6 +425,7 @@ func BenchmarkExecuteTPCHQuery(b *testing.B) {
 }
 
 func BenchmarkMaterializeTPCH(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		db, store := datagen.TPCHData(0.001)
 		if db == nil || store.Get("lineitem") == nil {
@@ -414,8 +435,10 @@ func BenchmarkMaterializeTPCH(b *testing.B) {
 }
 
 func BenchmarkOptimalConfiguration(b *testing.B) {
+	b.ReportAllocs()
 	db := datagen.TPCH(0.001)
 	w, _ := workloads.TPCH22()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tn, err := core.NewTuner(db, w, core.Options{})
 		if err != nil {

@@ -39,6 +39,7 @@ func main() {
 		explain  = flag.Bool("explain", false, "print the per-structure decision log (why each index/view was kept, merged, or dropped)")
 		plans    = flag.Bool("plans", false, "print each query's plan under the recommended configuration")
 		traceOut = flag.String("trace", "", "write search trace events (JSONL) to this path")
+		profile  = flag.Bool("profile", false, "print the per-phase performance profile (p50/p95/p99 wall time, allocations) after tuning")
 	)
 	flag.Parse()
 
@@ -69,6 +70,12 @@ func main() {
 		opts.Trace = trace
 	}
 
+	var prof *tuner.Profiler
+	if *profile {
+		prof = tuner.NewProfiler()
+		opts.Profile = prof
+	}
+
 	if *whatIf != "" {
 		runWhatIf(db, w, opts, *whatIf)
 		closeTrace(trace, *traceOut)
@@ -87,6 +94,18 @@ func main() {
 	closeTrace(trace, *traceOut)
 	printResult(res, *frontier)
 	fmt.Printf("relaxation tuning took %s (%d optimizer calls)\n\n", time.Since(start).Round(time.Millisecond), res.OptimizerCalls)
+
+	if prof != nil {
+		rep := prof.Snapshot()
+		rep.WallSeconds = res.Elapsed.Seconds()
+		fmt.Println("phase profile:")
+		rep.WriteText(os.Stdout)
+		if cal := res.Explain.Calibration; cal != nil {
+			fmt.Println("\ncost-model calibration (realized ΔT / estimated §3.3.2 bound):")
+			cal.WriteText(os.Stdout)
+		}
+		fmt.Println()
+	}
 
 	if *explain && res.Explain != nil {
 		fmt.Println("decision log (why each structure ended up this way):")

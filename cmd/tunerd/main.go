@@ -13,6 +13,7 @@
 //	POST /ingest          {"statements": ["SELECT ...", ...]}
 //	GET  /recommendation  current physical design advice
 //	GET  /explain         per-structure decision log of the last retune
+//	GET  /profile         per-phase performance profile across retunes
 //	POST /retune          tune the current window now
 //	GET  /drift           assess workload drift
 //	GET  /metrics         activity counters (JSON; Prometheus text with
@@ -37,6 +38,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +71,9 @@ func main() {
 		driftShape = flag.Float64("drift-shape", 0.5, "shape-histogram L1 distance threshold")
 		driftCost  = flag.Float64("drift-cost", 1.25, "cost inflation ratio threshold")
 		autoRetune = flag.Bool("auto-retune", true, "retune automatically when drift is detected")
+
+		retuneBuckets = flag.String("retune-buckets", "", "comma-separated tuner_retune_duration_seconds bucket bounds (empty = defaults)")
+		phaseBuckets  = flag.String("phase-buckets", "", "comma-separated tuner_phase_duration_seconds bucket bounds (empty = defaults)")
 	)
 	flag.Parse()
 
@@ -84,6 +90,14 @@ func main() {
 	db, err := database(*dbName, *sf)
 	if err != nil {
 		fatal("tunerd: bad -db", err)
+	}
+
+	var buckets obs.TunerMetricsBuckets
+	if buckets.RetuneDuration, err = parseBuckets(*retuneBuckets); err != nil {
+		fatal("tunerd: bad -retune-buckets", err)
+	}
+	if buckets.PhaseDuration, err = parseBuckets(*phaseBuckets); err != nil {
+		fatal("tunerd: bad -phase-buckets", err)
 	}
 
 	var traceSink obs.Sink
@@ -119,7 +133,8 @@ func main() {
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
-		TraceSink: traceSink,
+		TraceSink:      traceSink,
+		MetricsBuckets: buckets,
 	})
 	if err != nil {
 		fatal("tunerd: starting service", err)
@@ -162,6 +177,30 @@ func main() {
 		logger.Error("tunerd: service close", "error", err)
 	}
 	logger.Info("tunerd: bye")
+}
+
+// parseBuckets parses a comma-separated list of ascending float bucket
+// bounds; an empty string means "use the defaults" (nil).
+func parseBuckets(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bucket %q: %w", p, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("bucket %q: bounds must be positive", p)
+		}
+		if n := len(out); n > 0 && v <= out[n-1] {
+			return nil, fmt.Errorf("bucket %q: bounds must be strictly increasing", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // newLogger builds the process logger in the requested format.

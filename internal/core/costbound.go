@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/optimizer"
 	"repro/internal/physical"
@@ -37,6 +38,9 @@ func (t *Tuner) BoundDelta(ec *EvaluatedConfig, tr *physical.Transformation) (De
 }
 
 func (t *Tuner) boundDelta(ec *EvaluatedConfig, tr *physical.Transformation) (Delta, error) {
+	if p := t.Options.Profile; p.Enabled() {
+		defer p.Since("search/penalty/"+tr.Kind.String(), time.Now())
+	}
 	cfgAfter := tr.Apply(ec.Config)
 	sizer := t.Opt.Sizer()
 	d := Delta{DS: ec.SizeBytes - sizer.ConfigBytes(cfgAfter)}

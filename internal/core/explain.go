@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/physical"
 )
 
@@ -66,6 +67,11 @@ type ExplainReport struct {
 	Steps int `json:"relaxation_steps"`
 	// Structures holds one decision per structure, sorted by kind then ID.
 	Structures []StructureDecision `json:"structures"`
+	// Calibration scores the session's §3.3.2 ΔT bounds against the
+	// realized costs and reports the optimizer-call economy. Attached
+	// by Tune once the search statistics are final; nil for reports
+	// built outside a tuning session.
+	Calibration *obs.CalibrationReport `json:"calibration,omitempty"`
 }
 
 // buildExplain reconstructs the winning lineage (root → bestNode) and
@@ -300,5 +306,9 @@ func (r *ExplainReport) WriteText(w io.Writer) {
 			}
 			fmt.Fprintf(w, "        step %d: %s %s\n", ev.Iteration, ev.Action, ev.Detail)
 		}
+	}
+	if r.Calibration != nil {
+		fmt.Fprintf(w, "\nCost-model calibration (realized ΔT / estimated §3.3.2 bound):\n")
+		r.Calibration.WriteText(w)
 	}
 }

@@ -152,6 +152,7 @@ func (t *Tuner) OptimalForQuery(tq *TunedQuery) (*physical.Configuration, *optim
 }
 
 func (t *Tuner) optimalForQuery(tq *TunedQuery) (*physical.Configuration, *optimizer.QueryResult, error) {
+	defer t.Options.Profile.StartAlloc("optimal-config/instrument")()
 	work := t.Base.Clone()
 	ic := t.newInterceptor(work)
 	t.Opt.SetHooks(ic.hooks())

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// TestProfileCoversSessionWallTime is the profiler's accounting check:
+// the top-level phases must partition the session, so their total
+// stays within 10% of the end-to-end wall time.
+func TestProfileCoversSessionWallTime(t *testing.T) {
+	db := datagen.TPCH(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := NewTuner(db, w, Options{NoViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCfg, err := probe.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prof := obs.NewProfiler()
+	tn, err := NewTuner(db, w, Options{
+		NoViews:       true,
+		MaxIterations: 40,
+		SpaceBudget:   probe.Opt.Sizer().ConfigBytes(optCfg) / 3,
+		Profile:       prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tn.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := prof.Snapshot()
+	rep.WallSeconds = res.Elapsed.Seconds()
+	if cov := rep.CoveragePct(); cov < 90 || cov > 110 {
+		t.Errorf("top-level phases cover %.1f%% of wall time, want within 10%% (top-level %.3fs, wall %.3fs)",
+			cov, rep.TopLevelSeconds, rep.WallSeconds)
+	}
+
+	// The search phase must exist, dominate, and carry the
+	// optimizer-call attribution.
+	search := rep.Phase("search")
+	if search == nil {
+		t.Fatal("no search phase recorded")
+	}
+	if search.Counters["optimizer_calls"] <= 0 {
+		t.Errorf("search phase lost optimizer-call attribution: %+v", search.Counters)
+	}
+	// Sub-phases are recorded under their parent and excluded from the
+	// top-level partition.
+	if rank := rep.Phase("search/rank"); rank == nil || rank.Depth() != 1 {
+		t.Errorf("search/rank sub-phase missing: %+v", rank)
+	}
+
+	// Calibration rides on the decision log: with a budget forcing
+	// relaxation there must be rated samples and a sane economy.
+	cal := res.Explain.Calibration
+	if cal == nil {
+		t.Fatal("no calibration report on Result.Explain")
+	}
+	if cal.Overall.Samples == 0 || cal.Overall.Rated == 0 {
+		t.Errorf("calibration has no rated samples: %+v", cal.Overall)
+	}
+	if cal.Economy.OptimizerCalls != res.OptimizerCalls {
+		t.Errorf("economy calls %d != session calls %d", cal.Economy.OptimizerCalls, res.OptimizerCalls)
+	}
+	if cal.Economy.PlansReused == 0 {
+		t.Error("optimality-principle reuse never triggered during the search")
+	}
+}
+
+// TestProfileDisabledByDefault guards the nil-profiler fast path: no
+// Options.Profile means no phases anywhere, and tuning still works.
+func TestProfileDisabledByDefault(t *testing.T) {
+	db := datagen.TPCH(0.0005)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := NewTuner(db, w, Options{NoViews: true, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tn.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("tuning without a profiler broke")
+	}
+	// Calibration is recorded unconditionally — it needs no profiler.
+	if res.Explain.Calibration == nil {
+		t.Error("calibration missing without a profiler")
+	}
+}

@@ -45,6 +45,15 @@ type Result struct {
 	// the winning lineage, and why the final state won. Always built;
 	// costs no optimizer calls.
 	Explain *ExplainReport
+	// CalibSamples pairs every accepted relaxation step's estimated ΔT
+	// upper bound (§3.3.2) with the realized ΔT — the raw material of
+	// the calibration report. Recorded unconditionally; each sample is
+	// two floats and a kind string.
+	CalibSamples []obs.CalibSample
+	// Economy aggregates the session's optimizer-call economy: plans
+	// reused vs re-optimized, shortcut prunes, duplicate skips, cache
+	// savings.
+	Economy obs.WhatIfEconomy
 }
 
 // ImprovementPct returns the paper's improvement metric for the final
@@ -96,6 +105,11 @@ func (t *Tuner) Tune() (*Result, error) {
 func (t *Tuner) tune() (*Result, error) {
 	start := time.Now()
 	stats0 := t.Opt.Stats()
+	reused0, reopt0 := t.statPlansReused, t.statPlansReopt
+	var cache0 CacheStats
+	if t.Options.Cache != nil {
+		cache0 = t.Options.Cache.Stats()
+	}
 	endTune := t.span("tune")
 	res, err := t.runSearch(start)
 	if err != nil {
@@ -103,6 +117,15 @@ func (t *Tuner) tune() (*Result, error) {
 		return nil, err
 	}
 	t.fillStats(res, stats0, start)
+	res.Economy.OptimizerCalls = res.OptimizerCalls
+	res.Economy.PlansReused = t.statPlansReused - reused0
+	res.Economy.PlansReoptimized = t.statPlansReopt - reopt0
+	if c := t.Options.Cache; c != nil {
+		cs := c.Stats()
+		res.Economy.CacheHits = cs.Hits - cache0.Hits
+		res.Economy.CacheCallsSaved = cs.CallsSaved - cache0.CallsSaved
+	}
+	res.Explain.Calibration = obs.Calibrate(res.CalibSamples, res.Economy)
 	if t.Options.Trace.Enabled() {
 		endTune(obs.F{
 			"best_fp":         res.Best.Config.Fingerprint(),
@@ -123,9 +146,10 @@ func (t *Tuner) tune() (*Result, error) {
 // explain report.
 func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 	trace := t.Options.Trace
+	prof := t.Options.Profile
 	res := &Result{}
 
-	endPhase := t.span("evaluate-initial")
+	endPhase := t.phase("evaluate-initial")
 	initial, err := t.evaluate(t.Base)
 	if err != nil {
 		endPhase(obs.F{"error": err.Error()})
@@ -134,7 +158,7 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 	endPhase(obs.F{"cost": initial.Cost, "size": initial.SizeBytes})
 	res.Initial = initial
 
-	endPhase = t.span("optimal-config")
+	endPhase = t.phase("optimal-config")
 	optimalCfg, err := t.optimalConfiguration()
 	if err != nil {
 		endPhase(obs.F{"error": err.Error()})
@@ -142,7 +166,7 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 	}
 	endPhase(obs.F{"indexes": optimalCfg.NumIndexes(), "views": optimalCfg.NumViews()})
 
-	endPhase = t.span("evaluate-optimal")
+	endPhase = t.phase("evaluate-optimal")
 	optimal, err := t.evaluate(optimalCfg)
 	if err != nil {
 		endPhase(obs.F{"error": err.Error()})
@@ -160,7 +184,9 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 		res.Best = optimal
 		res.Frontier = append(res.Frontier,
 			FrontierPoint{SizeBytes: optimal.SizeBytes, Cost: optimal.Cost, Fits: true})
+		endExplain := prof.StartAlloc("explain")
 		res.Explain = t.buildExplain(res, nil, explainSourceOptimal)
+		endExplain()
 		return res, nil
 	}
 	effBudget := budget
@@ -169,7 +195,9 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 	}
 
 	fits := func(ec *EvaluatedConfig) bool { return ec.SizeBytes <= effBudget }
+	endEnum := prof.StartAlloc("enumerate-root")
 	root := t.newSearchNode(optimal, nil, 0)
+	endEnum()
 	var cbest *EvaluatedConfig
 	var bestNode *searchNode
 	if fits(initial) {
@@ -193,7 +221,7 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 	// configuration are re-optimized, so a warm start over a repeat-heavy
 	// workload costs only a handful of optimizer calls.
 	if ws := t.Options.WarmStart; ws != nil {
-		endPhase = t.span("warm-start")
+		endPhase = t.phase("warm-start")
 		warmCfg := ws.Clone()
 		for _, ix := range t.Base.Indexes() {
 			warmCfg.AddIndex(ix)
@@ -229,7 +257,7 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 	}
 	last := root
 
-	endSearch := t.span("search")
+	endSearch := t.phase("search")
 	for iter := 0; iter < maxIter; iter++ {
 		if t.Options.TimeBudget > 0 && time.Since(start) > t.Options.TimeBudget {
 			if trace.Enabled() {
@@ -237,7 +265,9 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 			}
 			break
 		}
+		tPick := time.Now()
 		node, pickReason := t.pickNode(pool, last, effBudget, hasUpdates)
+		prof.Since("search/pick-node", tPick)
 		if node == nil {
 			break // no configuration has an applicable transformation left
 		}
@@ -254,7 +284,9 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 			})
 		}
 
+		tRank := time.Now()
 		ranked, skyPruned := t.rankTransformations(node, effBudget, hasUpdates)
+		prof.Since("search/rank", tRank)
 		if trace.Enabled() {
 			trace.Emit(obs.EvCandidates, candidateFields(iter, ranked, skyPruned))
 		}
@@ -294,6 +326,7 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 		fp := cfgNew.Fingerprint()
 		if seen[fp] {
 			last = node
+			res.Economy.DuplicateSkips++
 			if trace.Enabled() {
 				trace.Emit(obs.EvSkip, obs.F{"reason": "duplicate", "iter": iter, "fp": fp})
 			}
@@ -312,28 +345,37 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 		if hasUpdates {
 			cutoff = 0
 		}
+		tEval := time.Now()
 		evalNew, ok, err := t.evaluateIncremental(node.eval, cfgNew, removedIdx, removedViews, cutoff)
+		prof.Since("search/evaluate", tEval)
 		if err != nil {
 			endSearch(obs.F{"error": err.Error()})
 			return nil, err
 		}
 		if !ok {
 			last = node
+			res.Economy.ShortcutPrunes++
 			if trace.Enabled() {
 				trace.Emit(obs.EvSkip, obs.F{"reason": "shortcut", "iter": iter, "fp": fp, "cutoff": cutoff})
 			}
 			continue
 		}
 		if t.Options.ShrinkUnused {
-			if shrunk, serr := t.shrinkUnused(evalNew); serr != nil {
+			tShrink := time.Now()
+			shrunk, serr := t.shrinkUnused(evalNew)
+			prof.Since("search/shrink", tShrink)
+			if serr != nil {
 				endSearch(obs.F{"error": serr.Error()})
 				return nil, serr
-			} else if shrunk != nil {
+			}
+			if shrunk != nil {
 				evalNew = shrunk
 			}
 		}
 		realized := realizedPenalty(node.eval, evalNew)
+		tEnum := time.Now()
 		child := t.newSearchNode(evalNew, node, realized)
+		prof.Since("search/enumerate", tEnum)
 		child.iteration = res.Iterations
 		child.applied = chosen
 		pool = append(pool, child)
@@ -343,8 +385,14 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 		if newBest {
 			cbest, bestNode = evalNew, child
 		}
+		realizedDT := evalNew.Cost - node.eval.Cost
+		kind := "multi"
+		if len(chosen) == 1 {
+			kind = chosen[0].Kind.String()
+		}
+		res.CalibSamples = append(res.CalibSamples,
+			obs.CalibSample{Kind: kind, EstDT: estDT, RealizedDT: realizedDT})
 		if trace.Enabled() {
-			realizedDT := evalNew.Cost - node.eval.Cost
 			f := obs.F{
 				"iter":        iter,
 				"fp":          evalNew.Config.Fingerprint(),
@@ -382,7 +430,9 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 		source = explainSourceWarmStart
 	}
 	res.Best = cbest
+	endExplain := prof.StartAlloc("explain")
 	res.Explain = t.buildExplain(res, bestNode, source)
+	endExplain()
 	return res, nil
 }
 
@@ -583,6 +633,7 @@ func (t *Tuner) newSearchNode(ec *EvaluatedConfig, parent *searchNode, realized 
 //  2. otherwise revisit the chain node whose relaxation realized the
 //     largest penalty;
 //  3. otherwise pick the cheapest configuration with work left.
+//
 // The returned reason string labels which heuristic selected the node
 // (for the trace): "relax-last", "chain-correction", or "cheapest".
 func (t *Tuner) pickNode(pool []*searchNode, last *searchNode, budget int64, hasUpdates bool) (*searchNode, string) {
@@ -676,7 +727,9 @@ func (t *Tuner) rankTransformations(node *searchNode, budget int64, hasUpdates b
 		return nil, nil
 	}
 	if hasUpdates && !t.Options.DisableSkyline {
+		tSky := time.Now()
 		kept := skyline(cands)
+		t.Options.Profile.Since("search/skyline", tSky)
 		if len(kept) < len(cands) {
 			keptIDs := make(map[string]bool, len(kept))
 			for _, c := range kept {

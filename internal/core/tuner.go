@@ -88,6 +88,12 @@ type Options struct {
 	// attribution per phase. nil (the default) disables tracing at the
 	// cost of one pointer check per emission site.
 	Trace *obs.Tracer
+	// Profile aggregates per-phase wall-clock/allocation/counter
+	// profiles of the session (optimal-config construction, penalty
+	// estimation per transformation kind, evaluation, skyline, ...).
+	// nil (the default) disables profiling at the cost of one pointer
+	// check per phase boundary.
+	Profile *obs.Profiler
 }
 
 // TunedQuery pairs a workload statement with its bound form.
@@ -123,6 +129,13 @@ type Tuner struct {
 	// optimization requested it — the provenance half of the explain
 	// report.
 	demandedBy map[string][]string
+	// statPlansReused / statPlansReopt count, across the session, the
+	// per-query incremental evaluations answered by the §3.3.2
+	// optimality principle (parent plan reused, zero optimizer calls)
+	// vs those that had to re-optimize — the what-if economy accounting
+	// surfaced in CalibrationReport.
+	statPlansReused int64
+	statPlansReopt  int64
 }
 
 // NewTuner binds the workload against db and prepares a session. The base
@@ -210,6 +223,7 @@ func (t *Tuner) evaluateIncremental(parent *EvaluatedConfig, cfg *physical.Confi
 		if !t.Options.FullReoptimize && !usesAny(prev, removedIdx, removedViews) {
 			// The plan is still valid and, by the optimality principle,
 			// still optimal under the relaxed configuration.
+			t.statPlansReused++
 			res = &optimizer.QueryResult{
 				Plan:         prev.Plan,
 				SelectCost:   prev.SelectCost,
@@ -219,6 +233,7 @@ func (t *Tuner) evaluateIncremental(parent *EvaluatedConfig, cfg *physical.Confi
 				res.UpdateCost = t.Opt.UpdateShellCost(tq.Bound, cfg, res.AffectedRows)
 			}
 		} else {
+			t.statPlansReopt++
 			var err error
 			res, err = t.Opt.OptimizeFull(tq.Bound, cfg)
 			if err != nil {
@@ -285,6 +300,28 @@ func (t *Tuner) span(phase string) func(extra obs.F) {
 			f[k] = v
 		}
 		end(f)
+	}
+}
+
+// phase opens a combined trace span and profiler phase of the same
+// name. The closer stamps the trace as span does, records wall time
+// plus the heap-allocation delta under the profiler phase, and
+// attributes the phase's optimizer calls to it. With both observers
+// disabled the cost is two pointer checks.
+func (t *Tuner) phase(name string) func(extra obs.F) {
+	endSpan := t.span(name)
+	p := t.Options.Profile
+	if !p.Enabled() {
+		return endSpan
+	}
+	before := t.Opt.Stats().OptimizeCalls
+	endProf := p.StartAlloc(name)
+	return func(extra obs.F) {
+		endProf()
+		if calls := t.Opt.Stats().OptimizeCalls - before; calls > 0 {
+			p.Add(name, "optimizer_calls", float64(calls))
+		}
+		endSpan(extra)
 	}
 }
 

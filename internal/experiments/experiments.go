@@ -172,7 +172,6 @@ func Table3(cfg Config) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		statsBefore := tnC.Opt.Stats()
 		ctt, err := baseline.Tune(tnC, baseline.Options{NoViews: item.noViews})
 		if err != nil {
 			return nil, err
@@ -180,7 +179,6 @@ func Table3(cfg Config) ([]Table3Row, error) {
 		row.TimeCTT = ctt.Elapsed
 		row.CallsCTT = ctt.OptimizerCalls
 		row.ImprCTT = ctt.ImprovementPct()
-		_ = statsBefore
 
 		tnP, err := core.NewTuner(item.db, item.w, core.Options{NoViews: item.noViews, MaxIterations: cfg.MaxIterations})
 		if err != nil {

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCalibrateKnownPairs(t *testing.T) {
+	// Four rated samples with tightness ratios 0.5, 0.5, 1.0, 2.0:
+	// mean 1.0, p50 0.75 (R-7 interpolation), one bound violation.
+	samples := []CalibSample{
+		{Kind: "merge-indexes", EstDT: 10, RealizedDT: 5},
+		{Kind: "merge-indexes", EstDT: 4, RealizedDT: 2},
+		{Kind: "remove-index", EstDT: 8, RealizedDT: 8},
+		{Kind: "remove-index", EstDT: 3, RealizedDT: 6},
+	}
+	rep := Calibrate(samples, WhatIfEconomy{OptimizerCalls: 42, PlansReused: 3, PlansReoptimized: 1})
+	if rep.SchemaVersion != CalibrationSchemaVersion {
+		t.Errorf("schema version = %d", rep.SchemaVersion)
+	}
+	o := rep.Overall
+	if o.Samples != 4 || o.Rated != 4 {
+		t.Fatalf("samples/rated = %d/%d, want 4/4", o.Samples, o.Rated)
+	}
+	if math.Abs(o.MeanRatio-1.0) > 1e-12 {
+		t.Errorf("mean ratio = %g, want 1", o.MeanRatio)
+	}
+	if math.Abs(o.P50Ratio-0.75) > 1e-12 {
+		t.Errorf("p50 ratio = %g, want 0.75", o.P50Ratio)
+	}
+	if o.MaxRatio != 2.0 {
+		t.Errorf("max ratio = %g, want 2", o.MaxRatio)
+	}
+	if o.BoundViolations != 1 {
+		t.Errorf("bound violations = %d, want 1 (est 3 < realized 6)", o.BoundViolations)
+	}
+	// Per-kind groups come back sorted by kind name.
+	if len(rep.PerKind) != 2 || rep.PerKind[0].Kind != "merge-indexes" || rep.PerKind[1].Kind != "remove-index" {
+		t.Fatalf("per-kind grouping wrong: %+v", rep.PerKind)
+	}
+	if rep.PerKind[0].BoundViolations != 0 || rep.PerKind[1].BoundViolations != 1 {
+		t.Errorf("per-kind violations misattributed: %+v", rep.PerKind)
+	}
+	if got := rep.Economy.ReuseRatio(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("reuse ratio = %g, want 0.75", got)
+	}
+}
+
+func TestCalibrateZeroRealizedDT(t *testing.T) {
+	// A zero realized ΔT means the bound was maximally conservative:
+	// ratio 0, no violation, still rated.
+	rep := Calibrate([]CalibSample{{Kind: "remove-index", EstDT: 5, RealizedDT: 0}}, WhatIfEconomy{})
+	o := rep.Overall
+	if o.Rated != 1 || o.MeanRatio != 0 || o.P50Ratio != 0 || o.BoundViolations != 0 {
+		t.Errorf("zero-realized sample misscored: %+v", o)
+	}
+}
+
+func TestCalibrateNonPositiveEstimateExcluded(t *testing.T) {
+	// est ≤ 0 admits no tightness ratio: counted in Samples, not Rated,
+	// and never a violation regardless of the realized value.
+	rep := Calibrate([]CalibSample{
+		{Kind: "multi", EstDT: 0, RealizedDT: 9},
+		{Kind: "multi", EstDT: -1, RealizedDT: 9},
+		{Kind: "multi", EstDT: 2, RealizedDT: 1},
+	}, WhatIfEconomy{})
+	o := rep.Overall
+	if o.Samples != 3 || o.Rated != 1 {
+		t.Errorf("samples/rated = %d/%d, want 3/1", o.Samples, o.Rated)
+	}
+	if o.BoundViolations != 0 {
+		t.Errorf("unrated samples produced violations: %+v", o)
+	}
+	if math.Abs(o.MeanRatio-0.5) > 1e-12 {
+		t.Errorf("mean over rated = %g, want 0.5", o.MeanRatio)
+	}
+}
+
+func TestCalibrateSingleSample(t *testing.T) {
+	rep := Calibrate([]CalibSample{{Kind: "merge-views", EstDT: 4, RealizedDT: 3}}, WhatIfEconomy{})
+	o := rep.Overall
+	if o.Samples != 1 || o.Rated != 1 {
+		t.Fatalf("samples/rated = %d/%d", o.Samples, o.Rated)
+	}
+	// All quantiles collapse to the single ratio; rank correlation is
+	// undefined and must report 0, not NaN.
+	if o.MeanRatio != 0.75 || o.P50Ratio != 0.75 || o.P90Ratio != 0.75 || o.MaxRatio != 0.75 {
+		t.Errorf("single-sample quantiles: %+v", o)
+	}
+	if o.RankCorrelation != 0 {
+		t.Errorf("rank correlation = %g, want 0 for n=1", o.RankCorrelation)
+	}
+}
+
+func TestCalibrateEmpty(t *testing.T) {
+	rep := Calibrate(nil, WhatIfEconomy{})
+	if rep.Overall.Samples != 0 || len(rep.PerKind) != 0 {
+		t.Errorf("empty calibration not empty: %+v", rep)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb) // must not panic on the empty report
+	if !strings.Contains(sb.String(), "overall") {
+		t.Errorf("WriteText missing overall row:\n%s", sb.String())
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	inc := []float64{1, 2, 3, 4, 5}
+	dec := []float64{5, 4, 3, 2, 1}
+	if got := Spearman(inc, inc); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical series: %g, want 1", got)
+	}
+	if got := Spearman(inc, dec); math.Abs(got+1) > 1e-12 {
+		t.Errorf("reversed series: %g, want -1", got)
+	}
+	// Monotone but nonlinear: rank correlation stays exactly 1.
+	if got := Spearman(inc, []float64{1, 10, 100, 1000, 10000}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone nonlinear: %g, want 1", got)
+	}
+	if got := Spearman([]float64{7, 7, 7}, inc[:3]); got != 0 {
+		t.Errorf("constant series: %g, want 0", got)
+	}
+	if got := Spearman([]float64{1}, []float64{2}); got != 0 {
+		t.Errorf("n=1: %g, want 0", got)
+	}
+	if got := Spearman(inc, inc[:3]); got != 0 {
+		t.Errorf("length mismatch: %g, want 0", got)
+	}
+	// Ties take average ranks: still well-defined and bounded.
+	if got := Spearman([]float64{1, 1, 2, 2}, []float64{1, 2, 3, 4}); math.Abs(got) > 1 {
+		t.Errorf("tied ranks out of bounds: %g", got)
+	}
+}

@@ -17,19 +17,64 @@ type TunerMetrics struct {
 	// step: the §3.3.2 estimate is an upper bound, so samples near 1
 	// mean the bound is tight and the penalty ranking trustworthy.
 	BoundTightness *Histogram
+	// PhaseDuration is the per-phase latency distribution
+	// (tuner_phase_duration_seconds), fed by a Profiler observer — see
+	// Profiler.SetObserver.
+	PhaseDuration *HistogramVec
 
-	Iterations     *Counter
-	Evaluations    *Counter
-	ShortcutPrunes *Counter
-	DuplicateSkips *Counter
-	SkylinePruned  *Counter
+	Iterations       *Counter
+	Evaluations      *Counter
+	ShortcutPrunes   *Counter
+	DuplicateSkips   *Counter
+	SkylinePruned    *Counter
 	CandidatesRanked *Counter
-	CacheHits      *Counter
-	CacheMisses    *Counter
+	CacheHits        *Counter
+	CacheMisses      *Counter
 }
 
-// NewTunerMetrics registers the tuner metric family on reg.
+// TunerMetricsBuckets overrides histogram bucket boundaries for the
+// tuner metric family. A nil field keeps that metric's default.
+// Tuning phases span microseconds to minutes, so deployments that care
+// about one end of the range can trade resolution accordingly —
+// ExpBuckets builds suitable geometric ladders.
+type TunerMetricsBuckets struct {
+	// RetuneDuration bounds tuner_retune_duration_seconds (seconds).
+	RetuneDuration []float64
+	// BoundTightness bounds tuner_penalty_bound_tightness (ratio).
+	BoundTightness []float64
+	// PhaseDuration bounds tuner_phase_duration_seconds (seconds).
+	PhaseDuration []float64
+}
+
+// Default bucket boundaries (exported so callers can extend rather
+// than replace them).
+var (
+	DefaultRetuneBuckets    = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+	DefaultTightnessBuckets = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2, 5}
+	// DefaultPhaseBuckets covers 10µs .. ~40s geometrically: phase
+	// latencies range from per-candidate penalty estimation (µs) to
+	// whole search loops (tens of seconds).
+	DefaultPhaseBuckets = ExpBuckets(1e-5, 4, 12)
+)
+
+// NewTunerMetrics registers the tuner metric family on reg with
+// default bucket boundaries.
 func NewTunerMetrics(reg *Registry) *TunerMetrics {
+	return NewTunerMetricsWith(reg, TunerMetricsBuckets{})
+}
+
+// NewTunerMetricsWith registers the tuner metric family with custom
+// histogram buckets; zero-value fields keep the defaults.
+func NewTunerMetricsWith(reg *Registry, buckets TunerMetricsBuckets) *TunerMetrics {
+	if buckets.RetuneDuration == nil {
+		buckets.RetuneDuration = DefaultRetuneBuckets
+	}
+	if buckets.BoundTightness == nil {
+		buckets.BoundTightness = DefaultTightnessBuckets
+	}
+	if buckets.PhaseDuration == nil {
+		buckets.PhaseDuration = DefaultPhaseBuckets
+	}
 	return &TunerMetrics{
 		OptimizerCalls: reg.NewCounter("tuner_optimizer_calls_total",
 			"What-if optimizer calls made by tuning sessions."),
@@ -37,10 +82,13 @@ func NewTunerMetrics(reg *Registry) *TunerMetrics {
 			"Optimizer calls attributed to each search phase.", "phase"),
 		RetuneDuration: reg.NewHistogram("tuner_retune_duration_seconds",
 			"Wall-clock duration of tuning sessions.",
-			[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}),
+			buckets.RetuneDuration),
 		BoundTightness: reg.NewHistogram("tuner_penalty_bound_tightness",
 			"Realized ΔT over estimated ΔT bound per accepted relaxation step (≤1 means the §3.3.2 bound held).",
-			[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2, 5}),
+			buckets.BoundTightness),
+		PhaseDuration: reg.NewHistogramVec("tuner_phase_duration_seconds",
+			"Wall-clock distribution of tuning phases (fed by the phase profiler).", "phase",
+			buckets.PhaseDuration),
 		Iterations: reg.NewCounter("tuner_search_iterations_total",
 			"Relaxation search loop iterations."),
 		Evaluations: reg.NewCounter("tuner_search_evaluations_total",

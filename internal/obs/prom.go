@@ -198,6 +198,23 @@ func escapeLabel(s string) string {
 	return s
 }
 
+// ExpBuckets returns count exponentially growing histogram bounds
+// starting at start (start, start·factor, start·factor², ...) — the
+// bucket shape that fits quantities spanning many orders of magnitude,
+// like tuning-phase latencies (µs to minutes).
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
 // Histogram is a cumulative-bucket histogram.
 type Histogram struct {
 	name, help string
@@ -248,4 +265,86 @@ func (h *Histogram) write(w io.Writer) {
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.total)
 	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum))
 	fmt.Fprintf(w, "%s_count %d\n", h.name, h.total)
+}
+
+// HistogramVec is a histogram family partitioned by one label (enough
+// for per-phase latency distributions without a full label model).
+// Every series shares the same bucket bounds.
+type HistogramVec struct {
+	name, help, label string
+	bounds            []float64
+
+	mu       sync.Mutex
+	children map[string]*histSeries
+}
+
+type histSeries struct {
+	counts []uint64
+	sum    float64
+	total  uint64
+}
+
+// NewHistogramVec registers a one-label histogram family with the given
+// upper bounds (the +Inf bucket is implicit).
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	v := &HistogramVec{
+		name: name, help: help, label: label,
+		bounds:   sorted,
+		children: map[string]*histSeries{},
+	}
+	r.register(v)
+	return v
+}
+
+// Observe records one sample in the series with the given label value.
+func (v *HistogramVec) Observe(labelValue string, x float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s, ok := v.children[labelValue]
+	if !ok {
+		s = &histSeries{counts: make([]uint64, len(v.bounds)+1)}
+		v.children[labelValue] = s
+	}
+	s.counts[sort.SearchFloat64s(v.bounds, x)]++
+	s.sum += x
+	s.total++
+}
+
+// Count returns the number of observations for one label value.
+func (v *HistogramVec) Count(labelValue string) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s, ok := v.children[labelValue]; ok {
+		return s.total
+	}
+	return 0
+}
+
+func (v *HistogramVec) meta() (string, string, string) { return v.name, v.help, "histogram" }
+func (v *HistogramVec) write(w io.Writer) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	copies := make(map[string]histSeries, len(v.children))
+	for k, s := range v.children {
+		copies[k] = histSeries{counts: append([]uint64(nil), s.counts...), sum: s.sum, total: s.total}
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := copies[k]
+		lbl := escapeLabel(k)
+		cum := uint64(0)
+		for i, b := range v.bounds {
+			cum += s.counts[i]
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", v.name, v.label, lbl, formatFloat(b), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", v.name, v.label, lbl, s.total)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", v.name, v.label, lbl, formatFloat(s.sum))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", v.name, v.label, lbl, s.total)
+	}
 }

@@ -1,0 +1,205 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Tolerance bounds how far a run may drift from the baseline before
+// the gate fails. Deterministic counters (optimizer calls, iterations)
+// get tight factors; wall time and allocations get looser ones plus an
+// absolute slack so sub-millisecond scenarios don't flap on noise.
+// Zero-valued fields take the defaults below.
+type Tolerance struct {
+	// WallFactor caps current wall time at baseline×factor (+50 ms
+	// slack). The default must stay below 2 so a 2× slowdown is caught.
+	WallFactor float64
+	// AllocFactor caps heap allocations at baseline×factor (+1 MiB).
+	AllocFactor float64
+	// CallsFactor caps optimizer calls and iterations — both
+	// deterministic for a fixed seed — at baseline×factor (+2).
+	CallsFactor float64
+	// QualityPoints is the allowed drop in improvement (and rise in
+	// quality gap), in absolute percentage points.
+	QualityPoints float64
+	// CoverageFloorPct is the minimum profile coverage; checked only
+	// when the baseline recorded a non-zero coverage.
+	CoverageFloorPct float64
+}
+
+// DefaultTolerance returns the gate defaults (wall 1.5×, alloc 1.6×,
+// calls 1.05×, quality ±0.5 points, coverage floor 80%).
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		WallFactor:       1.5,
+		AllocFactor:      1.6,
+		CallsFactor:      1.05,
+		QualityPoints:    0.5,
+		CoverageFloorPct: 80,
+	}
+}
+
+func (t Tolerance) withDefaults() Tolerance {
+	d := DefaultTolerance()
+	if t.WallFactor <= 0 {
+		t.WallFactor = d.WallFactor
+	}
+	if t.AllocFactor <= 0 {
+		t.AllocFactor = d.AllocFactor
+	}
+	if t.CallsFactor <= 0 {
+		t.CallsFactor = d.CallsFactor
+	}
+	if t.QualityPoints <= 0 {
+		t.QualityPoints = d.QualityPoints
+	}
+	if t.CoverageFloorPct <= 0 {
+		t.CoverageFloorPct = d.CoverageFloorPct
+	}
+	return t
+}
+
+// Violation is one gate failure: a metric that crossed its tolerance.
+type Violation struct {
+	Scenario string  `json:"scenario"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Limit    float64 `json:"limit"`
+	// Detail carries the human-readable explanation shown in CI logs.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s (current %.4g, baseline %.4g, limit %.4g)",
+		v.Scenario, v.Metric, v.Detail, v.Current, v.Baseline, v.Limit)
+}
+
+// Gate compares a run against the baseline and returns every tolerance
+// violation, grouped by scenario in baseline order. An empty slice
+// means the run passes.
+func Gate(baseline, current *Bench, tol Tolerance) []Violation {
+	tol = tol.withDefaults()
+	var vs []Violation
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return []Violation{{
+			Scenario: "-", Metric: "schema_version",
+			Baseline: float64(baseline.SchemaVersion),
+			Current:  float64(current.SchemaVersion),
+			Limit:    float64(baseline.SchemaVersion),
+			Detail:   "benchmark schema changed; regenerate the baseline",
+		}}
+	}
+	cur := make(map[string]ScenarioResult, len(current.Scenarios))
+	for _, sr := range current.Scenarios {
+		cur[sr.Name] = sr
+	}
+	for _, base := range baseline.Scenarios {
+		c, ok := cur[base.Name]
+		if !ok {
+			vs = append(vs, Violation{
+				Scenario: base.Name, Metric: "scenario",
+				Detail: "scenario present in baseline but missing from this run",
+			})
+			continue
+		}
+		vs = append(vs, gateScenario(base, c, tol)...)
+	}
+	return vs
+}
+
+func gateScenario(base, c ScenarioResult, tol Tolerance) []Violation {
+	var vs []Violation
+	check := func(metric string, baseline, current, limit float64, detail string) {
+		vs = append(vs, Violation{
+			Scenario: base.Name, Metric: metric,
+			Baseline: baseline, Current: current, Limit: limit,
+			Detail: detail,
+		})
+	}
+
+	if limit := base.WallSeconds*tol.WallFactor + 0.05; c.WallSeconds > limit {
+		check("wall_seconds", base.WallSeconds, c.WallSeconds, limit,
+			fmt.Sprintf("wall time regressed %.2fx", c.WallSeconds/base.WallSeconds))
+	}
+	if limit := float64(base.AllocBytes)*tol.AllocFactor + float64(1<<20); float64(c.AllocBytes) > limit {
+		check("alloc_bytes", float64(base.AllocBytes), float64(c.AllocBytes), limit,
+			fmt.Sprintf("heap allocations regressed %.2fx", float64(c.AllocBytes)/float64(base.AllocBytes)))
+	}
+	if limit := float64(base.OptimizerCalls)*tol.CallsFactor + 2; float64(c.OptimizerCalls) > limit {
+		check("optimizer_calls", float64(base.OptimizerCalls), float64(c.OptimizerCalls), limit,
+			"the search spends more optimizer calls than the baseline")
+	}
+	if limit := float64(base.Iterations)*tol.CallsFactor + 2; float64(c.Iterations) > limit {
+		check("iterations", float64(base.Iterations), float64(c.Iterations), limit,
+			"the search needs more relaxation iterations than the baseline")
+	}
+	if floor := base.ImprovementPct - tol.QualityPoints; c.ImprovementPct < floor {
+		check("improvement_pct", base.ImprovementPct, c.ImprovementPct, floor,
+			"recommendation quality dropped below the baseline")
+	}
+	if limit := base.QualityGapPct + tol.QualityPoints; c.QualityGapPct > limit {
+		check("quality_gap_pct", base.QualityGapPct, c.QualityGapPct, limit,
+			"the recommendation landed farther from the unconstrained optimum")
+	}
+	if c.BoundViolations > base.BoundViolations {
+		check("bound_violations", float64(base.BoundViolations), float64(c.BoundViolations),
+			float64(base.BoundViolations),
+			"new §3.3.2 ΔT bound violations (realized cost above the proved upper bound)")
+	}
+	if base.ProfileCoveragePct > 0 && c.ProfileCoveragePct < tol.CoverageFloorPct {
+		check("profile_coverage_pct", base.ProfileCoveragePct, c.ProfileCoveragePct, tol.CoverageFloorPct,
+			"profiler phases no longer account for the scenario's wall time")
+	}
+	return vs
+}
+
+// FormatViolations renders the gate report the way CI logs it.
+func FormatViolations(w io.Writer, vs []Violation) {
+	if len(vs) == 0 {
+		fmt.Fprintln(w, "gate: PASS")
+		return
+	}
+	fmt.Fprintf(w, "gate: FAIL (%d violation(s))\n", len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(w, "  %s\n", v)
+	}
+}
+
+// WriteJSON writes the benchmark record as indented JSON.
+func (b *Bench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteFile writes the benchmark record to path.
+func WriteFile(path string, b *Bench) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a benchmark record, verifying the schema version.
+func ReadFile(path string) (*Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("regress: parsing %s: %w", path, err)
+	}
+	if b.SchemaVersion == 0 {
+		return nil, fmt.Errorf("regress: %s has no schema_version (pre-versioned record?)", path)
+	}
+	return &b, nil
+}

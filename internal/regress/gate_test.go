@@ -1,0 +1,196 @@
+package regress
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineBench() *Bench {
+	return &Bench{
+		SchemaVersion: SchemaVersion,
+		Suite:         "smoke",
+		Scenarios: []ScenarioResult{
+			{
+				Name:               "batch-tpch",
+				WallSeconds:        0.500,
+				AllocBytes:         200 << 20,
+				OptimizerCalls:     150,
+				Iterations:         40,
+				ImprovementPct:     56.6,
+				QualityGapPct:      73.4,
+				CalibSamples:       39,
+				MeanTightness:      0.49,
+				RankCorrelation:    0.76,
+				BoundViolations:    1,
+				PlansReusedPct:     89.9,
+				ProfileCoveragePct: 99.9,
+			},
+			{
+				Name:               "online-drift",
+				WallSeconds:        1.200,
+				AllocBytes:         550 << 20,
+				OptimizerCalls:     293,
+				ImprovementPct:     59.9,
+				BoundViolations:    1,
+				ProfileCoveragePct: 99.9,
+			},
+		},
+	}
+}
+
+func TestGateWithinTolerancePasses(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	// Ordinary run-to-run noise: slightly slower, slightly more
+	// allocation, identical deterministic counters.
+	cur.Scenarios[0].WallSeconds *= 1.2
+	cur.Scenarios[0].AllocBytes += 10 << 20
+	cur.Scenarios[1].WallSeconds *= 0.9
+
+	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("within-tolerance run failed the gate: %v", vs)
+	}
+}
+
+func TestGateCatchesTwoTimesSlowdown(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	// The injected regression the harness exists to catch.
+	cur.Scenarios[0].WallSeconds = base.Scenarios[0].WallSeconds * 2
+
+	vs := Gate(base, cur, Tolerance{})
+	if len(vs) != 1 {
+		t.Fatalf("want exactly one violation, got %v", vs)
+	}
+	v := vs[0]
+	if v.Scenario != "batch-tpch" || v.Metric != "wall_seconds" {
+		t.Errorf("violation misattributed: %+v", v)
+	}
+	// The rendered diff must be readable: scenario, metric, the 2×
+	// factor, and the numbers involved.
+	s := v.String()
+	for _, want := range []string{"batch-tpch", "wall_seconds", "2.00x", "baseline"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("violation text missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestGateDeterministicCountersAreTight(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	// +20% optimizer calls is a real search regression even though the
+	// wall clock may absorb it.
+	cur.Scenarios[0].OptimizerCalls = 180
+
+	vs := Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Metric != "optimizer_calls" {
+		t.Fatalf("want one optimizer_calls violation, got %v", vs)
+	}
+}
+
+func TestGateQualityDrop(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	cur.Scenarios[0].ImprovementPct -= 2 // two points of recommendation quality
+
+	vs := Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Metric != "improvement_pct" {
+		t.Fatalf("want one improvement_pct violation, got %v", vs)
+	}
+	// Within the ±0.5-point default it must pass.
+	cur.Scenarios[0].ImprovementPct = base.Scenarios[0].ImprovementPct - 0.3
+	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("0.3-point wobble should pass: %v", vs)
+	}
+}
+
+func TestGateNewBoundViolationsFail(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	cur.Scenarios[0].BoundViolations = base.Scenarios[0].BoundViolations + 3
+
+	vs := Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Metric != "bound_violations" {
+		t.Fatalf("want one bound_violations violation, got %v", vs)
+	}
+}
+
+func TestGateMissingScenario(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	cur.Scenarios = cur.Scenarios[:1] // drop online-drift
+
+	vs := Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Scenario != "online-drift" || vs[0].Metric != "scenario" {
+		t.Fatalf("missing scenario not flagged: %v", vs)
+	}
+	// A scenario that is new in the current run is not a violation: it
+	// joins the baseline when the baseline is next regenerated.
+	cur2 := baselineBench()
+	cur2.Scenarios = append(cur2.Scenarios, ScenarioResult{Name: "brand-new"})
+	if vs := Gate(base, cur2, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("new scenario flagged: %v", vs)
+	}
+}
+
+func TestGateSchemaVersionMismatch(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	cur.SchemaVersion = base.SchemaVersion + 1
+
+	vs := Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Metric != "schema_version" {
+		t.Fatalf("schema mismatch not flagged: %v", vs)
+	}
+}
+
+func TestGateCustomToleranceLoosens(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	cur.Scenarios[0].WallSeconds = base.Scenarios[0].WallSeconds * 3
+
+	// A CI override (-wall-tolerance 4) must absorb the 3× slowdown...
+	if vs := Gate(base, cur, Tolerance{WallFactor: 4}); len(vs) != 0 {
+		t.Fatalf("loosened gate still failed: %v", vs)
+	}
+	// ...while zero-valued fields keep their defaults.
+	cur.Scenarios[0].OptimizerCalls *= 2
+	vs := Gate(base, cur, Tolerance{WallFactor: 4})
+	if len(vs) != 1 || vs[0].Metric != "optimizer_calls" {
+		t.Fatalf("defaults not preserved under partial override: %v", vs)
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_tuner.json")
+	base := baselineBench()
+	base.GeneratedAt = "2026-08-06T00:00:00Z"
+	if err := WriteFile(path, base); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || len(got.Scenarios) != 2 ||
+		got.Scenarios[0].Name != "batch-tpch" || got.Scenarios[0].OptimizerCalls != 150 {
+		t.Fatalf("round trip mangled the record: %+v", got)
+	}
+	if vs := Gate(base, got, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("record fails gate against itself after round trip: %v", vs)
+	}
+}
+
+func TestReadFileRejectsUnversioned(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "old.json")
+	if err := WriteFile(path, &Bench{Suite: "smoke"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("unversioned record accepted: %v", err)
+	}
+}

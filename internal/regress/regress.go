@@ -1,0 +1,294 @@
+// Package regress is the tuner's performance-regression harness. It
+// runs standardized tuning scenarios (batch TPC-H-style, an update
+// workload, and an online drift replay through the service layer),
+// captures a schema-versioned benchmark record per scenario — wall
+// time, allocations, optimizer calls, recommendation quality against
+// the unconstrained §2 optimum, and the §3.3.2 calibration score — and
+// gates the record against a committed baseline with per-metric
+// tolerances (see gate.go). Command tunerbench is the CLI front end;
+// the emitted BENCH_tuner.json is the trajectory artifact CI uploads.
+package regress
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/workloads"
+)
+
+// SchemaVersion identifies the BENCH_tuner.json layout. Bump it when a
+// field changes meaning; the gate refuses to compare across versions.
+const SchemaVersion = 1
+
+// Bench is the schema-versioned payload written to BENCH_tuner.json.
+type Bench struct {
+	SchemaVersion int    `json:"schema_version"`
+	Suite         string `json:"suite"`
+	// GeneratedAt is stamped by the CLI (RFC 3339, UTC); the library
+	// leaves it empty so runs stay deterministic under test.
+	GeneratedAt string           `json:"generated_at,omitempty"`
+	Scenarios   []ScenarioResult `json:"scenarios"`
+}
+
+// ScenarioResult is one scenario's benchmark record. Optimizer calls,
+// iterations, improvement, and quality gap are deterministic for a
+// fixed seed and code version; wall time and allocations are
+// hardware-dependent and gated with looser factors.
+type ScenarioResult struct {
+	Name           string  `json:"name"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	AllocBytes     uint64  `json:"alloc_bytes"`
+	OptimizerCalls int64   `json:"optimizer_calls"`
+	Iterations     int     `json:"iterations"`
+	// ImprovementPct is the paper's quality metric:
+	// 100 × (1 − cost(recommended)/cost(initial)).
+	ImprovementPct float64 `json:"improvement_pct"`
+	// QualityGapPct measures how far the budget-constrained
+	// recommendation lands from the unconstrained §2 optimum:
+	// 100 × (cost(best) − cost(optimal)) / cost(optimal).
+	QualityGapPct float64 `json:"quality_gap_pct"`
+	// Calibration summary of the §3.3.2 ΔT bounds (see obs.Calibrate).
+	CalibSamples    int     `json:"calib_samples"`
+	MeanTightness   float64 `json:"mean_tightness"`
+	RankCorrelation float64 `json:"rank_correlation"`
+	BoundViolations int     `json:"bound_violations"`
+	// PlansReusedPct is the optimality-principle economy: the share of
+	// incremental evaluations answered by plan reuse instead of a fresh
+	// optimizer call.
+	PlansReusedPct float64 `json:"plans_reused_pct"`
+	// ProfileCoveragePct is the share of scenario wall time attributed
+	// to named profiler phases (the self-observability health check).
+	ProfileCoveragePct float64 `json:"profile_coverage_pct"`
+}
+
+// Config parameterizes a suite run.
+type Config struct {
+	// SF is the synthetic database scale factor.
+	SF float64
+	// Seed drives workload generation for the update scenario.
+	Seed int64
+	// MaxIterations bounds each tuning session.
+	MaxIterations int
+	// Logf, when set, receives per-scenario progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig is the smoke suite: small enough for CI (a few seconds
+// end to end) yet budget-constrained so relaxation actually runs and
+// calibration samples are non-empty.
+func DefaultConfig() Config {
+	return Config{SF: 0.001, Seed: 42, MaxIterations: 40}
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Scenario is one standardized benchmark scenario.
+type Scenario struct {
+	Name string
+	Desc string
+	Run  func(cfg Config) (ScenarioResult, error)
+}
+
+// Scenarios returns the standard suite in execution order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "batch-tpch",
+			Desc: "TPC-H 22-query batch, index-only, budget = optimal/3",
+			Run:  runBatchTPCH,
+		},
+		{
+			Name: "batch-updates",
+			Desc: "generated SELECT+UPDATE mix on the bench schema, budget = optimal/3",
+			Run:  runBatchUpdates,
+		},
+		{
+			Name: "online-drift",
+			Desc: "two-phase workload replay through the online service (warm retune)",
+			Run:  runOnlineDrift,
+		},
+	}
+}
+
+// RunSuite executes every scenario and assembles the Bench record.
+func RunSuite(cfg Config) (*Bench, error) {
+	b := &Bench{SchemaVersion: SchemaVersion, Suite: "smoke"}
+	for _, sc := range Scenarios() {
+		cfg.logf("running %s (%s)...", sc.Name, sc.Desc)
+		sr, err := sc.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("regress: scenario %s: %w", sc.Name, err)
+		}
+		cfg.logf("  %s: wall %.3fs, %d optimizer calls, %d iterations, improvement %.1f%%, coverage %.1f%%",
+			sr.Name, sr.WallSeconds, sr.OptimizerCalls, sr.Iterations, sr.ImprovementPct, sr.ProfileCoveragePct)
+		b.Scenarios = append(b.Scenarios, sr)
+	}
+	return b, nil
+}
+
+func runBatchTPCH(cfg Config) (ScenarioResult, error) {
+	db := datagen.TPCH(cfg.SF)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	// Index-only: with views enabled the 40-iteration smoke cap exhausts
+	// before the search shrinks under the budget, yielding a degenerate
+	// (improvement 0) record with no regression signal.
+	return runBatch("batch-tpch", db, w, core.Options{NoViews: true, MaxIterations: cfg.MaxIterations})
+}
+
+func runBatchUpdates(cfg Config) (ScenarioResult, error) {
+	db := datagen.Bench(cfg.SF)
+	// Same generator defaults as the paper experiments (Table 3 /
+	// Figures 8-9 pool), plus an update mix to exercise the skyline and
+	// update-cost machinery.
+	gen := workloads.DefaultGenOptions("bench-updates", cfg.Seed, 12)
+	gen.UpdateFraction = 0.3
+	w, err := workloads.Generate(db, gen)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	return runBatch("batch-updates", db, w, core.Options{NoViews: true, MaxIterations: cfg.MaxIterations})
+}
+
+// runBatch probes the unconstrained optimal configuration to derive a
+// budget that forces real relaxation work (optimal/3), then tunes with
+// the profiler attached and distills the scenario record.
+func runBatch(name string, db *catalog.Database, w *workloads.Workload, opts core.Options) (ScenarioResult, error) {
+	probe, err := core.NewTuner(db, w, opts)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	optCfg, err := probe.OptimalConfiguration()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	opts.SpaceBudget = probe.Opt.Sizer().ConfigBytes(optCfg) / 3
+	prof := obs.NewProfiler()
+	opts.Profile = prof
+
+	tn, err := core.NewTuner(db, w, opts)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	alloc0 := obs.HeapAllocBytes()
+	res, err := tn.Tune()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	rep := prof.Snapshot()
+	rep.WallSeconds = res.Elapsed.Seconds()
+
+	sr := ScenarioResult{
+		Name:               name,
+		WallSeconds:        res.Elapsed.Seconds(),
+		AllocBytes:         obs.HeapAllocBytes() - alloc0,
+		OptimizerCalls:     res.OptimizerCalls,
+		Iterations:         res.Iterations,
+		ImprovementPct:     res.ImprovementPct(),
+		QualityGapPct:      qualityGap(res),
+		ProfileCoveragePct: rep.CoveragePct(),
+	}
+	fillCalibration(&sr, res.Explain)
+	return sr, nil
+}
+
+// runOnlineDrift replays a two-phase workload through the service: a
+// cold retune on the first half of the TPC-H batch, then a drifted
+// second half and a warm retune that should reuse cached fragments.
+func runOnlineDrift(cfg Config) (ScenarioResult, error) {
+	db := datagen.TPCH(cfg.SF)
+	sqls := workloads.TPCH22SQL()
+	if len(sqls) < 16 {
+		return ScenarioResult{}, fmt.Errorf("TPC-H batch too small: %d statements", len(sqls))
+	}
+	phaseA, phaseB := sqls[:8], sqls[4:16] // overlap: half the warm window is repeat work
+
+	// Budget from the phase-A optimum so both retunes must relax.
+	wA, err := workloads.FromStatements("drift-a", db.Name, phaseA)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	probe, err := core.NewTuner(db, wA, core.Options{NoViews: true})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	optCfg, err := probe.OptimalConfiguration()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	budget := probe.Opt.Sizer().ConfigBytes(optCfg) / 2
+
+	svc, err := service.New(service.Options{
+		DB: db,
+		Tuning: core.Options{
+			NoViews:       true,
+			MaxIterations: cfg.MaxIterations,
+			SpaceBudget:   budget,
+		},
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	defer svc.Close()
+
+	alloc0 := obs.HeapAllocBytes()
+	t0 := time.Now()
+	svc.Ingest(phaseA)
+	if _, err := svc.Retune(); err != nil {
+		return ScenarioResult{}, fmt.Errorf("cold retune: %w", err)
+	}
+	svc.Ingest(phaseB)
+	svc.CheckDrift()
+	rec, err := svc.Retune()
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("warm retune: %w", err)
+	}
+	wall := time.Since(t0)
+
+	m := svc.MetricsSnapshot()
+	rep := svc.Profile()
+	sr := ScenarioResult{
+		Name:               "online-drift",
+		WallSeconds:        wall.Seconds(),
+		AllocBytes:         obs.HeapAllocBytes() - alloc0,
+		OptimizerCalls:     m.TuneOptimizerCalls,
+		ImprovementPct:     rec.ImprovementPct,
+		ProfileCoveragePct: rep.CoveragePct(),
+	}
+	fillCalibration(&sr, svc.Explain())
+	return sr, nil
+}
+
+// qualityGap is the distance from the unconstrained optimum, in
+// percent of the optimal cost.
+func qualityGap(res *core.Result) float64 {
+	if res.Optimal == nil || res.Best == nil || res.Optimal.Cost <= 0 {
+		return 0
+	}
+	return 100 * (res.Best.Cost - res.Optimal.Cost) / res.Optimal.Cost
+}
+
+// fillCalibration copies the calibration summary out of the decision
+// log, when the session produced one.
+func fillCalibration(sr *ScenarioResult, rep *core.ExplainReport) {
+	if rep == nil || rep.Calibration == nil {
+		return
+	}
+	cal := rep.Calibration
+	sr.CalibSamples = cal.Overall.Samples
+	sr.MeanTightness = cal.Overall.MeanRatio
+	sr.RankCorrelation = cal.Overall.RankCorrelation
+	sr.BoundViolations = cal.Overall.BoundViolations
+	sr.PlansReusedPct = 100 * cal.Economy.ReuseRatio()
+}

@@ -1,0 +1,65 @@
+package regress
+
+import "testing"
+
+// TestBatchScenarioProducesFullRecord runs the cheapest real scenario
+// end to end and checks every field the gate depends on is populated.
+func TestBatchScenarioProducesFullRecord(t *testing.T) {
+	cfg := DefaultConfig()
+	sr, err := runBatchUpdates(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Name != "batch-updates" {
+		t.Errorf("name = %q", sr.Name)
+	}
+	if sr.WallSeconds <= 0 || sr.AllocBytes == 0 {
+		t.Errorf("resource metrics empty: wall=%g alloc=%d", sr.WallSeconds, sr.AllocBytes)
+	}
+	if sr.OptimizerCalls <= 0 || sr.Iterations <= 0 {
+		t.Errorf("search counters empty: calls=%d iters=%d", sr.OptimizerCalls, sr.Iterations)
+	}
+	// The budget is derived from the optimal configuration precisely so
+	// relaxation runs and produces calibration samples.
+	if sr.CalibSamples == 0 {
+		t.Error("no calibration samples: the scenario budget no longer forces relaxation")
+	}
+	if sr.PlansReusedPct <= 0 {
+		t.Errorf("plan reuse not measured: %g%%", sr.PlansReusedPct)
+	}
+	if sr.ProfileCoveragePct < 80 {
+		t.Errorf("profile coverage = %.1f%%, want ≥ 80%%", sr.ProfileCoveragePct)
+	}
+}
+
+// TestScenarioRunsAreDeterministic re-runs the scenario and compares
+// the counters the gate treats as deterministic.
+func TestScenarioRunsAreDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := runBatchUpdates(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runBatchUpdates(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OptimizerCalls != b.OptimizerCalls || a.Iterations != b.Iterations ||
+		a.ImprovementPct != b.ImprovementPct || a.QualityGapPct != b.QualityGapPct ||
+		a.CalibSamples != b.CalibSamples || a.BoundViolations != b.BoundViolations {
+		t.Errorf("deterministic counters differ between runs:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestScenarioNamesMatchSuite(t *testing.T) {
+	names := map[string]bool{}
+	for _, sc := range Scenarios() {
+		if sc.Name == "" || sc.Run == nil {
+			t.Fatalf("malformed scenario: %+v", sc)
+		}
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+	}
+}

@@ -38,6 +38,8 @@ type retuneResponse struct {
 //	POST /ingest          {"statements": ["SELECT ...", ...]}
 //	GET  /recommendation  current advice (404 before the first retune)
 //	GET  /explain         per-structure decision log of the last retune
+//	GET  /profile         per-phase performance profile across retunes
+//	                      (JSON by default; ?format=text for a table)
 //	POST /retune          tune the current window synchronously
 //	GET  /metrics         activity counters (JSON by default; Prometheus
 //	                      text when the Accept header asks for text/plain
@@ -91,6 +93,16 @@ func NewHandler(s *Service) http.Handler {
 		rep := s.Explain()
 		if rep == nil {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: "no explain report yet; ingest a workload and POST /retune"})
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+
+	mux.HandleFunc("GET /profile", func(w http.ResponseWriter, r *http.Request) {
+		rep := s.Profile()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.WriteText(w)
 			return
 		}
 		writeJSON(w, http.StatusOK, rep)

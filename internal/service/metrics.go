@@ -25,6 +25,14 @@ type Metrics struct {
 	lastRetuneCalls     atomic.Int64
 	lastRetuneMillis    atomic.Int64
 	lastRetuneUnix      atomic.Int64
+	// retuneNanosTotal accumulates the wall time of every retune — the
+	// outer clock the phase profile's coverage is computed against.
+	retuneNanosTotal atomic.Int64
+}
+
+// retuneSeconds is the cumulative wall time spent in tuning sessions.
+func (m *Metrics) retuneSeconds() float64 {
+	return float64(m.retuneNanosTotal.Load()) / 1e9
 }
 
 // snapshot reads every atomic exactly once into a plain copy, so the

@@ -50,6 +50,9 @@ type Options struct {
 	// every tuning session (in addition to the Prometheus metrics the
 	// service always derives from the same events).
 	TraceSink obs.Sink
+	// MetricsBuckets overrides the Prometheus histogram bucket
+	// boundaries (zero value = defaults).
+	MetricsBuckets obs.TunerMetricsBuckets
 }
 
 // Recommendation is the service's current physical design advice.
@@ -93,6 +96,10 @@ type Service struct {
 	tunerMetrics *obs.TunerMetrics
 	promGauges   *serviceGauges
 	trace        *obs.Tracer
+	// profiler accumulates per-phase latency/allocation profiles across
+	// every retune; GET /profile renders its snapshot and each
+	// observation also feeds tunerMetrics.PhaseDuration.
+	profiler *obs.Profiler
 
 	// mu guards the recommendation state, drift baseline, and the
 	// drift-probe optimizer + per-statement cost cache.
@@ -121,8 +128,10 @@ func New(opts Options) (*Service, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	promReg := obs.NewRegistry()
-	tm := obs.NewTunerMetrics(promReg)
+	tm := obs.NewTunerMetricsWith(promReg, opts.MetricsBuckets)
 	gauges := newServiceGauges(promReg)
+	profiler := obs.NewProfiler()
+	profiler.SetObserver(tm.PhaseDuration.Observe)
 	s := &Service{
 		opts:         opts,
 		db:           opts.DB,
@@ -134,6 +143,7 @@ func New(opts Options) (*Service, error) {
 		tunerMetrics: tm,
 		promGauges:   gauges,
 		trace:        obs.NewTracer(obs.MultiSink(tm.Sink(), opts.TraceSink)),
+		profiler:     profiler,
 		costCache:    map[string]float64{},
 		driftOpt:     optimizer.New(opts.DB),
 		ctx:          ctx,
@@ -290,6 +300,7 @@ func (s *Service) Retune() (*Recommendation, error) {
 	opts := s.opts.Tuning
 	opts.Cache = s.cache
 	opts.Trace = s.trace
+	opts.Profile = s.profiler
 	s.mu.Lock()
 	prev := s.rec
 	s.mu.Unlock()
@@ -337,6 +348,7 @@ func (s *Service) Retune() (*Recommendation, error) {
 	s.metrics.lastRetuneCalls.Store(res.OptimizerCalls)
 	s.metrics.lastRetuneMillis.Store(res.Elapsed.Milliseconds())
 	s.metrics.lastRetuneUnix.Store(time.Now().Unix())
+	s.metrics.retuneNanosTotal.Add(res.Elapsed.Nanoseconds())
 	// Session-level Prometheus metrics; the search-internal ones were
 	// already fed from trace events during Tune.
 	s.tunerMetrics.OptimizerCalls.Add(float64(res.OptimizerCalls))
@@ -403,6 +415,14 @@ func (s *Service) Explain() *core.ExplainReport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.explain
+}
+
+// Profile snapshots the per-phase performance profile accumulated
+// across every retune since the service started.
+func (s *Service) Profile() *obs.ProfileReport {
+	rep := s.profiler.Snapshot()
+	rep.WallSeconds = s.metrics.retuneSeconds()
+	return rep
 }
 
 // PromRegistry exposes the service's Prometheus registry, e.g. to mount

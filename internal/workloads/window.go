@@ -44,13 +44,13 @@ func (o WindowOptions) decayFactor() float64 {
 
 // WindowStats is a point-in-time summary of window activity.
 type WindowStats struct {
-	Observed       int64 // statements ever observed
-	ParseErrors    int64
-	InWindow       int // observations currently inside the window
-	Unique         int // distinct statements currently inside the window
-	EvictedOldest  int64
-	EvictedUnique  int64
-	TotalWeight    float64
+	Observed      int64 // statements ever observed
+	ParseErrors   int64
+	InWindow      int // observations currently inside the window
+	Unique        int // distinct statements currently inside the window
+	EvictedOldest int64
+	EvictedUnique int64
+	TotalWeight   float64
 }
 
 // windowEntry is one distinct statement inside the window.

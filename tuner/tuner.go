@@ -186,6 +186,25 @@ type (
 	MetricsRegistry = obs.Registry
 	// TunerMetrics is the Prometheus metric family describing the search.
 	TunerMetrics = obs.TunerMetrics
+	// TunerMetricsBuckets overrides histogram bucket boundaries.
+	TunerMetricsBuckets = obs.TunerMetricsBuckets
+	// Profiler aggregates per-phase wall/allocation/counter profiles of
+	// a tuning session; set Options.Profile to enable. A nil Profiler is
+	// a valid no-op.
+	Profiler = obs.Profiler
+	// ProfileReport is a profiler snapshot (per-phase p50/p95/p99).
+	ProfileReport = obs.ProfileReport
+	// PhaseProfile is one phase's aggregated profile.
+	PhaseProfile = obs.PhaseProfile
+	// CalibrationReport scores the §3.3.2 ΔT bounds against realized
+	// costs per transformation kind; attached to Result.Explain.
+	CalibrationReport = obs.CalibrationReport
+	// KindCalibration is one transformation kind's calibration score.
+	KindCalibration = obs.KindCalibration
+	// CalibSample is one est-vs-realized ΔT pair.
+	CalibSample = obs.CalibSample
+	// WhatIfEconomy aggregates a session's optimizer-call economy.
+	WhatIfEconomy = obs.WhatIfEconomy
 )
 
 // NewTracer builds a tracer over sink (nil sink = disabled tracer).
@@ -206,3 +225,20 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewTunerMetrics registers the tuner metric family on reg; feed it by
 // installing NewTracer(m.Sink()) as the session's Options.Trace.
 func NewTunerMetrics(reg *MetricsRegistry) *TunerMetrics { return obs.NewTunerMetrics(reg) }
+
+// NewTunerMetricsWith is NewTunerMetrics with custom histogram bucket
+// boundaries (zero-value fields keep the defaults).
+func NewTunerMetricsWith(reg *MetricsRegistry, buckets TunerMetricsBuckets) *TunerMetrics {
+	return obs.NewTunerMetricsWith(reg, buckets)
+}
+
+// NewProfiler returns an empty phase profiler; set it as
+// Options.Profile and call Snapshot after tuning.
+func NewProfiler() *Profiler { return obs.NewProfiler() }
+
+// Calibrate scores est-vs-realized ΔT pairs (Result.CalibSamples) into
+// a calibration report. Tune already attaches one to Result.Explain;
+// this entry point serves custom aggregation windows.
+func Calibrate(samples []CalibSample, economy WhatIfEconomy) *CalibrationReport {
+	return obs.Calibrate(samples, economy)
+}
