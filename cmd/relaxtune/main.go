@@ -40,6 +40,7 @@ func main() {
 		plans    = flag.Bool("plans", false, "print each query's plan under the recommended configuration")
 		traceOut = flag.String("trace", "", "write search trace events (JSONL) to this path")
 		profile  = flag.Bool("profile", false, "print the per-phase performance profile (p50/p95/p99 wall time, allocations) after tuning")
+		parallel = flag.Int("parallel", 0, "evaluation-engine workers (0 = all cores, 1 = exact serial algorithm)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 		NoViews:       !*views,
 		MaxIterations: *iters,
 		TimeBudget:    *timeout,
+		Parallelism:   *parallel,
 	}
 
 	var trace *tuner.Tracer
@@ -93,7 +95,7 @@ func main() {
 	}
 	closeTrace(trace, *traceOut)
 	printResult(res, *frontier)
-	fmt.Printf("relaxation tuning took %s (%d optimizer calls)\n\n", time.Since(start).Round(time.Millisecond), res.OptimizerCalls)
+	fmt.Printf("relaxation tuning took %s (%d optimizer calls, %d workers)\n\n", time.Since(start).Round(time.Millisecond), res.OptimizerCalls, res.ParallelWorkers)
 
 	if prof != nil {
 		rep := prof.Snapshot()

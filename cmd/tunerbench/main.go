@@ -30,6 +30,7 @@ func main() {
 		sf       = flag.Float64("sf", 0, "override the database scale factor (0 = suite default)")
 		seed     = flag.Int64("seed", 0, "override the workload generation seed (0 = suite default)")
 		iters    = flag.Int("iters", 0, "override max relaxation iterations per session (0 = suite default)")
+		parallel = flag.Int("parallel", 0, "workers for the parallel-speedup scenario's parallel leg (0 = all cores)")
 		out      = flag.String("out", "BENCH_tuner.json", "write the benchmark record to this path ('' = stdout only)")
 		baseline = flag.String("baseline", "", "gate the run against this committed record (exit 1 on violations)")
 		quiet    = flag.Bool("q", false, "suppress per-scenario progress lines")
@@ -52,6 +53,9 @@ func main() {
 	}
 	if *iters > 0 {
 		cfg.MaxIterations = *iters
+	}
+	if *parallel > 0 {
+		cfg.Parallelism = *parallel
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {

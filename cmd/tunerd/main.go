@@ -71,6 +71,7 @@ func main() {
 		driftShape = flag.Float64("drift-shape", 0.5, "shape-histogram L1 distance threshold")
 		driftCost  = flag.Float64("drift-cost", 1.25, "cost inflation ratio threshold")
 		autoRetune = flag.Bool("auto-retune", true, "retune automatically when drift is detected")
+		parallel   = flag.Int("parallel", 0, "evaluation-engine workers per retune (0 = all cores, 1 = exact serial algorithm)")
 
 		retuneBuckets = flag.String("retune-buckets", "", "comma-separated tuner_retune_duration_seconds bucket bounds (empty = defaults)")
 		phaseBuckets  = flag.String("phase-buckets", "", "comma-separated tuner_phase_duration_seconds bucket bounds (empty = defaults)")
@@ -117,6 +118,7 @@ func main() {
 			NoViews:       !*views,
 			MaxIterations: *iters,
 			TimeBudget:    *tuneTime,
+			Parallelism:   *parallel,
 		},
 		Window: workloads.WindowOptions{
 			MaxObservations: *windowObs,

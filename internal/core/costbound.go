@@ -291,12 +291,25 @@ func (t *Tuner) viewScanCost(v *physical.View) float64 {
 
 // costFromBase returns CBV: the cost of computing the view's definition
 // under the base configuration (§3.3.2's view-removal bound), cached by
-// view signature.
+// view signature. The computation is singleflighted: when parallel
+// penalty-estimation workers race for the same signature, exactly one
+// optimizes the view and the rest wait on it, so the session's
+// optimizer-call count matches the serial run.
 func (t *Tuner) costFromBase(v *physical.View) (float64, error) {
 	sig := v.Signature()
-	if c, ok := t.cbvCache[sig]; ok {
-		return c, nil
+	t.cbvMu.Lock()
+	e, ok := t.cbvCache[sig]
+	if !ok {
+		e = &cbvEntry{}
+		t.cbvCache[sig] = e
 	}
+	t.cbvMu.Unlock()
+	e.once.Do(func() { e.cost, e.err = t.computeCBV(v) })
+	return e.cost, e.err
+}
+
+// computeCBV optimizes the view's definition under the base configuration.
+func (t *Tuner) computeCBV(v *physical.View) (float64, error) {
 	stmt, err := sqlx.Parse(v.SQL())
 	if err != nil {
 		return 0, fmt.Errorf("core: rendering view %s for CBV: %w", v.Name, err)
@@ -309,6 +322,5 @@ func (t *Tuner) costFromBase(v *physical.View) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: optimizing view %s for CBV: %w", v.Name, err)
 	}
-	t.cbvCache[sig] = p.Cost.Total()
 	return p.Cost.Total(), nil
 }

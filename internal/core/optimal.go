@@ -152,13 +152,20 @@ func (t *Tuner) OptimalForQuery(tq *TunedQuery) (*physical.Configuration, *optim
 }
 
 func (t *Tuner) optimalForQuery(tq *TunedQuery) (*physical.Configuration, *optimizer.QueryResult, error) {
+	return t.optimalForQueryOn(t.Opt, tq)
+}
+
+// optimalForQueryOn is optimalForQuery against an explicit optimizer:
+// hooks are per-optimizer state, so the parallel §2 phase gives every
+// worker its own fork and routes each query through it.
+func (t *Tuner) optimalForQueryOn(opt *optimizer.Optimizer, tq *TunedQuery) (*physical.Configuration, *optimizer.QueryResult, error) {
 	defer t.Options.Profile.StartAlloc("optimal-config/instrument")()
 	work := t.Base.Clone()
 	ic := t.newInterceptor(work)
-	t.Opt.SetHooks(ic.hooks())
-	defer t.Opt.SetHooks(nil)
+	opt.SetHooks(ic.hooks())
+	defer opt.SetHooks(nil)
 
-	res, err := t.Opt.OptimizeFull(tq.Bound, work)
+	res, err := opt.OptimizeFull(tq.Bound, work)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: instrumented optimization of %s: %w", tq.Query.ID, err)
 	}
@@ -206,6 +213,9 @@ func (t *Tuner) OptimalConfiguration() (*physical.Configuration, error) {
 // whose fragment was derived by an earlier session reuse it without any
 // optimizer calls (the warm-start fast path of the online retuner).
 func (t *Tuner) optimalConfiguration() (*physical.Configuration, error) {
+	if w := t.workers(); w > 1 && len(t.Queries) > 1 {
+		return t.optimalConfigurationParallel(w)
+	}
 	union := t.Base.Clone()
 	cache := t.Options.Cache
 	trace := t.Options.Trace

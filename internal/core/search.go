@@ -54,6 +54,9 @@ type Result struct {
 	// reused vs re-optimized, shortcut prunes, duplicate skips, cache
 	// savings.
 	Economy obs.WhatIfEconomy
+	// ParallelWorkers is the worker count the evaluation engine ran with
+	// (Options.Workers()); 1 means the exact serial algorithm.
+	ParallelWorkers int
 }
 
 // ImprovementPct returns the paper's improvement metric for the final
@@ -105,7 +108,9 @@ func (t *Tuner) Tune() (*Result, error) {
 func (t *Tuner) tune() (*Result, error) {
 	start := time.Now()
 	stats0 := t.Opt.Stats()
-	reused0, reopt0 := t.statPlansReused, t.statPlansReopt
+	reused0, reopt0 := t.statPlansReused.Load(), t.statPlansReopt.Load()
+	evalHits0, evalMisses0, evalEvicted0 := t.statEvalHits, t.statEvalMisses, t.statEvalEvicted
+	specEvals0, specHits0 := t.statSpecEvals, t.statSpecHits
 	var cache0 CacheStats
 	if t.Options.Cache != nil {
 		cache0 = t.Options.Cache.Stats()
@@ -117,9 +122,15 @@ func (t *Tuner) tune() (*Result, error) {
 		return nil, err
 	}
 	t.fillStats(res, stats0, start)
+	res.ParallelWorkers = t.workers()
 	res.Economy.OptimizerCalls = res.OptimizerCalls
-	res.Economy.PlansReused = t.statPlansReused - reused0
-	res.Economy.PlansReoptimized = t.statPlansReopt - reopt0
+	res.Economy.PlansReused = t.statPlansReused.Load() - reused0
+	res.Economy.PlansReoptimized = t.statPlansReopt.Load() - reopt0
+	res.Economy.EvalCacheHits = t.statEvalHits - evalHits0
+	res.Economy.EvalCacheMisses = t.statEvalMisses - evalMisses0
+	res.Economy.EvalCacheEvictions = t.statEvalEvicted - evalEvicted0
+	res.Economy.SpeculativeEvals = t.statSpecEvals - specEvals0
+	res.Economy.SpeculativeHits = t.statSpecHits - specHits0
 	if c := t.Options.Cache; c != nil {
 		cs := c.Stats()
 		res.Economy.CacheHits = cs.Hits - cache0.Hits
@@ -128,11 +139,17 @@ func (t *Tuner) tune() (*Result, error) {
 	res.Explain.Calibration = obs.Calibrate(res.CalibSamples, res.Economy)
 	if t.Options.Trace.Enabled() {
 		endTune(obs.F{
-			"best_fp":         res.Best.Config.Fingerprint(),
-			"best_cost":       res.Best.Cost,
-			"best_size":       res.Best.SizeBytes,
-			"improvement_pct": res.ImprovementPct(),
-			"iterations":      res.Iterations,
+			"best_fp":              res.Best.Config.Fingerprint(),
+			"best_cost":            res.Best.Cost,
+			"best_size":            res.Best.SizeBytes,
+			"improvement_pct":      res.ImprovementPct(),
+			"iterations":           res.Iterations,
+			"parallel_workers":     res.ParallelWorkers,
+			"eval_cache_hits":      res.Economy.EvalCacheHits,
+			"eval_cache_misses":    res.Economy.EvalCacheMisses,
+			"eval_cache_evictions": res.Economy.EvalCacheEvictions,
+			"speculative_evals":    res.Economy.SpeculativeEvals,
+			"speculative_hits":     res.Economy.SpeculativeHits,
 		})
 	} else {
 		endTune(nil)
@@ -292,7 +309,7 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 		}
 		if len(ranked) == 0 {
 			// Exhausted this node; try another next iteration.
-			node.tried = allTried(node)
+			markAllTried(node)
 			last = nil
 			if trace.Enabled() {
 				trace.Emit(obs.EvSkip, obs.F{"reason": "exhausted", "iter": iter})
@@ -346,7 +363,7 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 			cutoff = 0
 		}
 		tEval := time.Now()
-		evalNew, ok, err := t.evaluateIncremental(node.eval, cfgNew, removedIdx, removedViews, cutoff)
+		evalNew, ok, err := t.evaluateStep(node, cfgNew, removedIdx, removedViews, cutoff, ranked, chosen, seen)
 		prof.Since("search/evaluate", tEval)
 		if err != nil {
 			endSearch(obs.F{"error": err.Error()})
@@ -585,12 +602,12 @@ func realizedPenalty(parent, child *EvaluatedConfig) float64 {
 	return dT / dS
 }
 
-func allTried(n *searchNode) map[string]bool {
-	m := map[string]bool{}
+// markAllTried exhausts a node in place — its existing tried map gains
+// every transformation, without discarding entries already present.
+func markAllTried(n *searchNode) {
 	for _, tr := range n.trans {
-		m[tr.ID()] = true
+		n.tried[tr.ID()] = true
 	}
-	return m
 }
 
 func poolCensus(pool []*searchNode) int {
@@ -674,6 +691,9 @@ func (t *Tuner) pickNode(pool []*searchNode, last *searchNode, budget int64, has
 // by increasing penalty, plus the candidates the §3.6 skyline filter
 // discarded (for the trace; empty unless the workload has updates).
 func (t *Tuner) rankTransformations(node *searchNode, budget int64, hasUpdates bool) (ranked, skyPruned []candidate) {
+	if w := t.workers(); w > 1 {
+		t.precomputeDeltas(node, w)
+	}
 	var cands []candidate
 	spaceOver := node.eval.SizeBytes - budget
 	fitsAlready := spaceOver <= 0
@@ -758,21 +778,49 @@ type candidate struct {
 // costs no more (ΔT ≤) and saves at least as much space (ΔS ≥), strictly
 // better in one dimension (§3.6 fixes the penalty function's poor
 // behaviour when comparing two negative-cost transformations).
+//
+// The filter is a plane sweep in O(n log n): visiting candidates by
+// decreasing ΔS, a candidate is dominated exactly when some
+// strictly-larger-ΔS candidate has ΔT ≤ its own (prevMin), or an
+// equal-ΔS candidate has strictly smaller ΔT (groupMin). Exact
+// duplicates never dominate each other, matching the strictness clause.
+// Survivors keep their input order.
 func skyline(cands []candidate) []candidate {
-	var out []candidate
-	for i, c := range cands {
-		dominated := false
-		for j, d := range cands {
-			if i == j {
-				continue
+	n := len(cands)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ca, cb := &cands[perm[a]].delta, &cands[perm[b]].delta
+		if ca.DS != cb.DS {
+			return ca.DS > cb.DS
+		}
+		return ca.DT < cb.DT
+	})
+	dominated := make([]bool, n)
+	prevMin := math.Inf(1) // min ΔT over all strictly-larger-ΔS candidates
+	for i := 0; i < n; {
+		ds := cands[perm[i]].delta.DS
+		groupMin := math.Inf(1)
+		j := i
+		for ; j < n && cands[perm[j]].delta.DS == ds; j++ {
+			dt := cands[perm[j]].delta.DT
+			if prevMin <= dt || groupMin < dt {
+				dominated[perm[j]] = true
 			}
-			if d.delta.DT <= c.delta.DT && d.delta.DS >= c.delta.DS &&
-				(d.delta.DT < c.delta.DT || d.delta.DS > c.delta.DS) {
-				dominated = true
-				break
+			if dt < groupMin {
+				groupMin = dt
 			}
 		}
-		if !dominated {
+		if groupMin < prevMin {
+			prevMin = groupMin
+		}
+		i = j
+	}
+	var out []candidate
+	for i, c := range cands {
+		if !dominated[i] {
 			out = append(out, c)
 		}
 	}

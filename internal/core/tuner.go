@@ -16,8 +16,11 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -66,6 +69,19 @@ type Options struct {
 	// ShrinkUnused drops structures no query plan reads after each
 	// relaxation step, pruning the search space at some quality risk.
 	ShrinkUnused bool
+
+	// Parallelism is the worker count of the parallel evaluation engine:
+	// per-query what-if optimization, §3.3.2 penalty estimation, and
+	// speculative top-k candidate evaluation all fan out across this many
+	// goroutines. 0 (the default) means runtime.GOMAXPROCS(0); 1 runs the
+	// exact serial algorithm. Any setting produces the same recommendation
+	// (same best configuration, cost, and iteration count) — only wall
+	// time and the optimizer-call economy differ.
+	Parallelism int
+	// EvalCacheCap bounds the per-session evaluation cache (configuration
+	// fingerprint → evaluation) with LRU eviction. 0 means the default
+	// cap (4096 entries); negative means unbounded.
+	EvalCacheCap int
 
 	// Online/incremental retuning (the internal/service layer).
 
@@ -120,10 +136,22 @@ type Tuner struct {
 
 	heapTables map[string]bool
 	// cbvCache caches the §3.3.2 cost of computing a view from the base
-	// configuration (CBV), keyed by view signature.
-	cbvCache map[string]float64
-	// evalCache deduplicates configuration evaluations by fingerprint.
-	evalCache map[string]*EvaluatedConfig
+	// configuration (CBV), keyed by view signature. Entries are
+	// singleflighted so a view's CBV is optimized exactly once even when
+	// parallel penalty-estimation workers race for it.
+	cbvMu    sync.Mutex
+	cbvCache map[string]*cbvEntry
+	// evalCache deduplicates configuration evaluations by fingerprint,
+	// bounded by Options.EvalCacheCap with LRU eviction. Only the serial
+	// main line of the search touches it, so its state (and therefore its
+	// eviction order) is identical at every Parallelism setting.
+	evalCache map[string]*list.Element
+	evalLRU   *list.List
+	// specCache holds speculative top-k evaluations keyed by
+	// (parent fingerprint, transformation ID, child fingerprint). Results
+	// are promoted into evalCache only when the search actually selects
+	// the speculated step, so speculation never alters the search path.
+	specCache map[string]*EvaluatedConfig
 	// demandedBy maps each optimal-fragment structure ("i:"+index ID or
 	// "v:"+view name) to the workload statements whose §2 instrumented
 	// optimization requested it — the provenance half of the explain
@@ -133,10 +161,40 @@ type Tuner struct {
 	// per-query incremental evaluations answered by the §3.3.2
 	// optimality principle (parent plan reused, zero optimizer calls)
 	// vs those that had to re-optimize — the what-if economy accounting
-	// surfaced in CalibrationReport.
-	statPlansReused int64
-	statPlansReopt  int64
+	// surfaced in CalibrationReport. Atomic: evaluation workers update
+	// them concurrently.
+	statPlansReused atomic.Int64
+	statPlansReopt  atomic.Int64
+	// Eviction/hit accounting of the bounded evalCache plus speculation
+	// accounting; main-line only, guarded by mu.
+	statEvalHits    int64
+	statEvalMisses  int64
+	statEvalEvicted int64
+	statSpecEvals   int64
+	statSpecHits    int64
 }
+
+// cbvEntry singleflights one view's CBV computation.
+type cbvEntry struct {
+	once sync.Once
+	cost float64
+	err  error
+}
+
+// evalCacheEntry is one LRU slot of the evaluation cache.
+type evalCacheEntry struct {
+	fp string
+	ec *EvaluatedConfig
+}
+
+// defaultEvalCacheCap bounds the evaluation cache when Options leave
+// EvalCacheCap at zero.
+const defaultEvalCacheCap = 4096
+
+// specCacheCap bounds the speculative-evaluation side cache; losers that
+// are never consumed age out only at session end, so the cap keeps a
+// pathological search from hoarding evaluations.
+const specCacheCap = 512
 
 // NewTuner binds the workload against db and prepares a session. The base
 // configuration (required primary-key indexes) is derived from the
@@ -148,8 +206,10 @@ func NewTuner(db *catalog.Database, w *workloads.Workload, opts Options) (*Tuner
 		Base:       datagen.BaseConfiguration(db),
 		Options:    opts,
 		heapTables: datagen.HeapTables(db),
-		cbvCache:   map[string]float64{},
-		evalCache:  map[string]*EvaluatedConfig{},
+		cbvCache:   map[string]*cbvEntry{},
+		evalCache:  map[string]*list.Element{},
+		evalLRU:    list.New(),
+		specCache:  map[string]*EvaluatedConfig{},
 		demandedBy: map[string][]string{},
 	}
 	for _, q := range w.Queries {
@@ -184,19 +244,15 @@ func (t *Tuner) Evaluate(cfg *physical.Configuration) (*EvaluatedConfig, error) 
 }
 
 func (t *Tuner) evaluate(cfg *physical.Configuration) (*EvaluatedConfig, error) {
-	if hit, ok := t.evalCache[cfg.Fingerprint()]; ok {
+	fp := cfg.Fingerprint()
+	if hit, ok := t.evalCacheGet(fp); ok {
 		return hit, nil
 	}
-	ec := &EvaluatedConfig{Config: cfg, SizeBytes: t.Opt.Sizer().ConfigBytes(cfg)}
-	for _, tq := range t.Queries {
-		res, err := t.Opt.OptimizeFull(tq.Bound, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: evaluating %s: %w", tq.Query.ID, err)
-		}
-		ec.Results = append(ec.Results, res)
-		ec.Cost += tq.Query.Weight * res.TotalCost()
+	ec, _, err := t.evalQueries(nil, cfg, nil, nil, 0)
+	if err != nil {
+		return nil, err
 	}
-	t.evalCache[cfg.Fingerprint()] = ec
+	t.evalCachePut(fp, ec)
 	return ec, nil
 }
 
@@ -213,41 +269,134 @@ func (t *Tuner) EvaluateIncremental(parent *EvaluatedConfig, cfg *physical.Confi
 }
 
 func (t *Tuner) evaluateIncremental(parent *EvaluatedConfig, cfg *physical.Configuration, removedIdx, removedViews []string, cutoff float64) (*EvaluatedConfig, bool, error) {
-	if hit, ok := t.evalCache[cfg.Fingerprint()]; ok {
+	fp := cfg.Fingerprint()
+	if hit, ok := t.evalCacheGet(fp); ok {
 		return hit, true, nil
 	}
+	ec, ok, err := t.evalQueries(parent, cfg, removedIdx, removedViews, cutoff)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	t.evalCachePut(fp, ec)
+	return ec, true, nil
+}
+
+// evalQueries optimizes every workload query under cfg: the shared body
+// of Evaluate and EvaluateIncremental. A non-nil parent enables the
+// §3.3.2 plan-reuse path for queries untouched by the removed
+// structures; cutoff > 0 enables §3.5 shortcut abort. Dispatches to the
+// parallel engine when the session has more than one worker; the serial
+// path is today's exact algorithm.
+func (t *Tuner) evalQueries(parent *EvaluatedConfig, cfg *physical.Configuration, removedIdx, removedViews []string, cutoff float64) (*EvaluatedConfig, bool, error) {
+	if w := t.workers(); w > 1 && len(t.Queries) > 1 {
+		return t.evalQueriesParallel(parent, cfg, removedIdx, removedViews, cutoff, w)
+	}
+	return t.evalQueriesSerial(parent, cfg, removedIdx, removedViews, cutoff)
+}
+
+func (t *Tuner) evalQueriesSerial(parent *EvaluatedConfig, cfg *physical.Configuration, removedIdx, removedViews []string, cutoff float64) (*EvaluatedConfig, bool, error) {
 	ec := &EvaluatedConfig{Config: cfg, SizeBytes: t.Opt.Sizer().ConfigBytes(cfg)}
+	shortcut := cutoff > 0 && !t.Options.DisableShortcut
 	for i, tq := range t.Queries {
-		var res *optimizer.QueryResult
-		prev := parent.Results[i]
-		if !t.Options.FullReoptimize && !usesAny(prev, removedIdx, removedViews) {
-			// The plan is still valid and, by the optimality principle,
-			// still optimal under the relaxed configuration.
-			t.statPlansReused++
-			res = &optimizer.QueryResult{
-				Plan:         prev.Plan,
-				SelectCost:   prev.SelectCost,
-				AffectedRows: prev.AffectedRows,
-			}
-			if tq.Bound.IsUpdate() {
-				res.UpdateCost = t.Opt.UpdateShellCost(tq.Bound, cfg, res.AffectedRows)
-			}
-		} else {
-			t.statPlansReopt++
-			var err error
-			res, err = t.Opt.OptimizeFull(tq.Bound, cfg)
-			if err != nil {
-				return nil, false, fmt.Errorf("core: re-optimizing %s: %w", tq.Query.ID, err)
-			}
+		res, err := t.evalOneQuery(i, parent, cfg, removedIdx, removedViews)
+		if err != nil {
+			return nil, false, err
 		}
 		ec.Results = append(ec.Results, res)
 		ec.Cost += tq.Query.Weight * res.TotalCost()
-		if cutoff > 0 && !t.Options.DisableShortcut && ec.Cost > cutoff {
+		if shortcut && ec.Cost > cutoff {
 			return nil, false, nil
 		}
 	}
-	t.evalCache[cfg.Fingerprint()] = ec
 	return ec, true, nil
+}
+
+// evalOneQuery produces the i-th query's result under cfg, reusing the
+// parent plan when the optimality principle allows it. Safe for
+// concurrent use across distinct i: the optimizer is reentrant and the
+// economy counters are atomic.
+func (t *Tuner) evalOneQuery(i int, parent *EvaluatedConfig, cfg *physical.Configuration, removedIdx, removedViews []string) (*optimizer.QueryResult, error) {
+	tq := t.Queries[i]
+	if parent != nil && !t.Options.FullReoptimize && !usesAny(parent.Results[i], removedIdx, removedViews) {
+		// The plan is still valid and, by the optimality principle,
+		// still optimal under the relaxed configuration.
+		t.statPlansReused.Add(1)
+		prev := parent.Results[i]
+		res := &optimizer.QueryResult{
+			Plan:         prev.Plan,
+			SelectCost:   prev.SelectCost,
+			AffectedRows: prev.AffectedRows,
+		}
+		if tq.Bound.IsUpdate() {
+			res.UpdateCost = t.Opt.UpdateShellCost(tq.Bound, cfg, res.AffectedRows)
+		}
+		return res, nil
+	}
+	if parent != nil {
+		t.statPlansReopt.Add(1)
+	}
+	res, err := t.Opt.OptimizeFull(tq.Bound, cfg)
+	if err != nil {
+		verb := "evaluating"
+		if parent != nil {
+			verb = "re-optimizing"
+		}
+		return nil, fmt.Errorf("core: %s %s: %w", verb, tq.Query.ID, err)
+	}
+	return res, nil
+}
+
+// workers is the effective parallelism of the session.
+func (t *Tuner) workers() int { return t.Options.Workers() }
+
+// Workers resolves the Parallelism knob: 0 defaults to the runtime's
+// processor count, anything positive is taken literally.
+func (o Options) Workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// evalCacheGet looks up a configuration evaluation, refreshing its LRU
+// position. Callers hold t.mu.
+func (t *Tuner) evalCacheGet(fp string) (*EvaluatedConfig, bool) {
+	if el, ok := t.evalCache[fp]; ok {
+		t.evalLRU.MoveToFront(el)
+		t.statEvalHits++
+		return el.Value.(*evalCacheEntry).ec, true
+	}
+	t.statEvalMisses++
+	return nil, false
+}
+
+// evalCachePut inserts an evaluation, evicting the least recently used
+// entries beyond the cap. Callers hold t.mu.
+func (t *Tuner) evalCachePut(fp string, ec *EvaluatedConfig) {
+	if el, ok := t.evalCache[fp]; ok {
+		el.Value.(*evalCacheEntry).ec = ec
+		t.evalLRU.MoveToFront(el)
+		return
+	}
+	t.evalCache[fp] = t.evalLRU.PushFront(&evalCacheEntry{fp: fp, ec: ec})
+	cap := t.evalCacheCap()
+	for cap > 0 && t.evalLRU.Len() > cap {
+		back := t.evalLRU.Back()
+		t.evalLRU.Remove(back)
+		delete(t.evalCache, back.Value.(*evalCacheEntry).fp)
+		t.statEvalEvicted++
+	}
+}
+
+func (t *Tuner) evalCacheCap() int {
+	switch c := t.Options.EvalCacheCap; {
+	case c == 0:
+		return defaultEvalCacheCap
+	case c < 0:
+		return 0 // unbounded
+	default:
+		return c
+	}
 }
 
 // usesAny reports whether the query result reads any of the removed

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/physical"
@@ -17,15 +18,31 @@ const MaxJoinTables = 16
 // Optimizer is a cost-based query optimizer over a catalog database. It
 // optimizes bound queries against a physical configuration (base indexes
 // plus hypothetical structures) and reports per-index usage information.
+//
+// Optimize/OptimizeFull are reentrant: per-call state lives in an optCtx
+// threaded through the call tree and the activity counters are atomic, so
+// any number of goroutines may optimize concurrently against one
+// Optimizer. SetHooks is the exception — hooks are per-Optimizer, so
+// concurrent instrumented optimizations must each use a Fork.
 type Optimizer struct {
 	db    *catalog.Database
 	model CostModel
 	sizer *physical.Sizer
 	hooks *Hooks
-	stats Stats
-	// reqSeen deduplicates requests within one Optimize call so repeated
-	// probes of the same relation during join enumeration count (and fire
-	// hooks) once.
+	stats statCounters
+}
+
+// statCounters are the atomic backing of Stats.
+type statCounters struct {
+	optimizeCalls atomic.Int64
+	indexRequests atomic.Int64
+	viewRequests  atomic.Int64
+}
+
+// optCtx carries the state of one Optimize call. reqSeen deduplicates
+// requests within the call so repeated probes of the same relation during
+// join enumeration count (and fire hooks) once.
+type optCtx struct {
 	reqSeen map[string]bool
 }
 
@@ -38,14 +55,40 @@ func New(db *catalog.Database) *Optimizer {
 	}
 }
 
+// Fork returns an optimizer over the same catalog, cost model, and size
+// estimator, with its own hooks and zeroed counters. Parallel workers
+// that need hooks (the §2 instrumented optimization) each take a fork
+// and merge their counters back with AddStats when done.
+func (o *Optimizer) Fork() *Optimizer {
+	return &Optimizer{db: o.db, model: o.model, sizer: o.sizer}
+}
+
 // SetHooks installs the instrumentation hooks of §2 (nil disables them).
 func (o *Optimizer) SetHooks(h *Hooks) { o.hooks = h }
 
 // Stats returns a copy of the activity counters.
-func (o *Optimizer) Stats() Stats { return o.stats }
+func (o *Optimizer) Stats() Stats {
+	return Stats{
+		OptimizeCalls: o.stats.optimizeCalls.Load(),
+		IndexRequests: o.stats.indexRequests.Load(),
+		ViewRequests:  o.stats.viewRequests.Load(),
+	}
+}
+
+// AddStats merges a delta (typically a Fork's counters) into this
+// optimizer's counters.
+func (o *Optimizer) AddStats(d Stats) {
+	o.stats.optimizeCalls.Add(d.OptimizeCalls)
+	o.stats.indexRequests.Add(d.IndexRequests)
+	o.stats.viewRequests.Add(d.ViewRequests)
+}
 
 // ResetStats zeroes the activity counters.
-func (o *Optimizer) ResetStats() { o.stats = Stats{} }
+func (o *Optimizer) ResetStats() {
+	o.stats.optimizeCalls.Store(0)
+	o.stats.indexRequests.Store(0)
+	o.stats.viewRequests.Store(0)
+}
 
 // Sizer exposes the shared size estimator.
 func (o *Optimizer) Sizer() *physical.Sizer { return o.sizer }
@@ -82,8 +125,8 @@ func (e *dpEntry) cost() float64 {
 // index-maintenance costs are computed separately by UpdateShellCost.
 // INSERT statements have an empty select part.
 func (o *Optimizer) Optimize(q *BoundQuery, cfg *physical.Configuration) (*plan.QueryPlan, error) {
-	o.stats.OptimizeCalls++
-	o.reqSeen = map[string]bool{}
+	o.stats.optimizeCalls.Add(1)
+	oc := &optCtx{reqSeen: map[string]bool{}}
 	if q.Kind == sqlx.StmtInsert {
 		root := plan.NewHeapScan(q.UpdateTable, 0, plan.Cost{})
 		return &plan.QueryPlan{Root: root, Cost: plan.Cost{}}, nil
@@ -101,7 +144,7 @@ func (o *Optimizer) Optimize(q *BoundQuery, cfg *physical.Configuration) (*plan.
 	// Leaf level: one access-path request per table.
 	for i, t := range q.Tables {
 		spec := o.tableSpec(q, t, n == 1)
-		res := o.requestAccess(cfg, spec)
+		res := o.requestAccess(oc, cfg, spec)
 		if res == nil {
 			return nil, fmt.Errorf("optimizer: no access path for table %s", t)
 		}
@@ -132,14 +175,14 @@ func (o *Optimizer) Optimize(q *BoundQuery, cfg *physical.Configuration) (*plan.
 				if len(edges) == 0 && o.hasAnyEdge(q, idx, mask) {
 					continue // avoid cross products when the mask is joinable
 				}
-				cand := o.joinPlans(q, cfg, idx, mask, sub, other, l, r, edges)
+				cand := o.joinPlans(oc, q, cfg, idx, mask, sub, other, l, r, edges)
 				if cand != nil && cand.cost() < bestCost(best) {
 					best = cand
 				}
 			}
 		}
 		if size >= 2 || mask == full {
-			if vcand := o.viewPlans(q, cfg, idx, mask, mask == full); vcand != nil && vcand.cost() < bestCost(best) {
+			if vcand := o.viewPlans(oc, q, cfg, idx, mask, mask == full); vcand != nil && vcand.cost() < bestCost(best) {
 				best = vcand
 			}
 		}
@@ -278,23 +321,23 @@ func (o *Optimizer) neededWidth(table string, cols []string) int {
 
 // requestAccess fires the index-request hook (§2) and then generates the
 // best access path with whatever structures the hook simulated.
-func (o *Optimizer) requestAccess(cfg *physical.Configuration, spec *accessSpec) *accessResult {
-	o.issueIndexRequest(spec)
+func (o *Optimizer) requestAccess(oc *optCtx, cfg *physical.Configuration, spec *accessSpec) *accessResult {
+	o.issueIndexRequest(oc, spec)
 	return o.bestAccess(cfg, spec)
 }
 
 // issueIndexRequest counts the request and fires the hook, deduplicating
 // identical requests within one optimization.
-func (o *Optimizer) issueIndexRequest(spec *accessSpec) {
+func (o *Optimizer) issueIndexRequest(oc *optCtx, spec *accessSpec) {
 	req := o.buildIndexRequest(spec)
 	key := "i|" + req.String()
-	if o.reqSeen != nil {
-		if o.reqSeen[key] {
+	if oc != nil && oc.reqSeen != nil {
+		if oc.reqSeen[key] {
 			return
 		}
-		o.reqSeen[key] = true
+		oc.reqSeen[key] = true
 	}
-	o.stats.IndexRequests++
+	o.stats.indexRequests.Add(1)
 	if o.hooks != nil && o.hooks.OnIndexRequest != nil {
 		o.hooks.OnIndexRequest(req)
 	}
@@ -364,7 +407,7 @@ func (o *Optimizer) hasAnyEdge(q *BoundQuery, idx map[string]int, mask uint64) b
 // join (both build directions), index nested loops (single-table inner),
 // and plain nested loops as the universal fallback. Cross-table filters
 // that become evaluable at this mask are applied on top.
-func (o *Optimizer) joinPlans(q *BoundQuery, cfg *physical.Configuration, idx map[string]int, mask, sub, other uint64, l, r *dpEntry, edges []physical.JoinPred) *dpEntry {
+func (o *Optimizer) joinPlans(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, idx map[string]int, mask, sub, other uint64, l, r *dpEntry, edges []physical.JoinPred) *dpEntry {
 	outRows := o.selRows(q, mask)
 	// Filters newly evaluable at this mask.
 	extraSel := 1.0
@@ -397,10 +440,10 @@ func (o *Optimizer) joinPlans(q *BoundQuery, cfg *physical.Configuration, idx ma
 		consider(o.hashJoin(r, l, on, joinRows), nil)
 		consider(o.mergeJoin(q, idx, sub, l, r, edges, on, joinRows), nil)
 		// Index nested loops: inner side must be a single base table.
-		if n, u := o.indexNLJoin(q, cfg, idx, other, l, edges, on, joinRows); n != nil {
+		if n, u := o.indexNLJoin(oc, q, cfg, idx, other, l, edges, on, joinRows); n != nil {
 			consider(n, u)
 		}
-		if n, u := o.indexNLJoin(q, cfg, idx, sub, r, edges, on, joinRows); n != nil {
+		if n, u := o.indexNLJoin(oc, q, cfg, idx, sub, r, edges, on, joinRows); n != nil {
 			consider(n, u)
 		}
 	}
@@ -486,7 +529,7 @@ func (o *Optimizer) nlJoin(outer, inner *dpEntry, on string, rows float64) plan.
 // indexNLJoin probes an index on the (single-table) inner side once per
 // outer row. Returns nil when the inner mask is not a single table or no
 // suitable index exists.
-func (o *Optimizer) indexNLJoin(q *BoundQuery, cfg *physical.Configuration, idx map[string]int, innerMask uint64, outer *dpEntry, edges []physical.JoinPred, on string, rows float64) (plan.Node, []*plan.IndexUsage) {
+func (o *Optimizer) indexNLJoin(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, idx map[string]int, innerMask uint64, outer *dpEntry, edges []physical.JoinPred, on string, rows float64) (plan.Node, []*plan.IndexUsage) {
 	if bits.OnesCount64(innerMask) != 1 {
 		return nil, nil
 	}
@@ -503,7 +546,7 @@ func (o *Optimizer) indexNLJoin(q *BoundQuery, cfg *physical.Configuration, idx 
 	if len(probeCols) == 0 {
 		return nil, nil
 	}
-	probe, usage := o.innerProbe(q, cfg, innerTable, probeCols)
+	probe, usage := o.innerProbe(oc, q, cfg, innerTable, probeCols)
 	if usage == nil {
 		return nil, nil
 	}
@@ -520,7 +563,7 @@ func (o *Optimizer) indexNLJoin(q *BoundQuery, cfg *physical.Configuration, idx 
 
 // innerProbe finds the best index to look up one join binding on the
 // inner table and returns the per-probe cost plus a usage template.
-func (o *Optimizer) innerProbe(q *BoundQuery, cfg *physical.Configuration, table string, probeCols []string) (plan.Cost, *plan.IndexUsage) {
+func (o *Optimizer) innerProbe(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, table string, probeCols []string) (plan.Cost, *plan.IndexUsage) {
 	t := o.db.Table(table)
 	tp := q.TablePred(table)
 	needed := q.NeededCols(table)
@@ -539,7 +582,7 @@ func (o *Optimizer) innerProbe(q *BoundQuery, cfg *physical.Configuration, table
 	for _, oc := range tp.Others {
 		probeSpec.others = append(probeSpec.others, residCond{cols: localCols(oc.Cols), sel: oc.Sel})
 	}
-	o.issueIndexRequest(probeSpec)
+	o.issueIndexRequest(oc, probeSpec)
 
 	var bestCostV plan.Cost
 	var bestU *plan.IndexUsage

@@ -122,7 +122,7 @@ func (o *Optimizer) ViewDefinition(q *BoundQuery) (*physical.View, error) {
 // viewPlans fires the view request(s) for a table subset (§2) and builds
 // the cheapest plan that answers the subset from a matching materialized
 // view in cfg, or nil when no view applies.
-func (o *Optimizer) viewPlans(q *BoundQuery, cfg *physical.Configuration, idx map[string]int, mask uint64, isFull bool) *dpEntry {
+func (o *Optimizer) viewPlans(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, idx map[string]int, mask uint64, isFull bool) *dpEntry {
 	size := bits.OnesCount64(mask)
 	queryGrouped := isFull && (len(q.GroupBy) > 0 || q.HasAggregates())
 	if size < 2 && !queryGrouped {
@@ -132,11 +132,11 @@ func (o *Optimizer) viewPlans(q *BoundQuery, cfg *physical.Configuration, idx ma
 	}
 
 	ungrouped := o.subsetBlock(q, idx, mask, false)
-	o.issueViewRequest(&ViewRequest{Block: ungrouped})
+	o.issueViewRequest(oc, &ViewRequest{Block: ungrouped})
 	var grouped *physical.View
 	if queryGrouped {
 		grouped = o.subsetBlock(q, idx, mask, true)
-		o.issueViewRequest(&ViewRequest{Block: grouped, Grouped: true})
+		o.issueViewRequest(oc, &ViewRequest{Block: grouped, Grouped: true})
 	}
 
 	var best *dpEntry
@@ -153,26 +153,26 @@ func (o *Optimizer) viewPlans(q *BoundQuery, cfg *physical.Configuration, idx ma
 			continue // not materialized
 		}
 		if m := physical.MatchView(ungrouped, v); m != nil {
-			consider(o.viewAccessPlan(q, cfg, v, m, mask, isFull, false))
+			consider(o.viewAccessPlan(oc, q, cfg, v, m, mask, isFull, false))
 		}
 		if grouped != nil {
 			if m := physical.MatchView(grouped, v); m != nil {
-				consider(o.viewAccessPlan(q, cfg, v, m, mask, isFull, true))
+				consider(o.viewAccessPlan(oc, q, cfg, v, m, mask, isFull, true))
 			}
 		}
 	}
 	return best
 }
 
-func (o *Optimizer) issueViewRequest(req *ViewRequest) {
+func (o *Optimizer) issueViewRequest(oc *optCtx, req *ViewRequest) {
 	key := "v|" + req.Block.Signature()
-	if o.reqSeen != nil {
-		if o.reqSeen[key] {
+	if oc != nil && oc.reqSeen != nil {
+		if oc.reqSeen[key] {
 			return
 		}
-		o.reqSeen[key] = true
+		oc.reqSeen[key] = true
 	}
-	o.stats.ViewRequests++
+	o.stats.viewRequests.Add(1)
 	if o.hooks != nil && o.hooks.OnViewRequest != nil {
 		o.hooks.OnViewRequest(req)
 	}
@@ -180,7 +180,7 @@ func (o *Optimizer) issueViewRequest(req *ViewRequest) {
 
 // viewAccessPlan builds an access path over a matched view, applying the
 // match's compensating filters and (when needed) re-aggregation.
-func (o *Optimizer) viewAccessPlan(q *BoundQuery, cfg *physical.Configuration, v *physical.View, m *physical.ViewMatch, mask uint64, isFull, groupedMatch bool) *dpEntry {
+func (o *Optimizer) viewAccessPlan(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, v *physical.View, m *physical.ViewMatch, mask uint64, isFull, groupedMatch bool) *dpEntry {
 	spec := &accessSpec{
 		table: v.Name,
 		view:  v,
@@ -290,7 +290,7 @@ func (o *Optimizer) viewAccessPlan(q *BoundQuery, cfg *physical.Configuration, v
 		}
 	}
 
-	res := o.requestAccess(cfg, spec)
+	res := o.requestAccess(oc, cfg, spec)
 	if res == nil {
 		return nil
 	}

@@ -2,6 +2,7 @@ package physical
 
 import (
 	"strings"
+	"sync"
 
 	"repro/internal/storage"
 )
@@ -21,9 +22,12 @@ type WidthResolver interface {
 // Sizer estimates the storage consumed by indexes, views, and whole
 // configurations following the B-tree model of §3.3.1. It caches per-index
 // sizes; the cache key includes the owning view's estimated cardinality so
-// re-estimated views are re-sized.
+// re-estimated views are re-sized. The cache is mutex-guarded: one sizer is
+// shared by every forked optimizer in a parallel evaluation pool.
 type Sizer struct {
-	base  WidthResolver
+	base WidthResolver
+
+	mu    sync.Mutex
 	cache map[string]int64
 }
 
@@ -100,15 +104,19 @@ func (s *Sizer) IndexBytes(ix *Index, cfg *Configuration) int64 {
 			key += "@" + itoa64(v.EstRows)
 		}
 	}
-	if sz, ok := s.cache[key]; ok {
+	s.mu.Lock()
+	sz, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
 		return sz
 	}
-	rows, leafW, intW, ok := s.resolve(ix, cfg)
-	var sz int64
-	if ok {
+	rows, leafW, intW, resolved := s.resolve(ix, cfg)
+	if resolved {
 		sz = storage.BTreeBytes(rows, leafW, intW)
 	}
+	s.mu.Lock()
 	s.cache[key] = sz
+	s.mu.Unlock()
 	return sz
 }
 

@@ -153,6 +153,14 @@ func gateScenario(base, c ScenarioResult, tol Tolerance) []Violation {
 		check("profile_coverage_pct", base.ProfileCoveragePct, c.ProfileCoveragePct, tol.CoverageFloorPct,
 			"profiler phases no longer account for the scenario's wall time")
 	}
+	// The parallel evaluation engine must not run slower than the serial
+	// algorithm (ratio ≤ 1 + 5% noise slack). Only meaningful when the
+	// run actually had more than one worker; single-core runners record
+	// workers = 1 and a vacuous ratio.
+	if c.ParallelWorkers > 1 && c.ParallelWallRatio > 1.05 {
+		check("parallel_wall_ratio", base.ParallelWallRatio, c.ParallelWallRatio, 1.05,
+			fmt.Sprintf("parallel evaluation (%d workers) ran %.2fx the serial wall time", c.ParallelWorkers, c.ParallelWallRatio))
+	}
 	return vs
 }
 

@@ -64,6 +64,13 @@ type ScenarioResult struct {
 	// ProfileCoveragePct is the share of scenario wall time attributed
 	// to named profiler phases (the self-observability health check).
 	ProfileCoveragePct float64 `json:"profile_coverage_pct"`
+	// ParallelWorkers records the worker count of the scenario's parallel
+	// leg (parallel-speedup only; 1 on single-core runners where the
+	// speedup assertion is vacuous). ParallelWallRatio is the parallel
+	// leg's wall time over the serial leg's: below 1 means speedup. The
+	// gate bounds the ratio only when workers > 1.
+	ParallelWorkers   int     `json:"parallel_workers,omitempty"`
+	ParallelWallRatio float64 `json:"parallel_wall_ratio,omitempty"`
 }
 
 // Config parameterizes a suite run.
@@ -74,6 +81,11 @@ type Config struct {
 	Seed int64
 	// MaxIterations bounds each tuning session.
 	MaxIterations int
+	// Parallelism is the worker count of the parallel-speedup scenario's
+	// parallel leg (0 = all cores). The three baseline scenarios always
+	// pin Parallelism to 1 so their counters stay deterministic across
+	// runner core counts.
+	Parallelism int
 	// Logf, when set, receives per-scenario progress lines.
 	Logf func(format string, args ...any)
 }
@@ -116,6 +128,11 @@ func Scenarios() []Scenario {
 			Desc: "two-phase workload replay through the online service (warm retune)",
 			Run:  runOnlineDrift,
 		},
+		{
+			Name: "parallel-speedup",
+			Desc: "TPC-H batch serial vs parallel evaluation engine (equivalence + wall ratio)",
+			Run:  runParallelSpeedup,
+		},
 	}
 }
 
@@ -144,7 +161,7 @@ func runBatchTPCH(cfg Config) (ScenarioResult, error) {
 	// Index-only: with views enabled the 40-iteration smoke cap exhausts
 	// before the search shrinks under the budget, yielding a degenerate
 	// (improvement 0) record with no regression signal.
-	return runBatch("batch-tpch", db, w, core.Options{NoViews: true, MaxIterations: cfg.MaxIterations})
+	return runBatch("batch-tpch", db, w, core.Options{NoViews: true, MaxIterations: cfg.MaxIterations, Parallelism: 1})
 }
 
 func runBatchUpdates(cfg Config) (ScenarioResult, error) {
@@ -158,20 +175,27 @@ func runBatchUpdates(cfg Config) (ScenarioResult, error) {
 	if err != nil {
 		return ScenarioResult{}, err
 	}
-	return runBatch("batch-updates", db, w, core.Options{NoViews: true, MaxIterations: cfg.MaxIterations})
+	return runBatch("batch-updates", db, w, core.Options{NoViews: true, MaxIterations: cfg.MaxIterations, Parallelism: 1})
 }
 
 // runBatch probes the unconstrained optimal configuration to derive a
 // budget that forces real relaxation work (optimal/3), then tunes with
 // the profiler attached and distills the scenario record.
 func runBatch(name string, db *catalog.Database, w *workloads.Workload, opts core.Options) (ScenarioResult, error) {
+	sr, _, err := runBatchFull(name, db, w, opts)
+	return sr, err
+}
+
+// runBatchFull is runBatch exposing the raw tuning result, so scenarios
+// comparing two runs (serial vs parallel) can assert equivalence.
+func runBatchFull(name string, db *catalog.Database, w *workloads.Workload, opts core.Options) (ScenarioResult, *core.Result, error) {
 	probe, err := core.NewTuner(db, w, opts)
 	if err != nil {
-		return ScenarioResult{}, err
+		return ScenarioResult{}, nil, err
 	}
 	optCfg, err := probe.OptimalConfiguration()
 	if err != nil {
-		return ScenarioResult{}, err
+		return ScenarioResult{}, nil, err
 	}
 	opts.SpaceBudget = probe.Opt.Sizer().ConfigBytes(optCfg) / 3
 	prof := obs.NewProfiler()
@@ -179,12 +203,12 @@ func runBatch(name string, db *catalog.Database, w *workloads.Workload, opts cor
 
 	tn, err := core.NewTuner(db, w, opts)
 	if err != nil {
-		return ScenarioResult{}, err
+		return ScenarioResult{}, nil, err
 	}
 	alloc0 := obs.HeapAllocBytes()
 	res, err := tn.Tune()
 	if err != nil {
-		return ScenarioResult{}, err
+		return ScenarioResult{}, nil, err
 	}
 	rep := prof.Snapshot()
 	rep.WallSeconds = res.Elapsed.Seconds()
@@ -200,6 +224,49 @@ func runBatch(name string, db *catalog.Database, w *workloads.Workload, opts cor
 		ProfileCoveragePct: rep.CoveragePct(),
 	}
 	fillCalibration(&sr, res.Explain)
+	return sr, res, nil
+}
+
+// runParallelSpeedup tunes the TPC-H batch twice — Parallelism 1, then
+// cfg.Parallelism (0 = all cores) — asserts the two runs agree on the
+// recommendation (fingerprint, cost, iterations, calibration samples),
+// and records the parallel/serial wall ratio. The deterministic counters
+// come from the serial leg, so the record is stable across runner core
+// counts; on a single-core runner the parallel leg degenerates to
+// workers=1 and the ratio carries no signal (the gate skips it).
+func runParallelSpeedup(cfg Config) (ScenarioResult, error) {
+	db := datagen.TPCH(cfg.SF)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	opts := core.Options{NoViews: true, MaxIterations: cfg.MaxIterations, Parallelism: 1}
+	sr, serial, err := runBatchFull("parallel-speedup", db, w, opts)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	opts.Parallelism = cfg.Parallelism
+	parSr, parallel, err := runBatchFull("parallel-speedup", db, w, opts)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	if pfp, sfp := parallel.Best.Config.Fingerprint(), serial.Best.Config.Fingerprint(); pfp != sfp {
+		return ScenarioResult{}, fmt.Errorf("parallel run recommended %s, serial %s", pfp, sfp)
+	}
+	if parallel.Best.Cost != serial.Best.Cost {
+		return ScenarioResult{}, fmt.Errorf("parallel best cost %v differs from serial %v", parallel.Best.Cost, serial.Best.Cost)
+	}
+	if parallel.Iterations != serial.Iterations {
+		return ScenarioResult{}, fmt.Errorf("parallel run took %d iterations, serial %d", parallel.Iterations, serial.Iterations)
+	}
+	if len(parallel.CalibSamples) != len(serial.CalibSamples) {
+		return ScenarioResult{}, fmt.Errorf("parallel run recorded %d calibration samples, serial %d",
+			len(parallel.CalibSamples), len(serial.CalibSamples))
+	}
+	sr.ParallelWorkers = parallel.ParallelWorkers
+	if sr.WallSeconds > 0 {
+		sr.ParallelWallRatio = parSr.WallSeconds / sr.WallSeconds
+	}
 	return sr, nil
 }
 
@@ -235,6 +302,7 @@ func runOnlineDrift(cfg Config) (ScenarioResult, error) {
 			NoViews:       true,
 			MaxIterations: cfg.MaxIterations,
 			SpaceBudget:   budget,
+			Parallelism:   1,
 		},
 	})
 	if err != nil {

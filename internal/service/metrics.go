@@ -25,6 +25,7 @@ type Metrics struct {
 	lastRetuneCalls     atomic.Int64
 	lastRetuneMillis    atomic.Int64
 	lastRetuneUnix      atomic.Int64
+	parallelWorkers     atomic.Int64
 	// retuneNanosTotal accumulates the wall time of every retune — the
 	// outer clock the phase profile's coverage is computed against.
 	retuneNanosTotal atomic.Int64
@@ -45,6 +46,7 @@ type metricsLocals struct {
 	tuneOptimizerCalls, driftOptimizerCalls         int64
 	lastRetuneCalls, lastRetuneMillis               int64
 	lastRetuneUnix                                  int64
+	parallelWorkers                                 int64
 }
 
 func (m *Metrics) snapshot() metricsLocals {
@@ -61,6 +63,7 @@ func (m *Metrics) snapshot() metricsLocals {
 		lastRetuneCalls:     m.lastRetuneCalls.Load(),
 		lastRetuneMillis:    m.lastRetuneMillis.Load(),
 		lastRetuneUnix:      m.lastRetuneUnix.Load(),
+		parallelWorkers:     m.parallelWorkers.Load(),
 	}
 }
 
@@ -90,6 +93,9 @@ type MetricsSnapshot struct {
 	// LastRetuneUnix is the Unix timestamp of the last successful retune
 	// (0 before the first one).
 	LastRetuneUnix int64 `json:"last_retune_unix"`
+	// ParallelWorkers is the worker count the last retune's evaluation
+	// engine ran with (0 before the first retune; 1 = serial).
+	ParallelWorkers int64 `json:"parallel_workers,omitempty"`
 
 	// Warm-start accounting from the shared request cache: calls invested
 	// building cached fragments vs. calls avoided on cache hits.
@@ -110,8 +116,9 @@ type serviceGauges struct {
 	retunes        *obs.Gauge
 	warmRetunes    *obs.Gauge
 	driftEvents    *obs.Gauge
-	cacheEntries   *obs.Gauge
-	lastRetuneUnix *obs.Gauge
+	cacheEntries    *obs.Gauge
+	lastRetuneUnix  *obs.Gauge
+	parallelWorkers *obs.Gauge
 }
 
 func newServiceGauges(reg *obs.Registry) *serviceGauges {
@@ -124,7 +131,8 @@ func newServiceGauges(reg *obs.Registry) *serviceGauges {
 		warmRetunes:    reg.NewGauge("tuner_warm_retunes", "Tuning sessions that warm-started from the previous recommendation."),
 		driftEvents:    reg.NewGauge("tuner_drift_events", "Drift detections since start."),
 		cacheEntries:   reg.NewGauge("tuner_fragment_cache_entries", "Entries in the per-statement optimal-fragment cache."),
-		lastRetuneUnix: reg.NewGauge("tuner_last_retune_unix", "Unix timestamp of the last successful retune (0 = none)."),
+		lastRetuneUnix:  reg.NewGauge("tuner_last_retune_unix", "Unix timestamp of the last successful retune (0 = none)."),
+		parallelWorkers: reg.NewGauge("tuner_parallel_workers", "Worker count of the last retune's parallel evaluation engine (1 = serial)."),
 	}
 }
 
@@ -138,4 +146,5 @@ func (g *serviceGauges) update(snap MetricsSnapshot) {
 	g.driftEvents.Set(float64(snap.DriftEvents))
 	g.cacheEntries.Set(float64(snap.CacheEntries))
 	g.lastRetuneUnix.Set(float64(snap.LastRetuneUnix))
+	g.parallelWorkers.Set(float64(snap.ParallelWorkers))
 }

@@ -348,6 +348,7 @@ func (s *Service) Retune() (*Recommendation, error) {
 	s.metrics.lastRetuneCalls.Store(res.OptimizerCalls)
 	s.metrics.lastRetuneMillis.Store(res.Elapsed.Milliseconds())
 	s.metrics.lastRetuneUnix.Store(time.Now().Unix())
+	s.metrics.parallelWorkers.Store(int64(res.ParallelWorkers))
 	s.metrics.retuneNanosTotal.Add(res.Elapsed.Nanoseconds())
 	// Session-level Prometheus metrics; the search-internal ones were
 	// already fed from trace events during Tune.
@@ -401,6 +402,7 @@ func (s *Service) MetricsSnapshot() MetricsSnapshot {
 		LastRetuneCalls:     m.lastRetuneCalls,
 		LastRetuneMillis:    m.lastRetuneMillis,
 		LastRetuneUnix:      m.lastRetuneUnix,
+		ParallelWorkers:     m.parallelWorkers,
 
 		CacheEntries:        cs.Entries,
 		CacheHits:           cs.Hits,
