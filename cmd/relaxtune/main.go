@@ -7,12 +7,15 @@
 //	relaxtune -db tpch -workload tpch22 -budget 64 -views=false
 //	relaxtune -db ds1 -workload /path/to/workload.sql -budget 128
 //	relaxtune -db bench -gen 12 -updates 0.3 -budget 32 -baseline
+//	relaxtune -db tpch -budget 8 -progress -frontier frontier.csv
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,7 +36,8 @@ func main() {
 		iters    = flag.Int("iters", 120, "maximum relaxation iterations")
 		timeout  = flag.Duration("time", 0, "tuning time budget (0 = unbounded)")
 		baseline = flag.Bool("baseline", false, "also run the bottom-up baseline advisor")
-		frontier = flag.Bool("frontier", false, "print the full space/cost frontier")
+		frontier = flag.String("frontier", "", "write the space/cost frontier trajectory as CSV to this path ('-' = stdout)")
+		progress = flag.Bool("progress", false, "render a live progress line (iteration, space, cost, budget gap) to stderr while tuning")
 		jsonOut  = flag.String("json", "", "write a JSON tuning report to this path")
 		whatIf   = flag.String("whatif", "", "skip tuning; evaluate the CREATE INDEX/VIEW script at this path")
 		explain  = flag.Bool("explain", false, "print the per-structure decision log (why each index/view was kept, merged, or dropped)")
@@ -78,6 +82,13 @@ func main() {
 		opts.Profile = prof
 	}
 
+	var progressDone chan struct{}
+	if *progress {
+		prog := tuner.NewProgress()
+		opts.Progress = prog
+		progressDone = renderProgress(prog)
+	}
+
 	if *whatIf != "" {
 		runWhatIf(db, w, opts, *whatIf)
 		closeTrace(trace, *traceOut)
@@ -91,11 +102,23 @@ func main() {
 	start := time.Now()
 	res, err := session.Tune()
 	if err != nil {
-		fatal(err)
+		fatal(err) // the renderer goroutine dies with the process
+	}
+	if progressDone != nil {
+		<-progressDone // let the renderer clear its line before printing
 	}
 	closeTrace(trace, *traceOut)
-	printResult(res, *frontier)
+	printResult(res)
 	fmt.Printf("relaxation tuning took %s (%d optimizer calls, %d workers)\n\n", time.Since(start).Round(time.Millisecond), res.OptimizerCalls, res.ParallelWorkers)
+
+	if *frontier != "" {
+		if err := writeFrontierCSV(*frontier, res.Frontier); err != nil {
+			fatal(err)
+		}
+		if *frontier != "-" {
+			fmt.Printf("wrote frontier trajectory to %s (%d points)\n\n", *frontier, len(res.Frontier))
+		}
+	}
 
 	if prof != nil {
 		rep := prof.Snapshot()
@@ -179,7 +202,7 @@ func loadWorkload(db *tuner.Database, spec string, gen int, updates float64, see
 	return tuner.ParseWorkload(spec, db.Name, string(data))
 }
 
-func printResult(res *tuner.Result, showFrontier bool) {
+func printResult(res *tuner.Result) {
 	fmt.Printf("initial configuration: cost %.1f, size %.1f MB\n",
 		res.Initial.Cost, float64(res.Initial.SizeBytes)/(1<<20))
 	fmt.Printf("optimal configuration: cost %.1f, size %.1f MB (unconstrained bound)\n",
@@ -206,13 +229,74 @@ func printResult(res *tuner.Result, showFrontier bool) {
 		}
 		fmt.Println()
 	}
-	if showFrontier {
-		fmt.Println("space/cost frontier (by-product of the search):")
-		for _, p := range res.Frontier {
-			fmt.Printf("  %8.2f MB  %10.1f\n", float64(p.SizeBytes)/(1<<20), p.Cost)
+}
+
+// writeFrontierCSV dumps the search trajectory — the paper's
+// cost-vs-storage curve — as CSV, ready for plotting ("-" = stdout).
+func writeFrontierCSV(path string, frontier []tuner.FrontierPoint) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
 		}
-		fmt.Println()
+		defer f.Close()
+		out = f
 	}
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"iteration", "size_bytes", "cost", "fits", "transformation", "penalty"}); err != nil {
+		return err
+	}
+	for _, p := range frontier {
+		rec := []string{
+			strconv.Itoa(p.Iteration),
+			strconv.FormatInt(p.SizeBytes, 10),
+			strconv.FormatFloat(p.Cost, 'g', -1, 64),
+			strconv.FormatBool(p.Fits),
+			p.Transformation,
+			strconv.FormatFloat(p.Penalty, 'g', -1, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// renderProgress consumes a live progress stream and keeps one status
+// line current on stderr. The returned channel closes once the stream
+// ends (the session is done), after clearing the line.
+func renderProgress(prog *tuner.Progress) chan struct{} {
+	sub := prog.Subscribe(64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wrote := false
+		for ev := range sub.C {
+			line := fmt.Sprintf("\r[%s] iter %3d  space %8.2f MB  cost %10.1f",
+				ev.Phase, ev.Iteration, float64(ev.SizeBytes)/(1<<20), ev.Cost)
+			if ev.BudgetBytes > 0 {
+				line += fmt.Sprintf("  gap %+7.2f MB", float64(ev.BudgetGapBytes)/(1<<20))
+			}
+			if ev.Transformation != "" {
+				line += "  " + ev.Transformation
+			}
+			if len(line) < 100 {
+				line += strings.Repeat(" ", 100-len(line)) // clear leftovers
+			}
+			fmt.Fprint(os.Stderr, line)
+			wrote = true
+			if ev.Done {
+				break
+			}
+		}
+		if wrote {
+			fmt.Fprint(os.Stderr, "\r"+strings.Repeat(" ", 100)+"\r")
+		}
+		sub.Close()
+	}()
+	return done
 }
 
 // runWhatIf evaluates a user-supplied configuration script instead of

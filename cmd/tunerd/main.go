@@ -14,7 +14,14 @@
 //	GET  /recommendation  current physical design advice
 //	GET  /explain         per-structure decision log of the last retune
 //	GET  /profile         per-phase performance profile across retunes
-//	POST /retune          tune the current window now
+//	POST /retune          tune the current window now (optional body
+//	                      {"budget_mb": N} overrides the budget once)
+//	GET  /progress        live per-iteration search events (SSE;
+//	                      ?timeout=30s / ?max=N bound the stream)
+//	GET  /sessions        flight-recorder session history
+//	GET  /sessions/{id}   one recorded session in full
+//	GET  /diff            structural delta between two sessions
+//	                      (?from=&to=; defaults to the two most recent)
 //	GET  /drift           assess workload drift
 //	GET  /metrics         activity counters (JSON; Prometheus text with
 //	                      Accept: text/plain or ?format=prometheus)
@@ -25,6 +32,9 @@
 //	curl -s -XPOST localhost:8347/ingest -d '{"statements": ["SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate >= 9131 GROUP BY o_orderpriority"]}'
 //	curl -s -XPOST localhost:8347/retune
 //	curl -s localhost:8347/recommendation
+//	curl -sN 'localhost:8347/progress?timeout=30s' &
+//	curl -s localhost:8347/sessions
+//	curl -s 'localhost:8347/diff?from=s-000001&to=s-000002'
 //	curl -s -H 'Accept: text/plain' localhost:8347/metrics
 package main
 
@@ -59,7 +69,7 @@ func main() {
 		tracePath  = flag.String("trace", "", "write search trace events (JSONL) to this file")
 		dbName     = flag.String("db", "tpch", "database: tpch, ds1, or bench")
 		sf         = flag.Float64("sf", 0.001, "database scale factor")
-		budgetMB   = flag.Int64("budget", 0, "storage budget in MB (0 = unconstrained)")
+		budgetMB   = flag.Float64("budget", 0, "storage budget in MB, fractions allowed (0 = unconstrained)")
 		views      = flag.Bool("views", true, "consider materialized views")
 		iters      = flag.Int("iters", 120, "maximum relaxation iterations per retune")
 		tuneTime   = flag.Duration("tune-time", 0, "per-retune time budget (0 = unbounded)")
@@ -75,6 +85,9 @@ func main() {
 
 		retuneBuckets = flag.String("retune-buckets", "", "comma-separated tuner_retune_duration_seconds bucket bounds (empty = defaults)")
 		phaseBuckets  = flag.String("phase-buckets", "", "comma-separated tuner_phase_duration_seconds bucket bounds (empty = defaults)")
+
+		historyPath  = flag.String("history", "", "persist the session flight recorder to this JSONL file (empty = in-memory only)")
+		historyLimit = flag.Int("history-limit", 0, "sessions retained by the flight recorder (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -101,6 +114,14 @@ func main() {
 		fatal("tunerd: bad -phase-buckets", err)
 	}
 
+	recorder, err := obs.NewRecorder(*historyPath, *historyLimit)
+	if err != nil {
+		fatal("tunerd: opening -history", err)
+	}
+	if *historyPath != "" {
+		logger.Info("tunerd: session history", "path", *historyPath, "loaded", recorder.Len())
+	}
+
 	var traceSink obs.Sink
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -114,7 +135,7 @@ func main() {
 	svc, err := service.New(service.Options{
 		DB: db,
 		Tuning: core.Options{
-			SpaceBudget:   *budgetMB << 20,
+			SpaceBudget:   int64(*budgetMB * (1 << 20)),
 			NoViews:       !*views,
 			MaxIterations: *iters,
 			TimeBudget:    *tuneTime,
@@ -135,6 +156,10 @@ func main() {
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
+		Warnf: func(format string, args ...any) {
+			logger.Warn(fmt.Sprintf(format, args...))
+		},
+		Recorder:       recorder,
 		TraceSink:      traceSink,
 		MetricsBuckets: buckets,
 	})

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// drainProgress collects every event a finished session published.
+// Close() closes the channel; buffered events drain out before ok goes
+// false, so this never blocks after Tune returned.
+func drainProgress(sub *obs.ProgressSubscription) []obs.ProgressEvent {
+	sub.Close()
+	var evs []obs.ProgressEvent
+	for ev := range sub.C {
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestTuneEmitsProgressPerIteration pins the tentpole contract: a
+// budget-constrained session reports at least one live event per
+// relaxation iteration, carrying the frontier point, the budget gap,
+// and the chosen transformation; the stream ends with a Done event.
+func TestTuneEmitsProgressPerIteration(t *testing.T) {
+	probe := tpchTuner(t, Options{NoViews: true})
+	optCfg, err := probe.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := probe.Opt.Sizer().ConfigBytes(optCfg) / 3
+
+	prog := obs.NewProgress()
+	sub := prog.Subscribe(4096)
+	tn := tpchTuner(t, Options{
+		NoViews: true, SpaceBudget: budget, MaxIterations: 40, Parallelism: 1,
+		Progress: prog,
+	})
+	res, err := tn.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drainProgress(sub)
+
+	if res.Iterations == 0 {
+		t.Fatal("scenario did not relax; budget no longer forces work")
+	}
+	var search, withTransform int
+	for _, ev := range evs {
+		if ev.Phase == "search" {
+			search++
+			if ev.Outcome == "" {
+				t.Errorf("search event without outcome: %+v", ev)
+			}
+		}
+		if ev.Transformation != "" {
+			withTransform++
+		}
+		if ev.BudgetBytes != budget {
+			t.Errorf("event budget %d, want %d", ev.BudgetBytes, budget)
+		}
+		if ev.BudgetGapBytes != ev.SizeBytes-budget {
+			t.Errorf("budget gap %d != size %d - budget %d", ev.BudgetGapBytes, ev.SizeBytes, budget)
+		}
+	}
+	if search < res.Iterations {
+		t.Errorf("%d search events for %d iterations, want >= 1 per iteration", search, res.Iterations)
+	}
+	if withTransform == 0 {
+		t.Error("no event carried a transformation label")
+	}
+	last := evs[len(evs)-1]
+	if !last.Done || last.Phase != "done" {
+		t.Errorf("stream does not end with a done event: %+v", last)
+	}
+	if last.BestCost != res.Best.Cost {
+		t.Errorf("final best cost %g, want %g", last.BestCost, res.Best.Cost)
+	}
+	// Events are seq-ordered with no gaps (one publisher, one stream).
+	for i, ev := range evs {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+
+	// The frontier by-product carries the same enrichment.
+	if len(res.Frontier) == 0 {
+		t.Fatal("Result.Frontier empty")
+	}
+	labeled := 0
+	for _, fp := range res.Frontier {
+		if fp.Transformation != "" {
+			labeled++
+		}
+	}
+	if labeled == 0 {
+		t.Error("no frontier point carries its transformation")
+	}
+}
+
+// TestProgressStreamSerialIdenticalUnderParallelism is the determinism
+// acceptance criterion: with progress enabled, a Parallelism-8 run must
+// produce the same recommendation AND the same event stream (up to
+// timestamps) as the serial run, because events are emitted only from
+// the serial main line.
+func TestProgressStreamSerialIdenticalUnderParallelism(t *testing.T) {
+	probe := tpchTuner(t, Options{NoViews: true})
+	optCfg, err := probe.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := probe.Opt.Sizer().ConfigBytes(optCfg) / 3
+
+	run := func(parallelism int) (*Result, []obs.ProgressEvent) {
+		prog := obs.NewProgress()
+		sub := prog.Subscribe(4096)
+		tn := tpchTuner(t, Options{
+			NoViews: true, SpaceBudget: budget, MaxIterations: 40,
+			Parallelism: parallelism, Progress: prog,
+		})
+		res, err := tn.Tune()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, drainProgress(sub)
+	}
+	serialRes, serialEvs := run(1)
+	parallelRes, parallelEvs := run(8)
+	requireSameOutcome(t, serialRes, parallelRes)
+
+	normalize := func(evs []obs.ProgressEvent) []obs.ProgressEvent {
+		out := make([]obs.ProgressEvent, len(evs))
+		for i, ev := range evs {
+			ev.Time = time.Time{}
+			ev.ElapsedMillis = 0
+			out[i] = ev
+		}
+		return out
+	}
+	se, pe := normalize(serialEvs), normalize(parallelEvs)
+	if len(se) != len(pe) {
+		t.Fatalf("event count diverged: serial %d, parallel %d", len(se), len(pe))
+	}
+	for i := range se {
+		if !reflect.DeepEqual(se[i], pe[i]) {
+			t.Fatalf("event %d diverged:\n  serial   %+v\n  parallel %+v", i, se[i], pe[i])
+		}
+	}
+}
+
+// TestTuneNilProgressUnchanged: attaching no reporter must not change
+// the search outcome relative to an attached one (reporting is
+// observation, never steering).
+func TestTuneNilProgressUnchanged(t *testing.T) {
+	probe := tpchTuner(t, Options{NoViews: true})
+	optCfg, err := probe.OptimalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := probe.Opt.Sizer().ConfigBytes(optCfg) / 3
+
+	base := Options{NoViews: true, SpaceBudget: budget, MaxIterations: 40, Parallelism: 1}
+	bare, err := tpchTuner(t, base).Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withProg := base
+	withProg.Progress = obs.NewProgress()
+	observed, err := tpchTuner(t, withProg).Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameOutcome(t, bare, observed)
+}

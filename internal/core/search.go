@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -12,12 +13,18 @@ import (
 
 // FrontierPoint is one (space, cost) observation made during the search;
 // the set of points is the by-product distribution of configurations the
-// paper highlights (Figure 4).
+// paper highlights (Figure 4) — the cost-vs-storage trajectory, captured
+// as a first-class output on Result.Frontier.
 type FrontierPoint struct {
-	Iteration int
-	SizeBytes int64
-	Cost      float64
-	Fits      bool
+	Iteration int     `json:"iteration"`
+	SizeBytes int64   `json:"size_bytes"`
+	Cost      float64 `json:"cost"`
+	Fits      bool    `json:"fits"`
+	// Transformation names the relaxation step that produced the point
+	// (empty for the optimal/warm-start seeds); Penalty is its estimated
+	// ΔT/ΔS penalty at selection time.
+	Transformation string  `json:"transformation,omitempty"`
+	Penalty        float64 `json:"penalty,omitempty"`
 }
 
 // Result is the outcome of a relaxation-based tuning session.
@@ -164,7 +171,22 @@ func (t *Tuner) tune() (*Result, error) {
 func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 	trace := t.Options.Trace
 	prof := t.Options.Profile
+	prog := t.Options.Progress
 	res := &Result{}
+
+	// report publishes one live progress event, stamping the fields every
+	// event shares (budget, gap, iteration, elapsed). Call sites guard on
+	// prog.Enabled() so the nil path never constructs an event.
+	budget0 := t.Options.SpaceBudget
+	report := func(ev obs.ProgressEvent) {
+		if budget0 > 0 {
+			ev.BudgetBytes = budget0
+			ev.BudgetGapBytes = ev.SizeBytes - budget0
+		}
+		ev.Iteration = res.Iterations
+		ev.ElapsedMillis = time.Since(start).Milliseconds()
+		prog.Report(ev)
+	}
 
 	endPhase := t.phase("evaluate-initial")
 	initial, err := t.evaluate(t.Base)
@@ -174,6 +196,12 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 	}
 	endPhase(obs.F{"cost": initial.Cost, "size": initial.SizeBytes})
 	res.Initial = initial
+	if prog.Enabled() {
+		report(obs.ProgressEvent{
+			Phase: "initial", SizeBytes: initial.SizeBytes, Cost: initial.Cost,
+			Fits: budget0 <= 0 || initial.SizeBytes <= budget0,
+		})
+	}
 
 	endPhase = t.phase("optimal-config")
 	optimalCfg, err := t.optimalConfiguration()
@@ -195,6 +223,12 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 	hasUpdates := t.hasUpdates()
 	budget := t.Options.SpaceBudget
 	unconstrained := budget <= 0
+	if prog.Enabled() {
+		report(obs.ProgressEvent{
+			Phase: "optimal", SizeBytes: optimal.SizeBytes, Cost: optimal.Cost,
+			Fits: unconstrained || optimal.SizeBytes <= budget,
+		})
+	}
 	if unconstrained && !hasUpdates {
 		// §2/§4.1: with no constraints and no updates the optimal
 		// configuration is the answer; no search is needed.
@@ -204,6 +238,13 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 		endExplain := prof.StartAlloc("explain")
 		res.Explain = t.buildExplain(res, nil, explainSourceOptimal)
 		endExplain()
+		if prog.Enabled() {
+			report(obs.ProgressEvent{
+				Phase: "done", Outcome: "evaluated", Done: true,
+				SizeBytes: optimal.SizeBytes, Cost: optimal.Cost,
+				BestCost: optimal.Cost, Fits: true,
+			})
+		}
 		return res, nil
 	}
 	effBudget := budget
@@ -260,6 +301,16 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 					cbest, bestNode = warm, warmNode
 				}
 				endPhase(obs.F{"cost": warm.Cost, "size": warm.SizeBytes, "adopted": cbest == warm})
+				if prog.Enabled() {
+					ev := obs.ProgressEvent{
+						Phase: "warm-start", SizeBytes: warm.SizeBytes,
+						Cost: warm.Cost, Fits: fits(warm), PoolSize: len(pool),
+					}
+					if cbest != nil {
+						ev.BestCost = cbest.Cost
+					}
+					report(ev)
+				}
 			} else {
 				endPhase(obs.F{"adopted": false, "pruned": true})
 			}
@@ -314,6 +365,18 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 			if trace.Enabled() {
 				trace.Emit(obs.EvSkip, obs.F{"reason": "exhausted", "iter": iter})
 			}
+			if prog.Enabled() {
+				ev := obs.ProgressEvent{
+					Phase: "search", Outcome: "exhausted",
+					SizeBytes: node.eval.SizeBytes, Cost: node.eval.Cost,
+					Fits: fits(node.eval), PoolSize: len(pool),
+					CandidatesPruned: len(skyPruned),
+				}
+				if cbest != nil {
+					ev.BestCost = cbest.Cost
+				}
+				report(ev)
+			}
 			continue
 		}
 		chosen := t.selectNonConflicting(ranked)
@@ -333,6 +396,7 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 			chosenIDs = append(chosenIDs, tf.ID())
 		}
 		res.Iterations++
+		transLabel := strings.Join(chosenIDs, " + ")
 		if trace.Enabled() {
 			trace.Emit(obs.EvApply, obs.F{
 				"iter": iter, "trans": chosenIDs,
@@ -346,6 +410,19 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 			res.Economy.DuplicateSkips++
 			if trace.Enabled() {
 				trace.Emit(obs.EvSkip, obs.F{"reason": "duplicate", "iter": iter, "fp": fp})
+			}
+			if prog.Enabled() {
+				ev := obs.ProgressEvent{
+					Phase: "search", Outcome: "duplicate",
+					SizeBytes: node.eval.SizeBytes, Cost: node.eval.Cost,
+					Fits: fits(node.eval), PoolSize: len(pool),
+					Transformation: transLabel, Penalty: ranked[0].penalty,
+					CandidatesPruned: len(skyPruned),
+				}
+				if cbest != nil {
+					ev.BestCost = cbest.Cost
+				}
+				report(ev)
 			}
 			continue
 		}
@@ -375,6 +452,19 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 			if trace.Enabled() {
 				trace.Emit(obs.EvSkip, obs.F{"reason": "shortcut", "iter": iter, "fp": fp, "cutoff": cutoff})
 			}
+			if prog.Enabled() {
+				ev := obs.ProgressEvent{
+					Phase: "search", Outcome: "shortcut",
+					SizeBytes: node.eval.SizeBytes, Cost: node.eval.Cost,
+					Fits: fits(node.eval), PoolSize: len(pool),
+					Transformation: transLabel, Penalty: ranked[0].penalty,
+					CandidatesPruned: len(skyPruned),
+				}
+				if cbest != nil {
+					ev.BestCost = cbest.Cost
+				}
+				report(ev)
+			}
 			continue
 		}
 		if t.Options.ShrinkUnused {
@@ -396,8 +486,11 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 		child.iteration = res.Iterations
 		child.applied = chosen
 		pool = append(pool, child)
-		res.Frontier = append(res.Frontier,
-			FrontierPoint{Iteration: res.Iterations, SizeBytes: evalNew.SizeBytes, Cost: evalNew.Cost, Fits: fits(evalNew)})
+		res.Frontier = append(res.Frontier, FrontierPoint{
+			Iteration: res.Iterations, SizeBytes: evalNew.SizeBytes,
+			Cost: evalNew.Cost, Fits: fits(evalNew),
+			Transformation: transLabel, Penalty: ranked[0].penalty,
+		})
 		newBest := fits(evalNew) && (cbest == nil || evalNew.Cost < cbest.Cost)
 		if newBest {
 			cbest, bestNode = evalNew, child
@@ -422,12 +515,28 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 				"realized_dt": realizedDT,
 				"new_best":    newBest,
 			}
+			if budget0 > 0 {
+				f["budget_gap"] = evalNew.SizeBytes - budget0
+			}
 			if estDT > 0 {
 				// Bound tightness: the §3.3.2 estimate is an upper
 				// bound, so values ≤ 1 mean the bound held.
 				f["tightness"] = realizedDT / estDT
 			}
 			trace.Emit(obs.EvEval, f)
+		}
+		if prog.Enabled() {
+			ev := obs.ProgressEvent{
+				Phase: "search", Outcome: "evaluated",
+				SizeBytes: evalNew.SizeBytes, Cost: evalNew.Cost,
+				Fits: fits(evalNew), PoolSize: len(pool),
+				Transformation: transLabel, Penalty: ranked[0].penalty,
+				CandidatesPruned: len(skyPruned),
+			}
+			if cbest != nil {
+				ev.BestCost = cbest.Cost
+			}
+			report(ev)
 		}
 		last = child
 	}
@@ -450,6 +559,13 @@ func (t *Tuner) runSearch(start time.Time) (*Result, error) {
 	endExplain := prof.StartAlloc("explain")
 	res.Explain = t.buildExplain(res, bestNode, source)
 	endExplain()
+	if prog.Enabled() {
+		report(obs.ProgressEvent{
+			Phase: "done", Done: true,
+			SizeBytes: cbest.SizeBytes, Cost: cbest.Cost,
+			BestCost: cbest.Cost, Fits: fits(cbest),
+		})
+	}
 	return res, nil
 }
 

@@ -110,6 +110,14 @@ type Options struct {
 	// nil (the default) disables profiling at the cost of one pointer
 	// check per phase boundary.
 	Profile *obs.Profiler
+	// Progress receives one live event per relaxation iteration (plus
+	// phase boundaries): the frontier point just visited, the budget gap,
+	// the chosen transformation and penalty, and skyline pruning. Events
+	// are published only from the serial main line of the search, so any
+	// Parallelism setting emits the identical stream. nil (the default)
+	// disables progress reporting at the cost of one pointer check per
+	// iteration — the nil path adds zero allocations to the search loop.
+	Progress *obs.Progress
 }
 
 // TunedQuery pairs a workload statement with its bound form.

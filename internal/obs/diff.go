@@ -1,0 +1,107 @@
+package obs
+
+import "sort"
+
+// StructureDelta describes one structure's fate between two recorded
+// recommendations.
+type StructureDelta struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Change is "added", "removed", "changed", or "unchanged" (the
+	// latter only when requested; DiffSessions omits unchanged rows).
+	Change string `json:"change"`
+
+	FromSizeBytes int64   `json:"from_size_bytes,omitempty"`
+	ToSizeBytes   int64   `json:"to_size_bytes,omitempty"`
+	SizeDelta     int64   `json:"size_delta,omitempty"`
+	FromCostShare float64 `json:"from_cost_share,omitempty"`
+	ToCostShare   float64 `json:"to_cost_share,omitempty"`
+	CostDelta     float64 `json:"cost_delta,omitempty"`
+}
+
+// SessionDiff is the structural comparison between two recorded
+// tuning sessions: which indexes/views the recommendation gained,
+// lost, or resized, plus the aggregate cost/space/budget movement.
+type SessionDiff struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+
+	Added     int `json:"added"`
+	Removed   int `json:"removed"`
+	Changed   int `json:"changed"`
+	Unchanged int `json:"unchanged"`
+
+	// Structures lists every added/removed/changed structure, removed
+	// first, then changed, then added; alphabetical within a group.
+	Structures []StructureDelta `json:"structures"`
+
+	CostDelta        float64 `json:"cost_delta"`
+	SizeDelta        int64   `json:"size_delta"`
+	BudgetDelta      int64   `json:"budget_delta"`
+	ImprovementDelta float64 `json:"improvement_delta"`
+}
+
+// structureKey identifies a structure across sessions. The kind joins
+// the key so an index and a view sharing a name never alias.
+func structureKey(s StructureRecord) string { return s.Kind + "\x00" + s.ID }
+
+// DiffSessions compares two session records structurally. Both
+// arguments must be non-nil.
+func DiffSessions(from, to *SessionRecord) *SessionDiff {
+	d := &SessionDiff{
+		From:             from.ID,
+		To:               to.ID,
+		CostDelta:        to.Cost - from.Cost,
+		SizeDelta:        to.SizeBytes - from.SizeBytes,
+		BudgetDelta:      to.SpaceBudgetBytes - from.SpaceBudgetBytes,
+		ImprovementDelta: to.ImprovementPct - from.ImprovementPct,
+	}
+	fromBy := make(map[string]StructureRecord, len(from.Structures))
+	for _, s := range from.Structures {
+		fromBy[structureKey(s)] = s
+	}
+	var removed, changed, added []StructureDelta
+	for _, s := range to.Structures {
+		old, ok := fromBy[structureKey(s)]
+		if !ok {
+			d.Added++
+			added = append(added, StructureDelta{
+				ID: s.ID, Kind: s.Kind, Change: "added",
+				ToSizeBytes: s.SizeBytes, SizeDelta: s.SizeBytes,
+				ToCostShare: s.CostShare, CostDelta: s.CostShare,
+			})
+			continue
+		}
+		delete(fromBy, structureKey(s))
+		if old.SizeBytes == s.SizeBytes && old.CostShare == s.CostShare {
+			d.Unchanged++
+			continue
+		}
+		d.Changed++
+		changed = append(changed, StructureDelta{
+			ID: s.ID, Kind: s.Kind, Change: "changed",
+			FromSizeBytes: old.SizeBytes, ToSizeBytes: s.SizeBytes,
+			SizeDelta:     s.SizeBytes - old.SizeBytes,
+			FromCostShare: old.CostShare, ToCostShare: s.CostShare,
+			CostDelta: s.CostShare - old.CostShare,
+		})
+	}
+	for _, s := range fromBy {
+		d.Removed++
+		removed = append(removed, StructureDelta{
+			ID: s.ID, Kind: s.Kind, Change: "removed",
+			FromSizeBytes: s.SizeBytes, SizeDelta: -s.SizeBytes,
+			FromCostShare: s.CostShare, CostDelta: -s.CostShare,
+		})
+	}
+	for _, group := range [][]StructureDelta{removed, changed, added} {
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].Kind != group[j].Kind {
+				return group[i].Kind < group[j].Kind
+			}
+			return group[i].ID < group[j].ID
+		})
+		d.Structures = append(d.Structures, group...)
+	}
+	return d
+}

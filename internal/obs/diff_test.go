@@ -1,0 +1,105 @@
+package obs
+
+import "testing"
+
+func diffSession(id string, structures ...StructureRecord) *SessionRecord {
+	return &SessionRecord{
+		ID:               id,
+		SpaceBudgetBytes: 1000,
+		Cost:             50,
+		SizeBytes:        900,
+		ImprovementPct:   50,
+		Structures:       structures,
+	}
+}
+
+func TestDiffIdenticalSessions(t *testing.T) {
+	a := diffSession("s-000001",
+		StructureRecord{ID: "ix_a", Kind: "index", SizeBytes: 100, CostShare: 10},
+		StructureRecord{ID: "v_b", Kind: "view", SizeBytes: 200, CostShare: 20},
+	)
+	b := diffSession("s-000002", a.Structures...)
+
+	d := DiffSessions(a, b)
+	if d.From != "s-000001" || d.To != "s-000002" {
+		t.Fatalf("endpoints: %+v", d)
+	}
+	if d.Added != 0 || d.Removed != 0 || d.Changed != 0 || d.Unchanged != 2 {
+		t.Fatalf("identical sessions diffed: %+v", d)
+	}
+	if len(d.Structures) != 0 {
+		t.Fatalf("unchanged rows listed: %+v", d.Structures)
+	}
+	if d.CostDelta != 0 || d.SizeDelta != 0 || d.BudgetDelta != 0 || d.ImprovementDelta != 0 {
+		t.Fatalf("aggregate deltas nonzero: %+v", d)
+	}
+}
+
+func TestDiffDisjointSessions(t *testing.T) {
+	a := diffSession("s-000001",
+		StructureRecord{ID: "ix_a", Kind: "index", SizeBytes: 100, CostShare: 10},
+		StructureRecord{ID: "ix_b", Kind: "index", SizeBytes: 150, CostShare: 15},
+	)
+	b := diffSession("s-000002",
+		StructureRecord{ID: "v_c", Kind: "view", SizeBytes: 300, CostShare: 30},
+	)
+	b.Cost, b.SizeBytes, b.SpaceBudgetBytes, b.ImprovementPct = 30, 300, 500, 70
+
+	d := DiffSessions(a, b)
+	if d.Added != 1 || d.Removed != 2 || d.Changed != 0 || d.Unchanged != 0 {
+		t.Fatalf("disjoint counts: %+v", d)
+	}
+	// Removed first (sorted by kind then ID), added last.
+	if len(d.Structures) != 3 ||
+		d.Structures[0].Change != "removed" || d.Structures[0].ID != "ix_a" ||
+		d.Structures[1].Change != "removed" || d.Structures[1].ID != "ix_b" ||
+		d.Structures[2].Change != "added" || d.Structures[2].ID != "v_c" {
+		t.Fatalf("ordering: %+v", d.Structures)
+	}
+	if d.Structures[0].SizeDelta != -100 || d.Structures[2].SizeDelta != 300 {
+		t.Fatalf("per-structure deltas: %+v", d.Structures)
+	}
+	if d.CostDelta != -20 || d.SizeDelta != -600 || d.BudgetDelta != -500 || d.ImprovementDelta != 20 {
+		t.Fatalf("aggregate deltas: %+v", d)
+	}
+}
+
+func TestDiffPartialOverlap(t *testing.T) {
+	a := diffSession("s-000001",
+		StructureRecord{ID: "ix_keep", Kind: "index", SizeBytes: 100, CostShare: 10},
+		StructureRecord{ID: "ix_grow", Kind: "index", SizeBytes: 100, CostShare: 10},
+		StructureRecord{ID: "ix_gone", Kind: "index", SizeBytes: 50, CostShare: 5},
+	)
+	b := diffSession("s-000002",
+		StructureRecord{ID: "ix_keep", Kind: "index", SizeBytes: 100, CostShare: 10},
+		StructureRecord{ID: "ix_grow", Kind: "index", SizeBytes: 180, CostShare: 12},
+		StructureRecord{ID: "v_new", Kind: "view", SizeBytes: 400, CostShare: 25},
+	)
+
+	d := DiffSessions(a, b)
+	if d.Added != 1 || d.Removed != 1 || d.Changed != 1 || d.Unchanged != 1 {
+		t.Fatalf("overlap counts: %+v", d)
+	}
+	var grow *StructureDelta
+	for i := range d.Structures {
+		if d.Structures[i].ID == "ix_grow" {
+			grow = &d.Structures[i]
+		}
+	}
+	if grow == nil || grow.Change != "changed" ||
+		grow.FromSizeBytes != 100 || grow.ToSizeBytes != 180 || grow.SizeDelta != 80 ||
+		grow.CostDelta != 2 {
+		t.Fatalf("changed structure: %+v", grow)
+	}
+}
+
+// TestDiffKindDisambiguates pins the key design: an index and a view
+// sharing a name are different structures, not a change.
+func TestDiffKindDisambiguates(t *testing.T) {
+	a := diffSession("s-000001", StructureRecord{ID: "orders_x", Kind: "index", SizeBytes: 100})
+	b := diffSession("s-000002", StructureRecord{ID: "orders_x", Kind: "view", SizeBytes: 100})
+	d := DiffSessions(a, b)
+	if d.Added != 1 || d.Removed != 1 || d.Changed != 0 {
+		t.Fatalf("kind aliasing: %+v", d)
+	}
+}

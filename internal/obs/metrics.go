@@ -41,6 +41,16 @@ type TunerMetrics struct {
 	// ahead of need and the ones later iterations consumed.
 	SpeculativeEvals *Counter
 	SpeculativeHits  *Counter
+
+	// Flight-recorder live series, fed from evaluation events:
+	// FrontierSpace is the size of the configuration the search last
+	// visited, BudgetGap is how far that configuration sits above the
+	// space budget (negative once it fits), and BoundViolations counts
+	// accepted steps whose realized ΔT exceeded the §3.3.2 upper bound —
+	// the alertable form of the calibration report.
+	FrontierSpace   *Gauge
+	BudgetGap       *Gauge
+	BoundViolations *Counter
 }
 
 // TunerMetricsBuckets overrides histogram bucket boundaries for the
@@ -126,6 +136,12 @@ func NewTunerMetricsWith(reg *Registry, buckets TunerMetricsBuckets) *TunerMetri
 			"Runner-up candidate configurations evaluated speculatively."),
 		SpeculativeHits: reg.NewCounter("tuner_speculative_hits_total",
 			"Speculative evaluations consumed by a later search iteration."),
+		FrontierSpace: reg.NewGauge("tuner_frontier_space_bytes",
+			"Size of the configuration the relaxation search last visited."),
+		BudgetGap: reg.NewGauge("tuner_budget_gap_bytes",
+			"How far the last-visited configuration sits above the space budget (negative once it fits)."),
+		BoundViolations: reg.NewCounter("tuner_bound_violations_total",
+			"Accepted relaxation steps whose realized ΔT exceeded the §3.3.2 upper bound."),
 	}
 }
 
@@ -146,8 +162,16 @@ func (s *metricsSink) Emit(e Event) {
 		m.SkylinePruned.Add(fieldFloat(e.Fields, "skyline_pruned"))
 	case EvEval:
 		m.Evaluations.Inc()
+		m.FrontierSpace.Set(fieldFloat(e.Fields, "size"))
+		if _, ok := e.Fields["budget_gap"]; ok {
+			m.BudgetGap.Set(fieldFloat(e.Fields, "budget_gap"))
+		}
 		if est := fieldFloat(e.Fields, "est_dt"); est > 0 {
-			m.BoundTightness.Observe(fieldFloat(e.Fields, "realized_dt") / est)
+			tightness := fieldFloat(e.Fields, "realized_dt") / est
+			m.BoundTightness.Observe(tightness)
+			if tightness > 1+1e-9 {
+				m.BoundViolations.Inc()
+			}
 		}
 	case EvSkip:
 		switch e.Fields["reason"] {

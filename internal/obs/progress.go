@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// ProgressEvent is one live observation of the relaxation search: the
+// frontier point the search just visited, the chosen transformation and
+// its penalty, and the budget gap still to close. The relax loop emits
+// one event per iteration (plus phase-boundary and completion events),
+// so a subscriber watching the stream sees the paper's cost-vs-storage
+// trajectory unfold in real time instead of reading it post-hoc from
+// Result.Frontier.
+type ProgressEvent struct {
+	// Seq is a monotonically increasing event number (per Progress).
+	Seq int64 `json:"seq"`
+	// Time is the emission timestamp.
+	Time time.Time `json:"time"`
+	// Session labels the tuning session the event belongs to (the
+	// flight-recorder session ID when the service drives the search).
+	Session string `json:"session,omitempty"`
+	// Phase is the search phase emitting the event: "initial",
+	// "optimal", "warm-start", "search", or "done".
+	Phase string `json:"phase"`
+	// Iteration is the relaxation step count so far (Result.Iterations).
+	Iteration int `json:"iteration"`
+	// Outcome says what the step produced: "evaluated" (a new frontier
+	// point), "duplicate", "shortcut", or "exhausted".
+	Outcome string `json:"outcome,omitempty"`
+	// SizeBytes and Cost describe the configuration just visited — the
+	// live frontier point (Cost is the workload's estimated total
+	// execution time under the configuration).
+	SizeBytes int64   `json:"size_bytes"`
+	Cost      float64 `json:"cost"`
+	// BestCost is the incumbent recommendation's cost (0 until some
+	// configuration fits the budget).
+	BestCost float64 `json:"best_cost,omitempty"`
+	// BudgetBytes is the session's space budget (0 = unconstrained);
+	// BudgetGapBytes is SizeBytes − BudgetBytes (positive while the
+	// configuration is still over budget).
+	BudgetBytes    int64 `json:"budget_bytes,omitempty"`
+	BudgetGapBytes int64 `json:"budget_gap_bytes,omitempty"`
+	// Fits reports whether the configuration is within budget.
+	Fits bool `json:"fits"`
+	// Transformation names the relaxation step chosen this iteration
+	// (possibly several IDs joined by " + " under multi-transform);
+	// Penalty is its estimated ΔT/ΔS penalty.
+	Transformation string  `json:"transformation,omitempty"`
+	Penalty        float64 `json:"penalty,omitempty"`
+	// CandidatesPruned is the number of candidates the §3.6 skyline
+	// filter discarded at this iteration.
+	CandidatesPruned int `json:"candidates_pruned,omitempty"`
+	// PoolSize is the number of configurations in the search pool.
+	PoolSize int `json:"pool_size,omitempty"`
+	// Done marks the final event of a session.
+	Done bool `json:"done,omitempty"`
+	// ElapsedMillis is the session wall time at emission.
+	ElapsedMillis int64 `json:"elapsed_millis,omitempty"`
+}
+
+// Progress fans live search progress out to subscribers. It follows the
+// same nil-safety contract as Tracer and Profiler: a nil *Progress is a
+// valid no-op reporter, so the search hot loop pays exactly one pointer
+// comparison (and zero allocations) per iteration when progress
+// reporting is disabled.
+//
+// Delivery is non-blocking: each subscriber owns a bounded buffer and a
+// publisher that finds it full drops the oldest buffered event, so a
+// slow SSE client can never stall (or leak memory into) a tuning
+// session. All methods are safe for concurrent use.
+type Progress struct {
+	mu      sync.Mutex
+	seq     int64
+	nextSub int
+	subs    map[int]chan ProgressEvent
+	last    ProgressEvent
+	hasLast bool
+	session string
+	dropped int64
+}
+
+// NewProgress returns an empty progress reporter.
+func NewProgress() *Progress {
+	return &Progress{subs: map[int]chan ProgressEvent{}}
+}
+
+// Enabled reports whether Report records anything. Hot paths use it to
+// skip event construction entirely.
+func (p *Progress) Enabled() bool { return p != nil }
+
+// SetSession labels subsequent events with the given session ID (events
+// carrying their own Session keep it). Safe on a nil reporter.
+func (p *Progress) SetSession(id string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.session = id
+	p.mu.Unlock()
+}
+
+// Report publishes one event to every subscriber, stamping it with a
+// sequence number, timestamp, and the current session label. Never
+// blocks: full subscriber buffers drop their oldest event. Safe on a
+// nil reporter.
+func (p *Progress) Report(ev ProgressEvent) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.seq++
+	ev.Seq = p.seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	if ev.Session == "" {
+		ev.Session = p.session
+	}
+	p.last, p.hasLast = ev, true
+	for _, ch := range p.subs {
+		p.send(ch, ev)
+	}
+	p.mu.Unlock()
+}
+
+// send delivers without blocking: when the subscriber's buffer is full
+// the oldest buffered event is dropped to make room (the newest state
+// is always the most valuable one for a live view). Callers hold p.mu,
+// so only one goroutine ever sends on or drains a subscriber channel.
+func (p *Progress) send(ch chan ProgressEvent, ev ProgressEvent) {
+	select {
+	case ch <- ev:
+		return
+	default:
+	}
+	select {
+	case <-ch:
+		p.dropped++
+	default:
+		// The receiver drained the buffer between our two selects.
+	}
+	select {
+	case ch <- ev:
+	default:
+		p.dropped++
+	}
+}
+
+// Last returns the most recently published event, if any.
+func (p *Progress) Last() (ProgressEvent, bool) {
+	if p == nil {
+		return ProgressEvent{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last, p.hasLast
+}
+
+// Dropped is the total number of events discarded across all
+// subscribers because their buffers were full.
+func (p *Progress) Dropped() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Subscribers is the current subscriber count.
+func (p *Progress) Subscribers() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.subs)
+}
+
+// ProgressSubscription is one subscriber's view of the stream. Close it
+// when done; the channel is closed and the subscriber removed.
+type ProgressSubscription struct {
+	// C delivers events in publication order. It is closed by Close.
+	C <-chan ProgressEvent
+
+	p    *Progress
+	id   int
+	once sync.Once
+}
+
+// closedProgressCh backs subscriptions on a nil reporter: reads complete
+// immediately with ok=false, so range loops terminate.
+var closedProgressCh = func() chan ProgressEvent {
+	ch := make(chan ProgressEvent)
+	close(ch)
+	return ch
+}()
+
+// Subscribe registers a subscriber with the given buffer capacity
+// (minimum 1). The most recent event, if any, is pre-seeded so a late
+// joiner immediately sees the current state. Safe on a nil reporter
+// (returns a subscription whose channel is already closed).
+func (p *Progress) Subscribe(buf int) *ProgressSubscription {
+	if p == nil {
+		return &ProgressSubscription{C: closedProgressCh}
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan ProgressEvent, buf)
+	p.mu.Lock()
+	id := p.nextSub
+	p.nextSub++
+	p.subs[id] = ch
+	if p.hasLast {
+		ch <- p.last // fresh buffered channel: never blocks
+	}
+	p.mu.Unlock()
+	return &ProgressSubscription{C: ch, p: p, id: id}
+}
+
+// Close removes the subscriber and closes its channel. Idempotent.
+func (s *ProgressSubscription) Close() {
+	if s.p == nil {
+		return
+	}
+	s.once.Do(func() {
+		s.p.mu.Lock()
+		ch := s.p.subs[s.id]
+		delete(s.p.subs, s.id)
+		s.p.mu.Unlock()
+		// The publisher only sends while the subscriber is in the map
+		// (under p.mu), so closing after removal cannot race a send.
+		if ch != nil {
+			close(ch)
+		}
+	})
+}

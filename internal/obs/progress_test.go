@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestProgressNilIsNoOp(t *testing.T) {
+	var p *Progress
+	if p.Enabled() {
+		t.Fatal("nil Progress reports Enabled")
+	}
+	// Every method must be callable on nil.
+	p.SetSession("s-000001")
+	p.Report(ProgressEvent{Phase: "search"})
+	if _, ok := p.Last(); ok {
+		t.Fatal("nil Progress has a last event")
+	}
+	if p.Dropped() != 0 || p.Subscribers() != 0 {
+		t.Fatal("nil Progress has state")
+	}
+	sub := p.Subscribe(8)
+	if _, ok := <-sub.C; ok {
+		t.Fatal("nil-reporter subscription delivered an event")
+	}
+	sub.Close() // idempotent no-op
+}
+
+// TestProgressNilReportAllocates pins the acceptance criterion: the
+// disabled path adds zero allocations to the search hot loop. The hot
+// loop guards event construction with Enabled(), so the measured
+// operation is exactly what runs per iteration with progress off.
+func TestProgressNilReportAllocates(t *testing.T) {
+	var p *Progress
+	allocs := testing.AllocsPerRun(1000, func() {
+		if p.Enabled() {
+			p.Report(ProgressEvent{Phase: "search"})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-progress path allocates %.1f per iteration, want 0", allocs)
+	}
+}
+
+// BenchmarkProgressDisabled is the ReportAllocs form of the same
+// criterion, for trend tracking.
+func BenchmarkProgressDisabled(b *testing.B) {
+	var p *Progress
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if p.Enabled() {
+			p.Report(ProgressEvent{Phase: "search"})
+		}
+	}
+}
+
+func TestProgressStampsAndDelivers(t *testing.T) {
+	p := NewProgress()
+	p.SetSession("s-000042")
+	sub := p.Subscribe(4)
+	defer sub.Close()
+
+	p.Report(ProgressEvent{Phase: "initial", SizeBytes: 100, Cost: 9})
+	p.Report(ProgressEvent{Phase: "search", Iteration: 1, Session: "override"})
+
+	ev1 := <-sub.C
+	if ev1.Seq != 1 || ev1.Session != "s-000042" || ev1.Time.IsZero() {
+		t.Fatalf("first event not stamped: %+v", ev1)
+	}
+	ev2 := <-sub.C
+	if ev2.Seq != 2 || ev2.Session != "override" {
+		t.Fatalf("event-carried session not preserved: %+v", ev2)
+	}
+	if last, ok := p.Last(); !ok || last.Seq != 2 {
+		t.Fatalf("Last() = %+v, %v", last, ok)
+	}
+}
+
+// TestProgressLateSubscriberSeesLast checks a late joiner is seeded with
+// the current state instead of waiting for the next event.
+func TestProgressLateSubscriberSeesLast(t *testing.T) {
+	p := NewProgress()
+	p.Report(ProgressEvent{Phase: "search", Iteration: 7})
+	sub := p.Subscribe(1)
+	defer sub.Close()
+	ev := <-sub.C
+	if ev.Iteration != 7 {
+		t.Fatalf("late subscriber got %+v, want the last event", ev)
+	}
+}
+
+// TestProgressDropOldest checks the non-blocking contract: a full
+// subscriber buffer drops its oldest event, never stalls the publisher,
+// and the newest state survives.
+func TestProgressDropOldest(t *testing.T) {
+	p := NewProgress()
+	sub := p.Subscribe(2)
+	defer sub.Close()
+
+	for i := 1; i <= 10; i++ {
+		p.Report(ProgressEvent{Iteration: i})
+	}
+	if p.Dropped() == 0 {
+		t.Fatal("no events dropped despite a full buffer")
+	}
+	// The buffer holds the newest two events.
+	ev1, ev2 := <-sub.C, <-sub.C
+	if ev1.Iteration != 9 || ev2.Iteration != 10 {
+		t.Fatalf("buffer kept %d,%d; want the newest 9,10", ev1.Iteration, ev2.Iteration)
+	}
+}
+
+// TestProgressConcurrentPublishSubscribe hammers publish, subscribe,
+// drain, and close from many goroutines; run under -race this pins the
+// locking discipline (notably: close-after-map-removal cannot race a
+// publisher's send).
+func TestProgressConcurrentPublishSubscribe(t *testing.T) {
+	p := NewProgress()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			p.Report(ProgressEvent{Iteration: i})
+		}
+		close(stop)
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sub := p.Subscribe(4)
+				for n := 0; n < 3; n++ {
+					select {
+					case <-sub.C:
+					case <-stop:
+						sub.Close()
+						return
+					}
+				}
+				sub.Close()
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Subscribers() != 0 {
+		t.Fatalf("%d subscribers leaked", p.Subscribers())
+	}
+}
+
+func TestProgressSubscriptionCloseIdempotent(t *testing.T) {
+	p := NewProgress()
+	sub := p.Subscribe(1)
+	sub.Close()
+	sub.Close() // second close must not panic
+	if p.Subscribers() != 0 {
+		t.Fatalf("subscriber not removed")
+	}
+	// Publishing after close must not panic either.
+	p.Report(ProgressEvent{Iteration: 1})
+}

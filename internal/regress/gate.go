@@ -153,6 +153,19 @@ func gateScenario(base, c ScenarioResult, tol Tolerance) []Violation {
 		check("profile_coverage_pct", base.ProfileCoveragePct, c.ProfileCoveragePct, tol.CoverageFloorPct,
 			"profiler phases no longer account for the scenario's wall time")
 	}
+	// Flight-recorder lower bounds: these counters are deterministic for
+	// a fixed seed, and dropping to zero means the observability surface
+	// silently broke (frontier capture or session recording), which no
+	// upper-bound check would catch.
+	if base.FrontierPoints > 0 && c.FrontierPoints == 0 {
+		check("frontier_points", float64(base.FrontierPoints), 0, 1,
+			"the search no longer records its (space, cost) frontier trajectory")
+	}
+	if c.RecordedSessions < base.RecordedSessions {
+		check("recorded_sessions", float64(base.RecordedSessions), float64(c.RecordedSessions),
+			float64(base.RecordedSessions),
+			"the flight recorder retained fewer sessions than the baseline")
+	}
 	// The parallel evaluation engine must not run slower than the serial
 	// algorithm (ratio ≤ 1 + 5% noise slack). Only meaningful when the
 	// run actually had more than one worker; single-core runners record

@@ -34,6 +34,8 @@ func baselineBench() *Bench {
 				ImprovementPct:     59.9,
 				BoundViolations:    1,
 				ProfileCoveragePct: 99.9,
+				FrontierPoints:     6,
+				RecordedSessions:   2,
 			},
 		},
 	}
@@ -114,6 +116,35 @@ func TestGateNewBoundViolationsFail(t *testing.T) {
 	vs := Gate(base, cur, Tolerance{})
 	if len(vs) != 1 || vs[0].Metric != "bound_violations" {
 		t.Fatalf("want one bound_violations violation, got %v", vs)
+	}
+}
+
+// TestGateFlightRecorderLowerBounds: losing the frontier trajectory or
+// recorded sessions is a regression even though every other metric only
+// improves when observability silently turns off.
+func TestGateFlightRecorderLowerBounds(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	cur.Scenarios[1].FrontierPoints = 0
+
+	vs := Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Metric != "frontier_points" {
+		t.Fatalf("lost frontier not flagged: %v", vs)
+	}
+
+	cur = baselineBench()
+	cur.Scenarios[1].RecordedSessions = 1
+	vs = Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Metric != "recorded_sessions" {
+		t.Fatalf("lost session not flagged: %v", vs)
+	}
+
+	// A longer frontier or more sessions is not a violation.
+	cur = baselineBench()
+	cur.Scenarios[1].FrontierPoints = 9
+	cur.Scenarios[1].RecordedSessions = 3
+	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("growth flagged: %v", vs)
 	}
 }
 

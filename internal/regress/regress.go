@@ -23,7 +23,9 @@ import (
 
 // SchemaVersion identifies the BENCH_tuner.json layout. Bump it when a
 // field changes meaning; the gate refuses to compare across versions.
-const SchemaVersion = 1
+// v2 added the flight-recorder counters (frontier_points,
+// recorded_sessions).
+const SchemaVersion = 2
 
 // Bench is the schema-versioned payload written to BENCH_tuner.json.
 type Bench struct {
@@ -64,6 +66,13 @@ type ScenarioResult struct {
 	// ProfileCoveragePct is the share of scenario wall time attributed
 	// to named profiler phases (the self-observability health check).
 	ProfileCoveragePct float64 `json:"profile_coverage_pct"`
+	// FrontierPoints is the length of the recorded (space, cost) search
+	// trajectory — deterministic for a fixed seed, and zero exactly when
+	// frontier capture broke. RecordedSessions is the flight-recorder
+	// session count after the scenario (online-drift only: two retunes
+	// must record two sessions).
+	FrontierPoints   int `json:"frontier_points,omitempty"`
+	RecordedSessions int `json:"recorded_sessions,omitempty"`
 	// ParallelWorkers records the worker count of the scenario's parallel
 	// leg (parallel-speedup only; 1 on single-core runners where the
 	// speedup assertion is vacuous). ParallelWallRatio is the parallel
@@ -222,6 +231,7 @@ func runBatchFull(name string, db *catalog.Database, w *workloads.Workload, opts
 		ImprovementPct:     res.ImprovementPct(),
 		QualityGapPct:      qualityGap(res),
 		ProfileCoveragePct: rep.CoveragePct(),
+		FrontierPoints:     len(res.Frontier),
 	}
 	fillCalibration(&sr, res.Explain)
 	return sr, res, nil
@@ -333,6 +343,14 @@ func runOnlineDrift(cfg Config) (ScenarioResult, error) {
 		OptimizerCalls:     m.TuneOptimizerCalls,
 		ImprovementPct:     rec.ImprovementPct,
 		ProfileCoveragePct: rep.CoveragePct(),
+		RecordedSessions:   int(m.RecordedSessions),
+	}
+	// The warm retune's frontier, read back from the flight recorder —
+	// proves recording survives the full service path, not just core.
+	if sums := svc.Sessions(); len(sums) > 0 {
+		if last := svc.Session(sums[len(sums)-1].ID); last != nil {
+			sr.FrontierPoints = len(last.Frontier)
+		}
 	}
 	fillCalibration(&sr, svc.Explain())
 	return sr, nil

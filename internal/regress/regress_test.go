@@ -30,6 +30,9 @@ func TestBatchScenarioProducesFullRecord(t *testing.T) {
 	if sr.ProfileCoveragePct < 80 {
 		t.Errorf("profile coverage = %.1f%%, want ≥ 80%%", sr.ProfileCoveragePct)
 	}
+	if sr.FrontierPoints == 0 {
+		t.Error("no frontier points recorded: trajectory capture broke")
+	}
 }
 
 // TestScenarioRunsAreDeterministic re-runs the scenario and compares

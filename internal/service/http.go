@@ -3,9 +3,13 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ingestRequest is the POST /ingest payload.
@@ -13,6 +17,13 @@ type ingestRequest struct {
 	// Statements are observed SQL statements, one entry per execution
 	// (repeat a statement to weight it).
 	Statements []string `json:"statements"`
+}
+
+// retuneRequest is the optional POST /retune payload.
+type retuneRequest struct {
+	// BudgetMB overrides the space budget for this session only
+	// (fractional MB allowed; 0 = unconstrained).
+	BudgetMB *float64 `json:"budget_mb,omitempty"`
 }
 
 // errorResponse is the uniform JSON error shape.
@@ -26,6 +37,7 @@ type healthResponse struct {
 	Database      string  `json:"database"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	HasRec        bool    `json:"has_recommendation"`
+	Sessions      int     `json:"sessions"`
 }
 
 // retuneResponse wraps POST /retune results.
@@ -33,18 +45,37 @@ type retuneResponse struct {
 	Recommendation *Recommendation `json:"recommendation"`
 }
 
+// sessionsResponse wraps GET /sessions.
+type sessionsResponse struct {
+	Sessions []obs.SessionSummary `json:"sessions"`
+}
+
 // NewHandler exposes the service over HTTP/JSON:
 //
 //	POST /ingest          {"statements": ["SELECT ...", ...]}
-//	GET  /recommendation  current advice (404 before the first retune)
+//	GET  /recommendation  current advice (503 + Retry-After before the
+//	                      first retune)
 //	GET  /explain         per-structure decision log of the last retune
 //	GET  /profile         per-phase performance profile across retunes
 //	                      (JSON by default; ?format=text for a table)
-//	POST /retune          tune the current window synchronously
+//	POST /retune          tune the current window synchronously; the
+//	                      optional body {"budget_mb": N} overrides the
+//	                      space budget for this session only
+//	GET  /progress        live per-iteration search events over SSE
+//	                      (?timeout=30s and ?max=N bound the stream)
+//	GET  /sessions        flight-recorder history (newest last)
+//	GET  /sessions/{id}   one recorded session in full
+//	GET  /diff            structural delta between two recorded sessions
+//	                      (?from=&to=; defaults to the two most recent)
 //	GET  /metrics         activity counters (JSON by default; Prometheus
 //	                      text when the Accept header asks for text/plain
 //	                      or ?format=prometheus)
 //	GET  /healthz         liveness
+//
+// Read endpoints that depend on a completed retune (/recommendation,
+// /explain, /profile, /diff) answer 503 with a Retry-After header and a
+// JSON error body until the data exists — "not ready yet" rather than
+// 404's "no such resource".
 func NewHandler(s *Service) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
@@ -65,14 +96,25 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /recommendation", func(w http.ResponseWriter, r *http.Request) {
 		rec := s.Recommendation()
 		if rec == nil {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: "no recommendation yet; ingest a workload and POST /retune"})
+			writeNoData(w, "no recommendation yet; ingest a workload and POST /retune")
 			return
 		}
 		writeJSON(w, http.StatusOK, rec)
 	})
 
 	mux.HandleFunc("POST /retune", func(w http.ResponseWriter, r *http.Request) {
-		rec, err := s.Retune()
+		var req retuneRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+			return
+		}
+		var rec *Recommendation
+		var err error
+		if req.BudgetMB != nil {
+			rec, err = s.RetuneWithBudget(int64(*req.BudgetMB * (1 << 20)))
+		} else {
+			rec, err = s.Retune()
+		}
 		if err != nil {
 			status := http.StatusInternalServerError
 			if errors.Is(err, ErrEmptyWindow) {
@@ -92,13 +134,17 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /explain", func(w http.ResponseWriter, r *http.Request) {
 		rep := s.Explain()
 		if rep == nil {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: "no explain report yet; ingest a workload and POST /retune"})
+			writeNoData(w, "no explain report yet; ingest a workload and POST /retune")
 			return
 		}
 		writeJSON(w, http.StatusOK, rep)
 	})
 
 	mux.HandleFunc("GET /profile", func(w http.ResponseWriter, r *http.Request) {
+		if s.metrics.retunes.Load() == 0 {
+			writeNoData(w, "no profile yet; ingest a workload and POST /retune")
+			return
+		}
 		rep := s.Profile()
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -106,6 +152,41 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, rep)
+	})
+
+	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, r *http.Request) {
+		serveProgress(s, w, r)
+	})
+
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		sums := s.Sessions()
+		if sums == nil {
+			sums = []obs.SessionSummary{} // an empty history is data, not an error
+		}
+		writeJSON(w, http.StatusOK, sessionsResponse{Sessions: sums})
+	})
+
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		rec := s.Session(r.PathValue("id"))
+		if rec == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session " + r.PathValue("id")})
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+
+	mux.HandleFunc("GET /diff", func(w http.ResponseWriter, r *http.Request) {
+		from, to := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+		if (from == "" || to == "") && s.recorder.Len() < 2 {
+			writeNoData(w, "diff needs two recorded sessions; POST /retune twice")
+			return
+		}
+		diff, err := s.DiffSessions(from, to)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, diff)
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -124,10 +205,93 @@ func NewHandler(s *Service) http.Handler {
 			Database:      s.db.Name,
 			UptimeSeconds: time.Since(start).Seconds(),
 			HasRec:        s.Recommendation() != nil,
+			Sessions:      s.recorder.Len(),
 		})
 	})
 
 	return mux
+}
+
+// progressSubscribeBuf is each SSE client's event buffer; a client
+// slower than the search drops its oldest events rather than stalling
+// the publisher (see obs.Progress).
+const progressSubscribeBuf = 256
+
+// serveProgress streams live search progress as Server-Sent Events: one
+// `event: progress` frame per relaxation iteration, each carrying the
+// obs.ProgressEvent JSON and its sequence number as the SSE id. The
+// stream ends when the client disconnects, after ?timeout= (a Go
+// duration), or after ?max= events — the bounds make the endpoint
+// usable from curl and CI without a watchdog.
+func serveProgress(s *Service, w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "streaming unsupported by this connection"})
+		return
+	}
+	var timeout <-chan time.Time
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid timeout: " + v})
+			return
+		}
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	maxEvents := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &maxEvents); err != nil || maxEvents <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid max: " + v})
+			return
+		}
+	}
+
+	sub := s.Progress().Subscribe(progressSubscribeBuf)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sent := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-timeout:
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: progress\nid: %d\ndata: %s\n\n", ev.Seq, data); err != nil {
+				return
+			}
+			flusher.Flush()
+			sent++
+			if maxEvents > 0 && sent >= maxEvents {
+				return
+			}
+		}
+	}
+}
+
+// writeNoData is the uniform "no data yet" answer of read endpoints
+// whose payload only exists after a completed retune: 503 with a
+// Retry-After hint, so clients and load balancers treat it as
+// "not ready", never as "no such route".
+func writeNoData(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "5")
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: msg})
 }
 
 // wantsPrometheus decides the /metrics representation: the text

@@ -73,9 +73,28 @@ func TestTunerdEndToEnd(t *testing.T) {
 		t.Fatalf("healthz: %+v", health)
 	}
 
-	// No recommendation yet.
-	if code := getJSON(t, srv.URL+"/recommendation", nil); code != http.StatusNotFound {
-		t.Fatalf("recommendation before retune: status %d, want 404", code)
+	// No recommendation yet: 503 "not ready" with a Retry-After hint,
+	// never 404's "no such route".
+	resp0, err := http.Get(srv.URL + "/recommendation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("recommendation before retune: status %d, want 503", resp0.StatusCode)
+	}
+	if resp0.Header.Get("Retry-After") == "" {
+		t.Fatalf("503 answer missing Retry-After header")
+	}
+	for _, path := range []string{"/explain", "/profile", "/diff"} {
+		if code := getJSON(t, srv.URL+path, nil); code != http.StatusServiceUnavailable {
+			t.Fatalf("%s before retune: status %d, want 503", path, code)
+		}
+	}
+	// An empty session history is data, not an error.
+	var sess sessionsResponse
+	if code := getJSON(t, srv.URL+"/sessions", &sess); code != http.StatusOK || len(sess.Sessions) != 0 {
+		t.Fatalf("empty /sessions: status %d, %+v", code, sess)
 	}
 	// Retuning an empty window is a conflict, not a crash.
 	if code := postJSON(t, srv.URL+"/retune", struct{}{}, nil); code != http.StatusConflict {

@@ -103,6 +103,13 @@ type MetricsSnapshot struct {
 	CacheHits           int64 `json:"cache_hits"`
 	OptimizerCallsSaved int64 `json:"optimizer_calls_saved"`
 	OptimizerCallsSpent int64 `json:"optimizer_calls_spent"`
+
+	// Flight-recorder state: sessions retained in the history store,
+	// live /progress subscribers, and events dropped because a slow
+	// subscriber's buffer was full.
+	RecordedSessions    int64 `json:"recorded_sessions"`
+	ProgressSubscribers int64 `json:"progress_subscribers,omitempty"`
+	ProgressDropped     int64 `json:"progress_events_dropped,omitempty"`
 }
 
 // serviceGauges mirrors the service-level counters into the Prometheus
@@ -116,9 +123,11 @@ type serviceGauges struct {
 	retunes        *obs.Gauge
 	warmRetunes    *obs.Gauge
 	driftEvents    *obs.Gauge
-	cacheEntries    *obs.Gauge
-	lastRetuneUnix  *obs.Gauge
-	parallelWorkers *obs.Gauge
+	cacheEntries     *obs.Gauge
+	lastRetuneUnix   *obs.Gauge
+	parallelWorkers  *obs.Gauge
+	recordedSessions *obs.Gauge
+	progressDropped  *obs.Gauge
 }
 
 func newServiceGauges(reg *obs.Registry) *serviceGauges {
@@ -131,8 +140,10 @@ func newServiceGauges(reg *obs.Registry) *serviceGauges {
 		warmRetunes:    reg.NewGauge("tuner_warm_retunes", "Tuning sessions that warm-started from the previous recommendation."),
 		driftEvents:    reg.NewGauge("tuner_drift_events", "Drift detections since start."),
 		cacheEntries:   reg.NewGauge("tuner_fragment_cache_entries", "Entries in the per-statement optimal-fragment cache."),
-		lastRetuneUnix:  reg.NewGauge("tuner_last_retune_unix", "Unix timestamp of the last successful retune (0 = none)."),
-		parallelWorkers: reg.NewGauge("tuner_parallel_workers", "Worker count of the last retune's parallel evaluation engine (1 = serial)."),
+		lastRetuneUnix:   reg.NewGauge("tuner_last_retune_unix", "Unix timestamp of the last successful retune (0 = none)."),
+		parallelWorkers:  reg.NewGauge("tuner_parallel_workers", "Worker count of the last retune's parallel evaluation engine (1 = serial)."),
+		recordedSessions: reg.NewGauge("tuner_recorded_sessions", "Tuning sessions retained by the flight recorder."),
+		progressDropped:  reg.NewGauge("tuner_progress_events_dropped", "Live progress events dropped because a subscriber's buffer was full."),
 	}
 }
 
@@ -147,4 +158,6 @@ func (g *serviceGauges) update(snap MetricsSnapshot) {
 	g.cacheEntries.Set(float64(snap.CacheEntries))
 	g.lastRetuneUnix.Set(float64(snap.LastRetuneUnix))
 	g.parallelWorkers.Set(float64(snap.ParallelWorkers))
+	g.recordedSessions.Set(float64(snap.RecordedSessions))
+	g.progressDropped.Set(float64(snap.ProgressDropped))
 }

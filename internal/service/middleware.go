@@ -24,6 +24,15 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Flush forwards http.Flusher, so streaming endpoints (the /progress
+// SSE stream) keep working behind the access-log wrapper; without it
+// the type assertion in serveProgress would see only statusRecorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // AccessLog wraps next with structured request logging: one line per
 // request with method, path, status, duration, and remote address.
 func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {

@@ -46,6 +46,14 @@ type Options struct {
 	AutoRetune bool
 	// Logf receives service log lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Warnf receives alertable conditions — §3.3.2 calibration bound
+	// violations and workload drift (nil = fall back to Logf).
+	Warnf func(format string, args ...any)
+	// Recorder is the session flight recorder retunes append to. nil
+	// gives the service a private in-memory recorder (history is lost on
+	// restart); pass a JSONL-backed obs.Recorder to persist it. The
+	// service owns the recorder from then on and closes it on Close.
+	Recorder *obs.Recorder
 	// TraceSink, when set, receives the full span/event telemetry of
 	// every tuning session (in addition to the Prometheus metrics the
 	// service always derives from the same events).
@@ -100,6 +108,11 @@ type Service struct {
 	// every retune; GET /profile renders its snapshot and each
 	// observation also feeds tunerMetrics.PhaseDuration.
 	profiler *obs.Profiler
+	// recorder is the session flight recorder (history + /sessions +
+	// /diff); progress fans live per-iteration search events out to
+	// /progress subscribers.
+	recorder *obs.Recorder
+	progress *obs.Progress
 
 	// mu guards the recommendation state, drift baseline, and the
 	// drift-probe optimizer + per-statement cost cache.
@@ -127,6 +140,10 @@ func New(opts Options) (*Service, error) {
 		return nil, errors.New("service: Options.DB is required")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	recorder := opts.Recorder
+	if recorder == nil {
+		recorder, _ = obs.NewRecorder("", 0) // memory-only never errors
+	}
 	promReg := obs.NewRegistry()
 	tm := obs.NewTunerMetricsWith(promReg, opts.MetricsBuckets)
 	gauges := newServiceGauges(promReg)
@@ -144,6 +161,8 @@ func New(opts Options) (*Service, error) {
 		promGauges:   gauges,
 		trace:        obs.NewTracer(obs.MultiSink(tm.Sink(), opts.TraceSink)),
 		profiler:     profiler,
+		recorder:     recorder,
+		progress:     obs.NewProgress(),
 		costCache:    map[string]float64{},
 		driftOpt:     optimizer.New(opts.DB),
 		ctx:          ctx,
@@ -163,6 +182,15 @@ func (s *Service) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
 		s.opts.Logf(format, args...)
 	}
+}
+
+// warnf routes alertable conditions to Warnf, falling back to Logf.
+func (s *Service) warnf(format string, args ...any) {
+	if s.opts.Warnf != nil {
+		s.opts.Warnf(format, args...)
+		return
+	}
+	s.logf(format, args...)
 }
 
 // IngestResult summarizes one ingestion batch.
@@ -233,7 +261,7 @@ func (s *Service) CheckDrift() DriftReport {
 	rep := assess(s.opts.Drift, baseline, cur, int64(st.InWindow))
 	if rep.Drifted {
 		s.metrics.driftEvents.Add(1)
-		s.logf("service: drift detected: %s", rep.Reason)
+		s.warnf("service: drift detected: %s", rep.Reason)
 		if s.opts.AutoRetune {
 			s.TriggerRetune()
 		}
@@ -289,6 +317,17 @@ func (s *Service) TriggerRetune() {
 // warm-start from the previous recommendation and reuse cached fragments
 // for every statement already seen.
 func (s *Service) Retune() (*Recommendation, error) {
+	return s.retune("manual", 0, false)
+}
+
+// RetuneWithBudget retunes with a one-off space budget override
+// (budget <= 0 = unconstrained for this session). The override applies
+// to this session only; later retunes revert to the configured budget.
+func (s *Service) RetuneWithBudget(budget int64) (*Recommendation, error) {
+	return s.retune("manual", budget, true)
+}
+
+func (s *Service) retune(trigger string, budget int64, overrideBudget bool) (*Recommendation, error) {
 	s.tuneMu.Lock()
 	defer s.tuneMu.Unlock()
 
@@ -301,6 +340,10 @@ func (s *Service) Retune() (*Recommendation, error) {
 	opts.Cache = s.cache
 	opts.Trace = s.trace
 	opts.Profile = s.profiler
+	opts.Progress = s.progress
+	if overrideBudget {
+		opts.SpaceBudget = budget
+	}
 	s.mu.Lock()
 	prev := s.rec
 	s.mu.Unlock()
@@ -308,6 +351,10 @@ func (s *Service) Retune() (*Recommendation, error) {
 	if warm {
 		opts.WarmStart = prev.Config
 	}
+
+	sessionID := s.recorder.NewSessionID()
+	s.progress.SetSession(sessionID)
+	startedAt := time.Now()
 
 	t, err := core.NewTuner(s.db, snap, opts)
 	if err != nil {
@@ -340,6 +387,15 @@ func (s *Service) Retune() (*Recommendation, error) {
 		rec.Views = append(rec.Views, v.Name+" := "+v.SQL())
 	}
 
+	session := buildSessionRecord(sessionID, trigger, startedAt, warm, t, snap, res, opts.SpaceBudget)
+	if err := s.recorder.Record(session); err != nil {
+		s.warnf("service: flight recorder: %v", err)
+	}
+	if cal := session.Calibration; cal != nil && cal.BoundViolations > 0 {
+		s.warnf("service: session %s: %d §3.3.2 ΔT bound violation(s) across %d samples (mean tightness %.3g) — penalty ranking may be misled",
+			sessionID, cal.BoundViolations, cal.Samples, cal.MeanTightness)
+	}
+
 	s.metrics.retunes.Add(1)
 	if warm {
 		s.metrics.warmRetunes.Add(1)
@@ -368,8 +424,8 @@ func (s *Service) Retune() (*Recommendation, error) {
 	}
 	s.mu.Unlock()
 
-	s.logf("service: retuned %d statements (warm=%v): cost %.1f -> %.1f (%.1f%%), %d optimizer calls",
-		rec.Statements, warm, rec.InitialCost, rec.Cost, rec.ImprovementPct, rec.OptimizerCalls)
+	s.logf("service: session %s retuned %d statements (trigger=%s warm=%v): cost %.1f -> %.1f (%.1f%%), %d optimizer calls",
+		sessionID, rec.Statements, trigger, warm, rec.InitialCost, rec.Cost, rec.ImprovementPct, rec.OptimizerCalls)
 	return rec, nil
 }
 
@@ -408,6 +464,10 @@ func (s *Service) MetricsSnapshot() MetricsSnapshot {
 		CacheHits:           cs.Hits,
 		OptimizerCallsSaved: cs.CallsSaved,
 		OptimizerCallsSpent: cs.CallsSpent,
+
+		RecordedSessions:    int64(s.recorder.Len()),
+		ProgressSubscribers: int64(s.progress.Subscribers()),
+		ProgressDropped:     s.progress.Dropped(),
 	}
 }
 
@@ -439,7 +499,7 @@ func (s *Service) retuneWorker() {
 		case <-s.ctx.Done():
 			return
 		case <-s.retuneCh:
-			if _, err := s.Retune(); err != nil {
+			if _, err := s.retune("auto", 0, false); err != nil {
 				s.logf("service: async retune failed: %v", err)
 			}
 		}
@@ -467,7 +527,8 @@ func (s *Service) Close() error {
 	s.closeOnce.Do(func() {
 		s.cancel()
 		s.wg.Wait()
-		_ = s.trace.Close() // flushes the TraceSink, if any
+		_ = s.trace.Close()    // flushes the TraceSink, if any
+		_ = s.recorder.Close() // flushes the session history file, if any
 	})
 	return nil
 }

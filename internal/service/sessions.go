@@ -1,0 +1,173 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// Sessions returns the flight recorder's retained session summaries,
+// oldest first.
+func (s *Service) Sessions() []obs.SessionSummary { return s.recorder.Summaries() }
+
+// Session returns one recorded session in full, or nil.
+func (s *Service) Session(id string) *obs.SessionRecord { return s.recorder.Get(id) }
+
+// DiffSessions structurally compares two recorded sessions. Empty IDs
+// default to the two most recent sessions (from = second newest, to =
+// newest). Returns an error when fewer than two sessions exist or an ID
+// is unknown.
+func (s *Service) DiffSessions(fromID, toID string) (*obs.SessionDiff, error) {
+	recs := s.recorder.Sessions()
+	if fromID == "" || toID == "" {
+		if len(recs) < 2 {
+			return nil, fmt.Errorf("service: diff needs two recorded sessions, have %d", len(recs))
+		}
+		if fromID == "" {
+			fromID = recs[len(recs)-2].ID
+		}
+		if toID == "" {
+			toID = recs[len(recs)-1].ID
+		}
+	}
+	from := s.recorder.Get(fromID)
+	if from == nil {
+		return nil, fmt.Errorf("service: unknown session %q", fromID)
+	}
+	to := s.recorder.Get(toID)
+	if to == nil {
+		return nil, fmt.Errorf("service: unknown session %q", toID)
+	}
+	return obs.DiffSessions(from, to), nil
+}
+
+// Progress exposes the live progress reporter retunes publish to;
+// subscribe to watch an in-flight search.
+func (s *Service) Progress() *obs.Progress { return s.progress }
+
+// buildSessionRecord assembles the flight-recorder entry for one
+// completed tuning session.
+func buildSessionRecord(id, trigger string, startedAt time.Time, warm bool,
+	t *core.Tuner, snap *workloads.Workload, res *core.Result, budget int64) *obs.SessionRecord {
+	rec := &obs.SessionRecord{
+		ID:               id,
+		StartedAt:        startedAt.UTC(),
+		FinishedAt:       startedAt.Add(res.Elapsed).UTC(),
+		Trigger:          trigger,
+		WarmStart:        warm,
+		Statements:       len(snap.Queries),
+		TotalWeight:      snap.TotalWeight(),
+		SpaceBudgetBytes: budget,
+		InitialCost:      res.Initial.Cost,
+		OptimalCost:      res.Optimal.Cost,
+		Cost:             res.Best.Cost,
+		ImprovementPct:   res.ImprovementPct(),
+		SizeBytes:        res.Best.SizeBytes,
+		Iterations:       res.Iterations,
+		OptimizerCalls:   res.OptimizerCalls,
+		ElapsedMillis:    res.Elapsed.Milliseconds(),
+		ParallelWorkers:  res.ParallelWorkers,
+		Structures:       recordStructures(t, snap, res),
+		Frontier:         recordFrontier(res.Frontier),
+	}
+	if res.Explain != nil {
+		rec.Explain = explainDigest(res.Explain)
+		if cal := res.Explain.Calibration; cal != nil {
+			rec.Calibration = &obs.CalibrationDigest{
+				Samples:         cal.Overall.Samples,
+				MeanTightness:   cal.Overall.MeanRatio,
+				RankCorrelation: cal.Overall.RankCorrelation,
+				BoundViolations: cal.Overall.BoundViolations,
+			}
+		}
+	}
+	return rec
+}
+
+// recordStructures lists the recommendation's indexes and views with
+// per-structure size and the weighted workload cost riding on each
+// (the sum of the weighted costs of statements whose plan reads it).
+func recordStructures(t *core.Tuner, snap *workloads.Workload, res *core.Result) []obs.StructureRecord {
+	cfg := res.Best.Config
+	sizer := t.Opt.Sizer()
+
+	// Weighted cost share per structure, from the final plans.
+	ixShare := map[string]float64{}
+	viewShare := map[string]float64{}
+	for i, qr := range res.Best.Results {
+		if qr.Plan == nil || i >= len(snap.Queries) {
+			continue
+		}
+		wcost := snap.Queries[i].Weight * qr.TotalCost()
+		for _, id := range qr.Plan.UsedIndexIDs() {
+			ixShare[id] += wcost
+		}
+		for _, vn := range qr.Plan.UsedViews {
+			viewShare[vn] += wcost
+		}
+	}
+
+	var out []obs.StructureRecord
+	views := map[string]bool{}
+	for _, v := range cfg.Views() {
+		views[v.Name] = true
+		out = append(out, obs.StructureRecord{
+			ID: v.Name, Kind: "view", CostShare: viewShare[v.Name],
+		})
+	}
+	for _, ix := range cfg.Indexes() {
+		size := sizer.IndexBytes(ix, cfg)
+		if views[ix.Table] {
+			// A view's indexes store the view's rows; fold their size
+			// into the view entry so the diff reports the view once.
+			for j := range out {
+				if out[j].Kind == "view" && out[j].ID == ix.Table {
+					out[j].SizeBytes += size
+					break
+				}
+			}
+			continue
+		}
+		out = append(out, obs.StructureRecord{
+			ID: ix.ID(), Kind: "index", SizeBytes: size,
+			CostShare: ixShare[ix.ID()], Required: ix.Required,
+		})
+	}
+	return out
+}
+
+// recordFrontier mirrors the core frontier into the obs persistence
+// type (obs cannot import core).
+func recordFrontier(frontier []core.FrontierPoint) []obs.FrontierSample {
+	out := make([]obs.FrontierSample, len(frontier))
+	for i, fp := range frontier {
+		out[i] = obs.FrontierSample{
+			Iteration:      fp.Iteration,
+			SizeBytes:      fp.SizeBytes,
+			Cost:           fp.Cost,
+			Fits:           fp.Fits,
+			Transformation: fp.Transformation,
+			Penalty:        fp.Penalty,
+		}
+	}
+	return out
+}
+
+// explainDigest compresses an explain report to its recorded footprint.
+func explainDigest(rep *core.ExplainReport) *obs.ExplainDigest {
+	d := &obs.ExplainDigest{
+		Source: rep.Source,
+		Winner: rep.Winner,
+		Steps:  rep.Steps,
+	}
+	if len(rep.Structures) > 0 {
+		d.Outcomes = map[string]int{}
+		for _, sd := range rep.Structures {
+			d.Outcomes[sd.Outcome]++
+		}
+	}
+	return d
+}

@@ -205,6 +205,28 @@ type (
 	CalibSample = obs.CalibSample
 	// WhatIfEconomy aggregates a session's optimizer-call economy.
 	WhatIfEconomy = obs.WhatIfEconomy
+
+	// Progress fans live per-iteration search events out to subscribers;
+	// set Options.Progress to watch a session as it runs. A nil Progress
+	// is a valid no-op.
+	Progress = obs.Progress
+	// ProgressEvent is one live frontier observation of the search.
+	ProgressEvent = obs.ProgressEvent
+	// ProgressSubscription is one subscriber's view of a Progress stream.
+	ProgressSubscription = obs.ProgressSubscription
+	// Recorder is the bounded, optionally JSONL-persisted session
+	// history store (the flight recorder).
+	Recorder = obs.Recorder
+	// SessionRecord is one recorded tuning session.
+	SessionRecord = obs.SessionRecord
+	// SessionSummary is the list-view projection of a SessionRecord.
+	SessionSummary = obs.SessionSummary
+	// SessionDiff is the structural delta between two recorded sessions.
+	SessionDiff = obs.SessionDiff
+	// StructureDelta is one structure's fate within a SessionDiff.
+	StructureDelta = obs.StructureDelta
+	// FrontierSample is the persisted form of a FrontierPoint.
+	FrontierSample = obs.FrontierSample
 )
 
 // NewTracer builds a tracer over sink (nil sink = disabled tracer).
@@ -235,6 +257,20 @@ func NewTunerMetricsWith(reg *MetricsRegistry, buckets TunerMetricsBuckets) *Tun
 // NewProfiler returns an empty phase profiler; set it as
 // Options.Profile and call Snapshot after tuning.
 func NewProfiler() *Profiler { return obs.NewProfiler() }
+
+// NewProgress returns an empty live-progress reporter; set it as
+// Options.Progress and Subscribe to watch the search frontier unfold.
+func NewProgress() *Progress { return obs.NewProgress() }
+
+// NewRecorder opens (or creates) a session flight recorder. path == ""
+// keeps the history in memory; limit <= 0 keeps the newest 256 sessions.
+func NewRecorder(path string, limit int) (*Recorder, error) {
+	return obs.NewRecorder(path, limit)
+}
+
+// DiffSessions structurally compares two recorded sessions: structures
+// added/removed/changed plus aggregate cost/space/budget deltas.
+func DiffSessions(from, to *SessionRecord) *SessionDiff { return obs.DiffSessions(from, to) }
 
 // Calibrate scores est-vs-realized ΔT pairs (Result.CalibSamples) into
 // a calibration report. Tune already attaches one to Result.Explain;
