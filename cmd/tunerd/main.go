@@ -36,6 +36,24 @@
 //	curl -s localhost:8347/sessions
 //	curl -s 'localhost:8347/diff?from=s-000001&to=s-000002'
 //	curl -s -H 'Accept: text/plain' localhost:8347/metrics
+//
+// Fleet mode (-fleet) turns the daemon multi-tenant: tenants register at
+// runtime and each gets the full API above scoped under its own prefix,
+// while retunes run on a shared worker pool and per-statement caches are
+// shared across tenants with identical catalogs:
+//
+//	tunerd -fleet -fleet-workers 4 -quota-rate 500
+//
+//	POST   /tenants                register {"id": "t1", "database": "tpch", ...}
+//	GET    /tenants                list tenants with live status
+//	GET    /tenants/{id}           one tenant's status
+//	DELETE /tenants/{id}           deregister (drains its retune first)
+//	ANY    /tenants/{id}/...       the single-tenant API, tenant-scoped
+//	                               (ingest is quota-gated: 429 + Retry-After)
+//	GET    /fleet                  fleet-wide status snapshot
+//	GET    /metrics                fleet counters + per-tenant series with a
+//	                               tenant label (Prometheus) or per-tenant
+//	                               snapshots (JSON)
 package main
 
 import (
@@ -55,6 +73,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/workloads"
@@ -88,6 +107,12 @@ func main() {
 
 		historyPath  = flag.String("history", "", "persist the session flight recorder to this JSONL file (empty = in-memory only)")
 		historyLimit = flag.Int("history-limit", 0, "sessions retained by the flight recorder (0 = default 256)")
+
+		fleetMode    = flag.Bool("fleet", false, "serve a multi-tenant fleet (tenants register via POST /tenants; -db/-sf become per-tenant)")
+		fleetWorkers = flag.Int("fleet-workers", 0, "retune worker pool size in fleet mode (0 = half of GOMAXPROCS)")
+		quotaRate    = flag.Float64("quota-rate", 0, "default per-tenant ingestion quota in statements/sec (0 = unlimited)")
+		quotaBurst   = flag.Int("quota-burst", 0, "default per-tenant ingestion burst (0 = ceil of -quota-rate)")
+		costCacheCap = flag.Int("cost-cache-cap", 0, "shared cross-tenant what-if cost cache capacity in fleet mode (0 = default)")
 	)
 	flag.Parse()
 
@@ -101,25 +126,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	db, err := database(*dbName, *sf)
-	if err != nil {
-		fatal("tunerd: bad -db", err)
-	}
-
 	var buckets obs.TunerMetricsBuckets
 	if buckets.RetuneDuration, err = parseBuckets(*retuneBuckets); err != nil {
 		fatal("tunerd: bad -retune-buckets", err)
 	}
 	if buckets.PhaseDuration, err = parseBuckets(*phaseBuckets); err != nil {
 		fatal("tunerd: bad -phase-buckets", err)
-	}
-
-	recorder, err := obs.NewRecorder(*historyPath, *historyLimit)
-	if err != nil {
-		fatal("tunerd: opening -history", err)
-	}
-	if *historyPath != "" {
-		logger.Info("tunerd: session history", "path", *historyPath, "loaded", recorder.Len())
 	}
 
 	var traceSink obs.Sink
@@ -132,8 +144,9 @@ func main() {
 		logger.Info("tunerd: tracing retunes", "path", *tracePath)
 	}
 
-	svc, err := service.New(service.Options{
-		DB: db,
+	// baseOpts is the single-tenant configuration and, in fleet mode,
+	// the template every registered tenant starts from.
+	baseOpts := service.Options{
 		Tuning: core.Options{
 			SpaceBudget:   int64(*budgetMB * (1 << 20)),
 			NoViews:       !*views,
@@ -159,17 +172,60 @@ func main() {
 		Warnf: func(format string, args ...any) {
 			logger.Warn(fmt.Sprintf(format, args...))
 		},
-		Recorder:       recorder,
 		TraceSink:      traceSink,
 		MetricsBuckets: buckets,
-	})
-	if err != nil {
-		fatal("tunerd: starting service", err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.AccessLog(logger, service.NewHandler(svc))}
+	var (
+		handler  http.Handler
+		shutdown func() error
+	)
+	if *fleetMode {
+		if *historyPath != "" {
+			logger.Warn("tunerd: -history is ignored in fleet mode; tenant histories are in-memory")
+		}
+		reg, err := fleet.New(fleet.Options{
+			Workers:           *fleetWorkers,
+			Catalog:           database,
+			Defaults:          baseOpts,
+			DefaultQuota:      fleet.QuotaSpec{RatePerSec: *quotaRate, Burst: *quotaBurst},
+			CostCacheCapacity: *costCacheCap,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			fatal("tunerd: starting fleet", err)
+		}
+		handler = fleet.NewHandler(reg)
+		shutdown = reg.Close
+		logger.Info("tunerd: fleet mode", "workers", reg.Pool().Workers(), "quota_rate", *quotaRate)
+	} else {
+		db, err := database(*dbName, *sf)
+		if err != nil {
+			fatal("tunerd: bad -db", err)
+		}
+		recorder, err := obs.NewRecorder(*historyPath, *historyLimit)
+		if err != nil {
+			fatal("tunerd: opening -history", err)
+		}
+		if *historyPath != "" {
+			logger.Info("tunerd: session history", "path", *historyPath, "loaded", recorder.Len())
+		}
+		baseOpts.DB = db
+		baseOpts.Recorder = recorder
+		svc, err := service.New(baseOpts)
+		if err != nil {
+			fatal("tunerd: starting service", err)
+		}
+		handler = service.NewHandler(svc)
+		shutdown = svc.Close
+		logger.Info("tunerd: single-tenant mode", "db", db.Name, "sf", *sf)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.AccessLog(logger, handler)}
 	go func() {
-		logger.Info("tunerd: serving", "db", db.Name, "sf", *sf, "addr", *addr)
+		logger.Info("tunerd: serving", "addr", *addr, "fleet", *fleetMode)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal("tunerd: listen", err)
 		}
@@ -200,7 +256,7 @@ func main() {
 	if debugSrv != nil {
 		_ = debugSrv.Shutdown(ctx)
 	}
-	if err := svc.Close(); err != nil {
+	if err := shutdown(); err != nil {
 		logger.Error("tunerd: service close", "error", err)
 	}
 	logger.Info("tunerd: bye")

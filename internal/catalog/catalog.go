@@ -142,6 +142,11 @@ type Database struct {
 	Name   string
 	tables map[string]*Table
 	order  []string
+
+	// fpState lazily caches the schema+stats fingerprint (see
+	// fingerprint.go). Build the catalog fully before the first
+	// Fingerprint call.
+	fpState fingerprintState
 }
 
 // NewDatabase returns an empty database.

@@ -224,7 +224,7 @@ func (t *Tuner) optimalConfiguration() (*physical.Configuration, error) {
 		var frag *physical.Configuration
 		cached := false
 		if cache != nil {
-			if hit, ok := cache.lookup(t.cacheKey(tq)); ok {
+			if hit, ok := cache.lookup(t.cacheKey(tq), t.Options.CacheOrigin); ok {
 				frag = hit
 				cached = true
 			}
@@ -240,7 +240,7 @@ func (t *Tuner) optimalConfiguration() (*physical.Configuration, error) {
 			}
 			frag = f
 			if cache != nil {
-				cache.store(t.cacheKey(tq), f, t.Opt.Stats().OptimizeCalls-before)
+				cache.store(t.cacheKey(tq), f, t.Opt.Stats().OptimizeCalls-before, t.Options.CacheOrigin)
 			}
 		}
 		if trace.Enabled() {

@@ -371,7 +371,7 @@ func (t *Tuner) optimalConfigurationParallel(workers int) (*physical.Configurati
 				}
 				tq := t.Queries[i]
 				if cache != nil {
-					if hit, ok := cache.lookup(t.cacheKey(tq)); ok {
+					if hit, ok := cache.lookup(t.cacheKey(tq), t.Options.CacheOrigin); ok {
 						outs[i] = fragOut{frag: hit, cached: true}
 						continue
 					}
@@ -383,7 +383,7 @@ func (t *Tuner) optimalConfigurationParallel(workers int) (*physical.Configurati
 					continue
 				}
 				if cache != nil {
-					cache.store(t.cacheKey(tq), frag, opt.Stats().OptimizeCalls-before)
+					cache.store(t.cacheKey(tq), frag, opt.Stats().OptimizeCalls-before, t.Options.CacheOrigin)
 				}
 				outs[i] = fragOut{frag: frag}
 			}

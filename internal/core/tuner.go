@@ -87,9 +87,17 @@ type Options struct {
 
 	// Cache, when set, memoizes per-statement optimal fragments across
 	// sessions: statements whose fragment is cached skip the §2
-	// instrumented optimization entirely (zero optimizer calls). The
-	// cache must only be shared between sessions over the same database.
+	// instrumented optimization entirely (zero optimizer calls). Entries
+	// are keyed by the catalog fingerprint, so one cache may be shared
+	// between sessions over different databases (the multi-tenant fleet
+	// case); only sessions whose catalogs hash identically ever reuse
+	// each other's fragments.
 	Cache *RequestCache
+	// CacheOrigin attributes this session's Cache activity (typically a
+	// tenant ID): hits on entries stored under a different origin are
+	// counted as shared hits, the measurable cross-tenant reuse signal.
+	// Empty is a valid origin (single-tenant deployments).
+	CacheOrigin string
 	// WarmStart seeds the relaxation search with a previously recommended
 	// configuration: it is evaluated up front, joins the search pool, and
 	// becomes the incumbent if it fits the budget, so shortcut evaluation

@@ -1,0 +1,280 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/service"
+)
+
+// Overlapping statement shapes shared by every test tenant, plus a few
+// tenant-specific ones mixed in by index.
+var sharedShapes = []string{
+	`SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate >= 9131 AND o_orderdate < 9496 GROUP BY o_orderpriority`,
+	`SELECT c_name, o_orderkey FROM customer, orders WHERE c_custkey = o_custkey AND o_totalprice > 400000`,
+	`SELECT l_shipmode, SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN 9131 AND 9496 GROUP BY l_shipmode`,
+	`SELECT s_name, s_acctbal FROM supplier WHERE s_acctbal > 5000`,
+}
+
+var extraShapes = []string{
+	`SELECT p_type, COUNT(*) FROM part WHERE p_size > 40 GROUP BY p_type`,
+	`SELECT l_returnflag, SUM(l_quantity) FROM lineitem WHERE l_discount > 0.05 GROUP BY l_returnflag`,
+	`SELECT n_name, COUNT(*) FROM nation, region WHERE n_regionkey = r_regionkey GROUP BY n_name`,
+}
+
+func testCatalog(database string, sf float64) (*catalog.Database, error) {
+	switch database {
+	case "tpch":
+		return datagen.TPCH(sf), nil
+	case "bench":
+		return datagen.Bench(sf), nil
+	}
+	return nil, fmt.Errorf("unknown database %q", database)
+}
+
+func testDefaults() service.Options {
+	return service.Options{
+		Tuning: core.Options{SpaceBudget: 2 << 20, MaxIterations: 40},
+	}
+}
+
+func newTestRegistry(t *testing.T, opts Options) *Registry {
+	t.Helper()
+	if opts.Catalog == nil {
+		opts.Catalog = testCatalog
+	}
+	if opts.Defaults.DB == nil && opts.Defaults.Tuning == (core.Options{}) {
+		opts.Defaults = testDefaults()
+	}
+	r, err := New(opts)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// retuneTenant runs one pooled retune and fails the test on error.
+func retuneTenant(t *testing.T, r *Registry, id string) *service.Recommendation {
+	t.Helper()
+	res := <-r.Pool().Submit(id, "manual", 0, false)
+	if res.err != nil {
+		t.Fatalf("retune %s: %v", id, res.err)
+	}
+	return res.rec
+}
+
+// TestFleetSharedCacheParity is the acceptance scenario: three tenants
+// with identical catalogs and overlapping statement shapes must (a)
+// produce shared-cache hits — cross-tenant reuse — and (b) each produce
+// exactly the recommendation an isolated single-tenant process computes
+// for its workload.
+func TestFleetSharedCacheParity(t *testing.T) {
+	r := newTestRegistry(t, Options{Workers: 2})
+	workloadFor := func(i int) []string {
+		return append(append([]string{}, sharedShapes...), extraShapes[i])
+	}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		if _, err := r.Add(TenantSpec{ID: id, Database: "tpch"}); err != nil {
+			t.Fatalf("add %s: %v", id, err)
+		}
+		res := r.Get(id).Service.Ingest(workloadFor(i))
+		if res.Rejected != 0 {
+			t.Fatalf("%s: %d statements rejected", id, res.Rejected)
+		}
+	}
+
+	fleetRecs := map[string]*service.Recommendation{}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		fleetRecs[id] = retuneTenant(t, r, id)
+	}
+
+	stats := r.FragmentCache().Stats()
+	if stats.SharedHits == 0 {
+		t.Fatalf("no shared cache hits across 3 tenants with overlapping shapes: %+v", stats)
+	}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		os := stats.Origins[id]
+		if i > 0 && os.SharedHits == 0 {
+			t.Errorf("%s: no attributed shared hits (origins %+v)", id, stats.Origins)
+		}
+	}
+
+	// Parity: isolated single-tenant services over the same catalog and
+	// workload must produce identical recommendations.
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		solo, err := service.New(service.Options{
+			DB:     datagen.TPCH(0.001),
+			Tuning: core.Options{SpaceBudget: 2 << 20, MaxIterations: 40},
+		})
+		if err != nil {
+			t.Fatalf("solo service: %v", err)
+		}
+		solo.Ingest(workloadFor(i))
+		soloRec, err := solo.Retune()
+		solo.Close()
+		if err != nil {
+			t.Fatalf("solo retune: %v", err)
+		}
+		if soloRec.DDL != fleetRecs[id].DDL {
+			t.Errorf("%s: fleet recommendation diverged from single-tenant run\nfleet:\n%s\nsolo:\n%s",
+				id, fleetRecs[id].DDL, soloRec.DDL)
+		}
+		if soloRec.Cost != fleetRecs[id].Cost {
+			t.Errorf("%s: fleet cost %.4f != solo cost %.4f", id, fleetRecs[id].Cost, soloRec.Cost)
+		}
+	}
+}
+
+// TestFleetTenantIsolation: tenants whose catalogs differ (same schema,
+// different statistics) must never reuse each other's fragments, and
+// each still matches its single-tenant recommendation.
+func TestFleetTenantIsolation(t *testing.T) {
+	r := newTestRegistry(t, Options{Workers: 2})
+	specs := []TenantSpec{
+		{ID: "small", Database: "tpch", ScaleFactor: 0.001},
+		{ID: "large", Database: "tpch", ScaleFactor: 0.01},
+	}
+	for _, spec := range specs {
+		if _, err := r.Add(spec); err != nil {
+			t.Fatalf("add %s: %v", spec.ID, err)
+		}
+		r.Get(spec.ID).Service.Ingest(sharedShapes)
+		retuneTenant(t, r, spec.ID)
+	}
+	stats := r.FragmentCache().Stats()
+	if stats.SharedHits != 0 {
+		t.Fatalf("tenants with different statistics shared %d fragments: %+v", stats.SharedHits, stats)
+	}
+	small := r.Get("small").Service.Recommendation()
+	large := r.Get("large").Service.Recommendation()
+	if small == nil || large == nil {
+		t.Fatal("missing recommendations")
+	}
+
+	for _, spec := range specs {
+		solo, err := service.New(service.Options{
+			DB:     datagen.TPCH(spec.ScaleFactor),
+			Tuning: core.Options{SpaceBudget: 2 << 20, MaxIterations: 40},
+		})
+		if err != nil {
+			t.Fatalf("solo service: %v", err)
+		}
+		solo.Ingest(sharedShapes)
+		soloRec, err := solo.Retune()
+		solo.Close()
+		if err != nil {
+			t.Fatalf("solo retune: %v", err)
+		}
+		got := r.Get(spec.ID).Service.Recommendation()
+		if got.DDL != soloRec.DDL {
+			t.Errorf("%s: fleet recommendation diverged from single-tenant run", spec.ID)
+		}
+	}
+}
+
+// TestFleetConcurrentTenants hammers 8 tenants with concurrent ingests
+// and pooled retunes (run under -race). Session records must stay
+// tenant-attributed with tenant-prefixed IDs — the cross-Service
+// singleton-collision regression.
+func TestFleetConcurrentTenants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent fleet test is not short")
+	}
+	const tenants = 8
+	r := newTestRegistry(t, Options{Workers: 4})
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t%d", i)
+		if _, err := r.Add(TenantSpec{ID: id, Database: "tpch"}); err != nil {
+			t.Fatalf("add %s: %v", id, err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t%d", i)
+		extra := extraShapes[i%len(extraShapes)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc := r.Get(id).Service
+			for round := 0; round < 3; round++ {
+				svc.Ingest(append(append([]string{}, sharedShapes...), extra))
+				if res := <-r.Pool().Submit(id, "manual", 0, false); res.err != nil {
+					t.Errorf("%s round %d: %v", id, round, res.err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	seen := map[string]bool{}
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t%d", i)
+		svc := r.Get(id).Service
+		if svc.Recommendation() == nil {
+			t.Errorf("%s: no recommendation after 3 retunes", id)
+		}
+		for _, sum := range svc.Sessions() {
+			if sum.Tenant != id {
+				t.Errorf("%s: session %s attributed to tenant %q", id, sum.ID, sum.Tenant)
+			}
+			if !strings.HasPrefix(sum.ID, id+"-s-") {
+				t.Errorf("%s: session ID %q lacks tenant prefix", id, sum.ID)
+			}
+			if seen[sum.ID] {
+				t.Errorf("session ID %q minted by two services", sum.ID)
+			}
+			seen[sum.ID] = true
+		}
+	}
+	if got := r.Pool().Completed(); got != tenants*3 {
+		t.Errorf("pool completed %d sessions, want %d", got, tenants*3)
+	}
+	if stats := r.FragmentCache().Stats(); stats.SharedHits == 0 {
+		t.Errorf("no cross-tenant fragment reuse across %d identical tenants: %+v", tenants, stats)
+	}
+}
+
+// TestFleetAddValidation covers the registration error paths.
+func TestFleetAddValidation(t *testing.T) {
+	r := newTestRegistry(t, Options{Workers: 1})
+	cases := []TenantSpec{
+		{ID: "", Database: "tpch"},
+		{ID: "Bad-Caps", Database: "tpch"},
+		{ID: "-lead", Database: "tpch"},
+		{ID: "trail-", Database: "tpch"},
+		{ID: strings.Repeat("x", 65), Database: "tpch"},
+		{ID: "ok", Database: ""},
+		{ID: "ok", Database: "nosuchdb"},
+	}
+	for _, spec := range cases {
+		if _, err := r.Add(spec); err == nil {
+			t.Errorf("Add(%+v) accepted, want error", spec)
+		}
+	}
+	if _, err := r.Add(TenantSpec{ID: "ok", Database: "tpch"}); err != nil {
+		t.Fatalf("valid add: %v", err)
+	}
+	if _, err := r.Add(TenantSpec{ID: "ok", Database: "tpch"}); err == nil {
+		t.Error("duplicate add accepted, want error")
+	}
+	if err := r.Remove("ok"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := r.Remove("ok"); err == nil {
+		t.Error("double remove accepted, want error")
+	}
+	if r.Get("ok") != nil {
+		t.Error("removed tenant still resolvable")
+	}
+}

@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// errorResponse is the uniform JSON error shape (matches the
+// single-tenant service surface).
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ingestRequest mirrors the tenant service's POST /ingest payload; the
+// fleet layer decodes it itself so the quota sees the batch size before
+// any statement is admitted.
+type ingestRequest struct {
+	Statements []string `json:"statements"`
+}
+
+// retuneRequest mirrors the tenant service's POST /retune payload.
+type retuneRequest struct {
+	BudgetMB *float64 `json:"budget_mb,omitempty"`
+}
+
+type retuneResponse struct {
+	Recommendation *service.Recommendation `json:"recommendation"`
+}
+
+// tenantsResponse wraps GET /tenants.
+type tenantsResponse struct {
+	Tenants []TenantStatus `json:"tenants"`
+}
+
+// fleetHealth is the GET /healthz payload.
+type fleetHealth struct {
+	Status        string  `json:"status"`
+	Mode          string  `json:"mode"`
+	Tenants       int     `json:"tenants"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// fleetMetricsJSON is the GET /metrics JSON payload: fleet-wide status
+// plus each tenant's full service snapshot.
+type fleetMetricsJSON struct {
+	Fleet   Status                             `json:"fleet"`
+	Tenants map[string]service.MetricsSnapshot `json:"tenants"`
+}
+
+// NewHandler exposes the fleet over HTTP/JSON:
+//
+//	POST   /tenants                register a tenant (TenantSpec body)
+//	GET    /tenants                list tenants with live status
+//	GET    /tenants/{tenant}       one tenant's status row
+//	DELETE /tenants/{tenant}       deregister (drains its retune first)
+//	ANY    /tenants/{tenant}/...   the full single-tenant API, scoped:
+//	                               /ingest /recommendation /retune
+//	                               /sessions /diff /progress /metrics ...
+//	GET    /fleet                  fleet-wide status snapshot
+//	GET    /metrics                all tenants + fleet counters (JSON;
+//	                               Prometheus text with a tenant label
+//	                               per series when Accept: text/plain
+//	                               or ?format=prometheus)
+//	GET    /healthz                liveness
+//
+// Tenant-scoped ingest passes through the tenant's quota: over-rate
+// batches are rejected whole with 429 and a Retry-After header. Tenant
+// retunes run on the shared worker pool (serialized per tenant), not on
+// the request goroutine's own schedule.
+func NewHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /tenants", func(w http.ResponseWriter, req *http.Request) {
+		var spec TenantSpec
+		if err := json.NewDecoder(req.Body).Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+			return
+		}
+		t, err := r.Add(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "already registered") {
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusCreated, r.tenantStatus(t))
+	})
+
+	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, tenantsResponse{Tenants: r.Status().Tenants})
+	})
+
+	mux.HandleFunc("GET /tenants/{tenant}", func(w http.ResponseWriter, req *http.Request) {
+		t := r.Get(req.PathValue("tenant"))
+		if t == nil {
+			writeUnknownTenant(w, req.PathValue("tenant"))
+			return
+		}
+		writeJSON(w, http.StatusOK, r.tenantStatus(t))
+	})
+
+	mux.HandleFunc("DELETE /tenants/{tenant}", func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("tenant")
+		if err := r.Remove(id); err != nil {
+			writeUnknownTenant(w, id)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"removed": id})
+	})
+
+	mux.HandleFunc("/tenants/{tenant}/{rest...}", func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("tenant")
+		t := r.Get(id)
+		if t == nil {
+			writeUnknownTenant(w, id)
+			return
+		}
+		switch rest := req.PathValue("rest"); {
+		case rest == "ingest" && req.Method == http.MethodPost:
+			r.serveIngest(t, w, req)
+		case rest == "retune" && req.Method == http.MethodPost:
+			r.serveRetune(t, w, req)
+		default:
+			http.StripPrefix("/tenants/"+id, t.handler).ServeHTTP(w, req)
+		}
+	})
+
+	mux.HandleFunc("GET /fleet", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Status())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		if wantsPrometheus(req) {
+			r.renderPrometheus(w)
+			return
+		}
+		out := fleetMetricsJSON{Fleet: r.Status(), Tenants: map[string]service.MetricsSnapshot{}}
+		for _, t := range r.List() {
+			out.Tenants[t.Spec.ID] = t.Service.MetricsSnapshot()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, fleetHealth{
+			Status:        "ok",
+			Mode:          "fleet",
+			Tenants:       r.Len(),
+			UptimeSeconds: time.Since(r.started).Seconds(),
+		})
+	})
+
+	return mux
+}
+
+// tenantStatus builds one tenant's status row.
+func (r *Registry) tenantStatus(t *Tenant) TenantStatus {
+	for _, row := range r.Status().Tenants {
+		if row.ID == t.Spec.ID {
+			return row
+		}
+	}
+	// Raced with removal; report the identity fields only.
+	return TenantStatus{ID: t.Spec.ID, Database: t.Spec.Database, ScaleFactor: t.Spec.ScaleFactor, CreatedAt: t.CreatedAt}
+}
+
+// serveIngest is the quota-gated tenant ingest: the whole batch is
+// admitted or the whole batch is rejected with 429 + Retry-After.
+func (r *Registry) serveIngest(t *Tenant, w http.ResponseWriter, req *http.Request) {
+	var body ingestRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	if len(body.Statements) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "statements is empty"})
+		return
+	}
+	if ok, retryAfter := t.quota.take(len(body.Statements), time.Now()); !ok {
+		r.noteQuotaRejection(t)
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: fmt.Sprintf("tenant %s over ingestion quota (%g statements/s, burst %d); retry after %ds",
+				t.Spec.ID, t.Spec.Quota.RatePerSec, t.Spec.Quota.Burst, secs),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Service.Ingest(body.Statements))
+}
+
+// serveRetune runs a tenant retune through the shared worker pool —
+// synchronous for the caller, serialized per tenant, fair across the
+// fleet.
+func (r *Registry) serveRetune(t *Tenant, w http.ResponseWriter, req *http.Request) {
+	var body retuneRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	budget, override := int64(0), false
+	if body.BudgetMB != nil {
+		budget, override = int64(*body.BudgetMB*(1<<20)), true
+	}
+	ch := r.pool.Submit(t.Spec.ID, "manual", budget, override)
+	select {
+	case <-req.Context().Done():
+		// The client left; the queued session still runs (its result
+		// lands in the recorder), there is just no one to answer.
+		return
+	case res := <-ch:
+		if res.err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(res.err, service.ErrEmptyWindow):
+				status = http.StatusConflict
+			case errors.Is(res.err, ErrTenantRemoved), errors.Is(res.err, ErrPoolClosed):
+				status = http.StatusGone
+			}
+			writeJSON(w, status, errorResponse{Error: res.err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, retuneResponse{Recommendation: res.rec})
+	}
+}
+
+// renderPrometheus writes the fleet scrape: the fleet's own registry
+// plain, then every tenant registry's families merged with a
+// tenant="<id>" label on each sample.
+func (r *Registry) renderPrometheus(w http.ResponseWriter) {
+	r.metrics.refresh(r)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.metrics.reg.Render(w)
+	tenants := r.List()
+	regs := make([]obs.LabeledRegistry, 0, len(tenants))
+	for _, t := range tenants {
+		t.Service.RefreshPromGauges()
+		regs = append(regs, obs.LabeledRegistry{Value: t.Spec.ID, Registry: t.Service.PromRegistry()})
+	}
+	obs.RenderMerged(w, "tenant", regs)
+}
+
+// writeUnknownTenant is the uniform 404 for a missing tenant ID.
+func writeUnknownTenant(w http.ResponseWriter, id string) {
+	writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown tenant %q", id)})
+}
+
+// wantsPrometheus mirrors the single-tenant /metrics content
+// negotiation.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,227 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Registry, *httptest.Server) {
+	t.Helper()
+	r := newTestRegistry(t, opts)
+	srv := httptest.NewServer(NewHandler(r))
+	t.Cleanup(srv.Close)
+	return r, srv
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, data
+}
+
+// TestFleetHTTPLifecycle walks the fleet API end to end: register,
+// ingest, pooled retune, tenant-scoped reads, status, and removal.
+func TestFleetHTTPLifecycle(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 2})
+
+	resp, body := doJSON(t, "POST", srv.URL+"/tenants", TenantSpec{ID: "alpha", Database: "tpch"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /tenants = %d: %s", resp.StatusCode, body)
+	}
+	if resp, body = doJSON(t, "POST", srv.URL+"/tenants", TenantSpec{ID: "alpha", Database: "tpch"}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate POST /tenants = %d: %s", resp.StatusCode, body)
+	}
+	if resp, body = doJSON(t, "POST", srv.URL+"/tenants", TenantSpec{ID: "UPPER", Database: "tpch"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid-ID POST /tenants = %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = doJSON(t, "POST", srv.URL+"/tenants/alpha/ingest",
+		map[string][]string{"statements": sharedShapes})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", resp.StatusCode, body)
+	}
+	var ing struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.Unmarshal(body, &ing); err != nil || ing.Accepted != len(sharedShapes) {
+		t.Fatalf("ingest accepted %d (%v): %s", ing.Accepted, err, body)
+	}
+
+	if resp, body = doJSON(t, "GET", srv.URL+"/tenants/alpha/recommendation", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("recommendation before retune = %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = doJSON(t, "POST", srv.URL+"/tenants/alpha/retune", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retune = %d: %s", resp.StatusCode, body)
+	}
+	var ret struct {
+		Recommendation struct {
+			DDL string `json:"ddl"`
+		} `json:"recommendation"`
+	}
+	if err := json.Unmarshal(body, &ret); err != nil || ret.Recommendation.DDL == "" {
+		t.Fatalf("retune response (%v): %s", err, body)
+	}
+
+	resp, body = doJSON(t, "GET", srv.URL+"/tenants/alpha/sessions", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"alpha-s-000001"`) {
+		t.Fatalf("sessions = %d: %s", resp.StatusCode, body)
+	}
+	if resp, body = doJSON(t, "GET", srv.URL+"/tenants/alpha/sessions/alpha-s-000001", nil); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(string(body), `"tenant":"alpha"`) {
+		t.Fatalf("session fetch = %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = doJSON(t, "GET", srv.URL+"/fleet", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /fleet = %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("fleet status: %v", err)
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].ID != "alpha" || st.Tenants[0].Retunes != 1 {
+		t.Fatalf("fleet status %+v", st)
+	}
+
+	if resp, _ = doJSON(t, "GET", srv.URL+"/tenants/nosuch/recommendation", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant = %d, want 404", resp.StatusCode)
+	}
+
+	if resp, body = doJSON(t, "DELETE", srv.URL+"/tenants/alpha", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ = doJSON(t, "GET", srv.URL+"/tenants/alpha/sessions", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("removed tenant = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFleetHTTPQuota: over-rate ingestion answers 429 with Retry-After
+// and counts a rejection; the batch is rejected whole.
+func TestFleetHTTPQuota(t *testing.T) {
+	r, srv := newTestServer(t, Options{Workers: 1})
+	if _, err := r.Add(TenantSpec{ID: "metered", Database: "tpch",
+		Quota: QuotaSpec{RatePerSec: 1, Burst: len(sharedShapes)}}); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+
+	resp, body := doJSON(t, "POST", srv.URL+"/tenants/metered/ingest",
+		map[string][]string{"statements": sharedShapes})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first ingest = %d: %s", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, "POST", srv.URL+"/tenants/metered/ingest",
+		map[string][]string{"statements": sharedShapes})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota ingest = %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	snap := r.Get("metered").Service.MetricsSnapshot()
+	if snap.StatementsIngested != int64(len(sharedShapes)) {
+		t.Errorf("rejected batch partially ingested: %d statements", snap.StatementsIngested)
+	}
+	if got := r.Get("metered").quotaRejections(); got != 1 {
+		t.Errorf("quota rejections = %d, want 1", got)
+	}
+	if st := r.Status(); st.Tenants[0].QuotaRejections != 1 {
+		t.Errorf("status quota rejections = %d, want 1", st.Tenants[0].QuotaRejections)
+	}
+}
+
+// TestFleetHTTPMetrics: the Prometheus exposition merges fleet counters
+// with per-tenant series labeled tenant="<id>", each metric family
+// declared exactly once.
+func TestFleetHTTPMetrics(t *testing.T) {
+	r, srv := newTestServer(t, Options{Workers: 2})
+	for _, id := range []string{"m1", "m2"} {
+		if _, err := r.Add(TenantSpec{ID: id, Database: "tpch"}); err != nil {
+			t.Fatalf("add %s: %v", id, err)
+		}
+		r.Get(id).Service.Ingest(sharedShapes)
+		retuneTenant(t, r, id)
+	}
+
+	resp, body := doJSON(t, "GET", srv.URL+"/metrics?format=prometheus", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"tuner_fleet_tenants 2",
+		`tuner_fleet_retunes_total{tenant="m1"} 1`,
+		`tuner_fleet_retunes_total{tenant="m2"} 1`,
+		"tuner_fleet_cache_shared_hits_total",
+		`tuner_retunes{tenant="m1"} 1`,
+		`tuner_retunes{tenant="m2"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The second tenant reused the first's fragments.
+	var shared float64
+	if _, err := fmt.Sscanf(findLine(text, "tuner_fleet_cache_shared_hits_total "), "tuner_fleet_cache_shared_hits_total %f", &shared); err != nil {
+		t.Fatalf("parsing shared-hits sample: %v", err)
+	}
+	if shared == 0 {
+		t.Error("tuner_fleet_cache_shared_hits_total is 0 after overlapping retunes")
+	}
+	// Each family's HELP/TYPE header appears exactly once.
+	for _, family := range []string{"tuner_retunes", "tuner_uptime_seconds", "tuner_fleet_tenants"} {
+		if n := strings.Count(text, "# TYPE "+family+" "); n != 1 {
+			t.Errorf("# TYPE %s appears %d times, want 1", family, n)
+		}
+	}
+
+	// JSON mode returns per-tenant snapshots.
+	resp, body = doJSON(t, "GET", srv.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json metrics = %d", resp.StatusCode)
+	}
+	var js fleetMetricsJSON
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatalf("json metrics: %v", err)
+	}
+	if len(js.Tenants) != 2 || js.Tenants["m2"].Retunes != 1 {
+		t.Fatalf("json metrics tenants: %+v", js.Tenants)
+	}
+	if js.Fleet.FragmentCache.SharedHits == 0 {
+		t.Error("json metrics shared hits = 0")
+	}
+}
+
+// findLine returns the first exposition line starting with prefix.
+func findLine(text, prefix string) string {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	return ""
+}

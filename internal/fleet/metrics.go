@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// fleetMetrics is the fleet-level Prometheus surface. Per-tenant search
+// and service metrics live in each tenant's own registry and are merged
+// into the scrape with a tenant label (obs.RenderMerged); this registry
+// holds only what the fleet itself owns: the tenant count, pool queue
+// depths, quota rejections, and the shared-cache counters that prove
+// cross-tenant reuse.
+type fleetMetrics struct {
+	reg *obs.Registry
+
+	tenants         *obs.Gauge
+	queueDepth      *obs.GaugeVec
+	inFlight        *obs.GaugeVec
+	retunes         *obs.CounterVec
+	quotaRejections *obs.CounterVec
+
+	fragEntries      *obs.Gauge
+	fragSharedHits   *obs.Counter
+	fragHits         *obs.CounterVec
+	costEntries      *obs.Gauge
+	costSharedHits   *obs.Counter
+	callsSaved       *obs.Gauge
+	retunesCompleted *obs.Gauge
+
+	// refreshMu serializes scrape-time refreshes; the set-to-value
+	// counters (Add of the delta since the last scrape) need it.
+	refreshMu sync.Mutex
+}
+
+func newFleetMetrics() *fleetMetrics {
+	reg := obs.NewRegistry()
+	return &fleetMetrics{
+		reg:     reg,
+		tenants: reg.NewGauge("tuner_fleet_tenants", "Registered fleet tenants."),
+		queueDepth: reg.NewGaugeVec("tuner_fleet_queue_depth",
+			"Retunes queued in the fleet worker pool, per tenant.", "tenant"),
+		inFlight: reg.NewGaugeVec("tuner_fleet_inflight",
+			"Whether a retune is running for the tenant (0 or 1).", "tenant"),
+		retunes: reg.NewCounterVec("tuner_fleet_retunes_total",
+			"Retune sessions completed by the fleet worker pool, per tenant.", "tenant"),
+		quotaRejections: reg.NewCounterVec("tuner_fleet_quota_rejected_total",
+			"Ingest requests rejected by the tenant's quota (HTTP 429).", "tenant"),
+		fragEntries: reg.NewGauge("tuner_fleet_cache_entries",
+			"Entries in the shared cross-tenant fragment cache."),
+		fragSharedHits: reg.NewCounter("tuner_fleet_cache_shared_hits_total",
+			"Fragment-cache hits on entries another tenant stored — cross-tenant reuse."),
+		fragHits: reg.NewCounterVec("tuner_fleet_cache_hits_total",
+			"Fragment-cache hits, attributed to the tenant that looked up.", "tenant"),
+		costEntries: reg.NewGauge("tuner_fleet_cost_cache_entries",
+			"Entries in the shared cross-tenant what-if cost cache."),
+		costSharedHits: reg.NewCounter("tuner_fleet_cost_cache_shared_hits_total",
+			"Cost-cache hits on entries another tenant computed."),
+		callsSaved: reg.NewGauge("tuner_fleet_optimizer_calls_saved",
+			"Optimizer calls avoided fleet-wide by fragment-cache hits."),
+		retunesCompleted: reg.NewGauge("tuner_fleet_pool_retunes_completed",
+			"Retune sessions completed by the worker pool since start."),
+	}
+}
+
+// refresh brings the scrape-time metrics up to date from the registry
+// state. Monotonic totals sourced from cache snapshots are advanced by
+// their delta so they stay honest counters.
+func (m *fleetMetrics) refresh(r *Registry) {
+	m.refreshMu.Lock()
+	defer m.refreshMu.Unlock()
+
+	m.tenants.Set(float64(r.Len()))
+	m.retunesCompleted.Set(float64(r.pool.Completed()))
+
+	depths := r.pool.Depths()
+	for _, t := range r.List() {
+		id := t.Spec.ID
+		d := depths[id]
+		m.queueDepth.Set(id, float64(d.Queued))
+		inf := 0.0
+		if d.InFlight {
+			inf = 1
+		}
+		m.inFlight.Set(id, inf)
+	}
+
+	frag := r.frags.Stats()
+	m.fragEntries.Set(float64(frag.Entries))
+	m.callsSaved.Set(float64(frag.CallsSaved))
+	if d := float64(frag.SharedHits) - m.fragSharedHits.Value(); d > 0 {
+		m.fragSharedHits.Add(d)
+	}
+	for origin, os := range frag.Origins {
+		if origin == "" {
+			continue
+		}
+		if d := float64(os.Hits) - m.fragHits.Value(origin); d > 0 {
+			m.fragHits.Add(origin, d)
+		}
+	}
+
+	cost := r.costs.Stats()
+	m.costEntries.Set(float64(cost.Entries))
+	if d := float64(cost.SharedHits) - m.costSharedHits.Value(); d > 0 {
+		m.costSharedHits.Add(d)
+	}
+}
+
+// forget drops a removed tenant's pool-state series so stale gauges
+// don't linger in scrapes (its counters remain — history is history).
+func (m *fleetMetrics) forget(id string) {
+	m.queueDepth.Delete(id)
+	m.inFlight.Delete(id)
+}

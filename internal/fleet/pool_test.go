@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// gatedRunner is a stub runnerFunc whose executions block until
+// released, recording per-tenant concurrency and execution order.
+type gatedRunner struct {
+	mu       sync.Mutex
+	order    []string
+	inUse    map[string]int
+	maxInUse map[string]int
+	calls    atomic.Int64
+	gate     chan struct{} // receive to proceed; closed = free-running
+}
+
+func newGatedRunner(buffered int) *gatedRunner {
+	return &gatedRunner{
+		inUse:    map[string]int{},
+		maxInUse: map[string]int{},
+		gate:     make(chan struct{}, buffered),
+	}
+}
+
+func (g *gatedRunner) run(tenant, trigger string, budget int64, override bool) (*service.Recommendation, error) {
+	g.calls.Add(1)
+	g.mu.Lock()
+	g.order = append(g.order, tenant+"/"+trigger)
+	g.inUse[tenant]++
+	if g.inUse[tenant] > g.maxInUse[tenant] {
+		g.maxInUse[tenant] = g.inUse[tenant]
+	}
+	g.mu.Unlock()
+	<-g.gate
+	g.mu.Lock()
+	g.inUse[tenant]--
+	g.mu.Unlock()
+	return &service.Recommendation{}, nil
+}
+
+func (g *gatedRunner) executionOrder() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.order...)
+}
+
+// TestPoolPerTenantSerialization: many queued retunes for one tenant
+// never run concurrently, even with spare workers.
+func TestPoolPerTenantSerialization(t *testing.T) {
+	g := newGatedRunner(0)
+	close(g.gate) // free-running
+	p := newPool(4, g.run, nil)
+	defer p.Close()
+
+	var chans []<-chan jobResult
+	for i := 0; i < 12; i++ {
+		chans = append(chans, p.Submit("t1", "manual", 0, false))
+	}
+	for _, ch := range chans {
+		if res := <-ch; res.err != nil {
+			t.Fatalf("submit: %v", res.err)
+		}
+	}
+	if g.maxInUse["t1"] != 1 {
+		t.Fatalf("tenant t1 ran %d sessions concurrently, want 1", g.maxInUse["t1"])
+	}
+	if got := g.calls.Load(); got != 12 {
+		t.Fatalf("runner ran %d times, want 12", got)
+	}
+}
+
+// TestPoolPriority: a drift-triggered (auto) retune queued later jumps
+// ahead of an earlier manual submission once a worker frees up.
+func TestPoolPriority(t *testing.T) {
+	g := newGatedRunner(16)
+	p := newPool(1, g.run, nil)
+	defer p.Close()
+
+	// Occupy the only worker.
+	blocker := p.Submit("t0", "manual", 0, false)
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.order) == 1
+	})
+
+	manual := p.Submit("t1", "manual", 0, false)
+	p.EnqueueAuto("t2", "auto")
+
+	for i := 0; i < 3; i++ {
+		g.gate <- struct{}{}
+	}
+	<-blocker
+	if res := <-manual; res.err != nil {
+		t.Fatalf("manual: %v", res.err)
+	}
+	waitFor(t, func() bool { return p.Completed() == 3 })
+
+	order := g.executionOrder()
+	if len(order) != 3 || order[1] != "t2/auto" || order[2] != "t1/manual" {
+		t.Fatalf("execution order %v, want auto before manual", order)
+	}
+}
+
+// TestPoolAutoDedupe: drift may fire many times while one auto retune is
+// queued; only one session runs.
+func TestPoolAutoDedupe(t *testing.T) {
+	g := newGatedRunner(16)
+	p := newPool(1, g.run, nil)
+	defer p.Close()
+
+	blocker := p.Submit("t0", "manual", 0, false)
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.order) == 1
+	})
+	for i := 0; i < 5; i++ {
+		p.EnqueueAuto("t1", "auto")
+	}
+	g.gate <- struct{}{}
+	g.gate <- struct{}{}
+	<-blocker
+	waitFor(t, func() bool { return p.Completed() == 2 })
+	if got := g.calls.Load(); got != 2 {
+		t.Fatalf("runner ran %d times, want 2 (blocker + one deduped auto)", got)
+	}
+}
+
+// TestPoolDropTenant: queued synchronous jobs fail with
+// ErrTenantRemoved, and DropTenant waits for the in-flight session.
+func TestPoolDropTenant(t *testing.T) {
+	g := newGatedRunner(16)
+	p := newPool(1, g.run, nil)
+	defer p.Close()
+
+	inflight := p.Submit("t1", "manual", 0, false)
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.order) == 1
+	})
+	queued := p.Submit("t1", "manual", 0, false)
+
+	dropped := make(chan struct{})
+	go func() {
+		p.DropTenant("t1")
+		close(dropped)
+	}()
+	if res := <-queued; !errors.Is(res.err, ErrTenantRemoved) {
+		t.Fatalf("queued job err = %v, want ErrTenantRemoved", res.err)
+	}
+	select {
+	case <-dropped:
+		t.Fatal("DropTenant returned while a session was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	g.gate <- struct{}{}
+	<-inflight
+	select {
+	case <-dropped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("DropTenant did not return after the in-flight session finished")
+	}
+	// A fresh submit for the dropped tenant starts a new queue.
+	ch := p.Submit("t1", "manual", 0, false)
+	g.gate <- struct{}{}
+	if res := <-ch; res.err != nil {
+		t.Fatalf("resubmit after drop: %v", res.err)
+	}
+}
+
+// TestPoolClose: still-queued synchronous jobs fail with ErrPoolClosed,
+// and submits after close fail immediately.
+func TestPoolClose(t *testing.T) {
+	g := newGatedRunner(16)
+	p := newPool(1, g.run, nil)
+
+	inflight := p.Submit("t1", "manual", 0, false)
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.order) == 1
+	})
+	queued := p.Submit("t2", "manual", 0, false)
+
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	if res := <-queued; !errors.Is(res.err, ErrPoolClosed) {
+		t.Fatalf("queued job err = %v, want ErrPoolClosed", res.err)
+	}
+	g.gate <- struct{}{}
+	<-inflight
+	<-closed
+	if res := <-p.Submit("t3", "manual", 0, false); !errors.Is(res.err, ErrPoolClosed) {
+		t.Fatalf("submit after close err = %v, want ErrPoolClosed", res.err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

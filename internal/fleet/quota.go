@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaSpec is a per-tenant ingestion quota: a token bucket refilled at
+// RatePerSec statements per second with capacity Burst. A zero value
+// (or RatePerSec <= 0) means unlimited.
+type QuotaSpec struct {
+	// RatePerSec is the sustained statement admission rate (<= 0 =
+	// unlimited; the bucket is then never consulted).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity — the largest batch admissible at
+	// once (default: ceil(RatePerSec), at least 1). Batches larger than
+	// Burst can never be admitted whole; clients must split them.
+	Burst int `json:"burst,omitempty"`
+}
+
+// unlimited reports whether the spec disables quota enforcement.
+func (q QuotaSpec) unlimited() bool { return q.RatePerSec <= 0 }
+
+// withDefaults fills Burst from the rate when unset.
+func (q QuotaSpec) withDefaults() QuotaSpec {
+	if q.unlimited() {
+		return QuotaSpec{}
+	}
+	if q.Burst <= 0 {
+		q.Burst = int(math.Ceil(q.RatePerSec))
+		if q.Burst < 1 {
+			q.Burst = 1
+		}
+	}
+	return q
+}
+
+// tokenBucket enforces one tenant's QuotaSpec. A nil *tokenBucket
+// admits everything, so unlimited tenants pay no locking.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket builds the bucket for spec (nil when unlimited). The
+// bucket starts full, so a tenant's first burst is always admitted.
+func newTokenBucket(spec QuotaSpec, now time.Time) *tokenBucket {
+	spec = spec.withDefaults()
+	if spec.unlimited() {
+		return nil
+	}
+	return &tokenBucket{
+		rate:   spec.RatePerSec,
+		burst:  float64(spec.Burst),
+		tokens: float64(spec.Burst),
+		last:   now,
+	}
+}
+
+// take atomically admits n statements or rejects the whole batch —
+// partial admission would silently drop statements the client believes
+// were observed. On rejection, retryAfter is how long until n tokens
+// will have accumulated (capped by what the burst allows; a batch
+// larger than the burst can never succeed and reports the time to a
+// full bucket).
+func (b *tokenBucket) take(n int, now time.Time) (ok bool, retryAfter time.Duration) {
+	if b == nil || n <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+elapsed*b.rate)
+	}
+	b.last = now
+	need := float64(n)
+	if need <= b.tokens {
+		b.tokens -= need
+		return true, 0
+	}
+	missing := math.Min(need, b.burst) - b.tokens
+	retryAfter = time.Duration(missing / b.rate * float64(time.Second))
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	return false, retryAfter
+}

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTokenBucket(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newTokenBucket(QuotaSpec{RatePerSec: 10, Burst: 20}, t0)
+
+	if ok, _ := b.take(20, t0); !ok {
+		t.Fatal("full bucket rejected a burst-sized batch")
+	}
+	ok, retry := b.take(1, t0)
+	if ok {
+		t.Fatal("empty bucket admitted a statement")
+	}
+	if retry < time.Second {
+		t.Fatalf("retryAfter %v, want >= 1s floor", retry)
+	}
+	// 10 tokens/s: after 500ms, 5 tokens accumulated.
+	if ok, _ := b.take(5, t0.Add(500*time.Millisecond)); !ok {
+		t.Fatal("refilled tokens not admitted")
+	}
+	if ok, _ := b.take(1, t0.Add(500*time.Millisecond)); ok {
+		t.Fatal("admitted beyond the refill")
+	}
+	// A batch larger than the burst can never succeed; retryAfter must
+	// still be finite (time to a full bucket).
+	ok, retry = b.take(1000, t0.Add(time.Hour))
+	if ok {
+		t.Fatal("admitted a batch larger than the burst")
+	}
+	if retry <= 0 || retry > 3*time.Second {
+		t.Fatalf("oversized-batch retryAfter %v, want (0, 3s]", retry)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	if b := newTokenBucket(QuotaSpec{}, time.Now()); b != nil {
+		t.Fatal("zero quota should build a nil (unlimited) bucket")
+	}
+	var b *tokenBucket
+	if ok, _ := b.take(1_000_000, time.Now()); !ok {
+		t.Fatal("nil bucket rejected")
+	}
+}
+
+func TestQuotaSpecDefaults(t *testing.T) {
+	q := QuotaSpec{RatePerSec: 2.5}.withDefaults()
+	if q.Burst != 3 {
+		t.Fatalf("Burst = %d, want ceil(2.5) = 3", q.Burst)
+	}
+	if got := (QuotaSpec{RatePerSec: -1, Burst: 7}).withDefaults(); !got.unlimited() {
+		t.Fatalf("negative rate should normalize to unlimited, got %+v", got)
+	}
+}
+
+func TestSharedCostCache(t *testing.T) {
+	c := NewSharedCostCache(3)
+	if _, ok := c.Get("a", "t1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", "t1", 1.5)
+	if v, ok := c.Get("a", "t1"); !ok || v != 1.5 {
+		t.Fatalf("Get(a) = %v %v", v, ok)
+	}
+	// Same key from another tenant: a shared hit.
+	if _, ok := c.Get("a", "t2"); !ok {
+		t.Fatal("cross-tenant get missed")
+	}
+	st := c.Stats()
+	if st.SharedHits != 1 || st.Origins["t2"].SharedHits != 1 || st.Origins["t1"].SharedHits != 0 {
+		t.Fatalf("shared-hit attribution wrong: %+v", st)
+	}
+
+	// LRU eviction: touch "a", insert past capacity, oldest untouched
+	// entries fall out.
+	c.Put("b", "t1", 2)
+	c.Put("c", "t1", 3)
+	c.Get("a", "t1")
+	c.Put("d", "t1", 4) // evicts b (least recently used)
+	if _, ok := c.Get("b", "t1"); ok {
+		t.Fatal("LRU kept the least-recently-used entry")
+	}
+	if _, ok := c.Get("a", "t1"); !ok {
+		t.Fatal("LRU evicted a recently-touched entry")
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("entries/evictions = %d/%d, want 3/1", st.Entries, st.Evictions)
+	}
+}
+
+func TestSharedCostCacheConcurrent(t *testing.T) {
+	c := NewSharedCostCache(128)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			origin := fmt.Sprintf("t%d", g)
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%200)
+				if _, ok := c.Get(key, origin); !ok {
+					c.Put(key, origin, float64(i))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if st := c.Stats(); st.Entries > 128 {
+		t.Fatalf("cache exceeded capacity: %d entries", st.Entries)
+	}
+}

@@ -29,7 +29,11 @@ func NewRegistry() *Registry {
 
 type promMetric interface {
 	meta() (name, help, typ string)
-	write(w io.Writer)
+	// write renders the metric's samples. extra, when non-empty, is a
+	// pre-rendered label pair (e.g. `tenant="t1"`) injected into every
+	// sample's label set — how fleet deployments attribute one
+	// registry's metrics to one tenant without a full label model.
+	write(w io.Writer, extra string)
 }
 
 func (r *Registry) register(m promMetric) {
@@ -44,7 +48,16 @@ func (r *Registry) register(m promMetric) {
 }
 
 // Render writes every metric in the Prometheus text format.
-func (r *Registry) Render(w io.Writer) {
+func (r *Registry) Render(w io.Writer) { r.RenderLabeled(w, "", "") }
+
+// RenderLabeled renders every metric with an extra label pair injected
+// into each sample (label == "" renders plain). The HELP/TYPE headers
+// are unaffected; only sample label sets grow.
+func (r *Registry) RenderLabeled(w io.Writer, label, value string) {
+	extra := ""
+	if label != "" {
+		extra = fmt.Sprintf("%s=%q", label, escapeLabel(value))
+	}
 	r.mu.Lock()
 	ms := make([]promMetric, len(r.metrics))
 	copy(ms, r.metrics)
@@ -52,7 +65,63 @@ func (r *Registry) Render(w io.Writer) {
 	for _, m := range ms {
 		name, help, typ := m.meta()
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-		m.write(w)
+		m.write(w, extra)
+	}
+}
+
+// LabeledRegistry pairs a registry with the label value (e.g. a tenant
+// ID) its samples render under in a merged exposition.
+type LabeledRegistry struct {
+	Value    string
+	Registry *Registry
+}
+
+// RenderMerged renders several registries as one valid exposition:
+// each metric family appears exactly once (HELP/TYPE from its first
+// occurrence, families ordered by first appearance across registries),
+// followed by every registry's samples for it with label=value
+// injected. This is the fleet /metrics surface — N per-tenant
+// registries become one scrape with a tenant label, without the
+// tenants' metric objects knowing about each other.
+func RenderMerged(w io.Writer, label string, regs []LabeledRegistry) {
+	type family struct {
+		name, help, typ string
+		samples         []struct {
+			extra string
+			m     promMetric
+		}
+	}
+	var order []string
+	families := map[string]*family{}
+	for _, lr := range regs {
+		if lr.Registry == nil {
+			continue
+		}
+		extra := fmt.Sprintf("%s=%q", label, escapeLabel(lr.Value))
+		lr.Registry.mu.Lock()
+		ms := make([]promMetric, len(lr.Registry.metrics))
+		copy(ms, lr.Registry.metrics)
+		lr.Registry.mu.Unlock()
+		for _, m := range ms {
+			name, help, typ := m.meta()
+			f, ok := families[name]
+			if !ok {
+				f = &family{name: name, help: help, typ: typ}
+				families[name] = f
+				order = append(order, name)
+			}
+			f.samples = append(f.samples, struct {
+				extra string
+				m     promMetric
+			}{extra, m})
+		}
+	}
+	for _, name := range order {
+		f := families[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, s := range f.samples {
+			s.m.write(w, s.extra)
+		}
 	}
 }
 
@@ -114,8 +183,18 @@ func (c *Counter) Add(d float64) { c.v.add(d) }
 func (c *Counter) Value() float64 { return c.v.load() }
 
 func (c *Counter) meta() (string, string, string) { return c.name, c.help, "counter" }
-func (c *Counter) write(w io.Writer) {
-	fmt.Fprintf(w, "%s %s\n", c.name, formatFloat(c.v.load()))
+func (c *Counter) write(w io.Writer, extra string) {
+	writePlain(w, c.name, extra, c.v.load())
+}
+
+// writePlain renders one unlabeled sample, wrapping it in the injected
+// label pair when present.
+func writePlain(w io.Writer, name, extra string, v float64) {
+	if extra == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, extra, formatFloat(v))
 }
 
 // Gauge is a value that can go up and down.
@@ -141,8 +220,8 @@ func (g *Gauge) Add(d float64) { g.v.add(d) }
 func (g *Gauge) Value() float64 { return g.v.load() }
 
 func (g *Gauge) meta() (string, string, string) { return g.name, g.help, "gauge" }
-func (g *Gauge) write(w io.Writer) {
-	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.v.load()))
+func (g *Gauge) write(w io.Writer, extra string) {
+	writePlain(w, g.name, extra, g.v.load())
 }
 
 // CounterVec is a counter partitioned by one label (enough for phase
@@ -175,7 +254,7 @@ func (v *CounterVec) Value(labelValue string) float64 {
 }
 
 func (v *CounterVec) meta() (string, string, string) { return v.name, v.help, "counter" }
-func (v *CounterVec) write(w io.Writer) {
+func (v *CounterVec) write(w io.Writer, extra string) {
 	v.mu.Lock()
 	keys := make([]string, 0, len(v.vals))
 	for k := range v.vals {
@@ -188,8 +267,71 @@ func (v *CounterVec) write(w io.Writer) {
 	v.mu.Unlock()
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(w, "%s{%s=%q} %s\n", v.name, v.label, escapeLabel(k), formatFloat(vals[k]))
+		fmt.Fprintf(w, "%s{%s%s=%q} %s\n", v.name, prefixLabel(extra), v.label, escapeLabel(k), formatFloat(vals[k]))
 	}
+}
+
+// GaugeVec is a gauge partitioned by one label — the fleet uses one for
+// per-tenant queue depths, refreshed at scrape time.
+type GaugeVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	vals              map[string]float64
+}
+
+// NewGaugeVec registers a one-label gauge family.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, label: label, vals: map[string]float64{}}
+	r.register(v)
+	return v
+}
+
+// Set replaces the value of the series with the given label value.
+func (v *GaugeVec) Set(labelValue string, x float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.vals[labelValue] = x
+}
+
+// Delete removes one series (e.g. a deregistered tenant).
+func (v *GaugeVec) Delete(labelValue string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.vals, labelValue)
+}
+
+// Value returns the value for one label value.
+func (v *GaugeVec) Value(labelValue string) float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.vals[labelValue]
+}
+
+func (v *GaugeVec) meta() (string, string, string) { return v.name, v.help, "gauge" }
+func (v *GaugeVec) write(w io.Writer, extra string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	vals := make(map[string]float64, len(v.vals))
+	for k, x := range v.vals {
+		vals[k] = x
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s%s=%q} %s\n", v.name, prefixLabel(extra), v.label, escapeLabel(k), formatFloat(vals[k]))
+	}
+}
+
+// prefixLabel renders the injected label pair as a leading list element
+// ("" stays empty; `tenant="t1"` becomes `tenant="t1",`).
+func prefixLabel(extra string) string {
+	if extra == "" {
+		return ""
+	}
+	return extra + ","
 }
 
 func escapeLabel(s string) string {
@@ -254,17 +396,22 @@ func (h *Histogram) Count() uint64 {
 }
 
 func (h *Histogram) meta() (string, string, string) { return h.name, h.help, "histogram" }
-func (h *Histogram) write(w io.Writer) {
+func (h *Histogram) write(w io.Writer, extra string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	cum := uint64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", h.name, prefixLabel(extra), formatFloat(b), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.total)
-	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum))
-	fmt.Fprintf(w, "%s_count %d\n", h.name, h.total)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", h.name, prefixLabel(extra), h.total)
+	if extra == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum))
+		fmt.Fprintf(w, "%s_count %d\n", h.name, h.total)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", h.name, extra, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", h.name, extra, h.total)
 }
 
 // HistogramVec is a histogram family partitioned by one label (enough
@@ -323,7 +470,7 @@ func (v *HistogramVec) Count(labelValue string) uint64 {
 }
 
 func (v *HistogramVec) meta() (string, string, string) { return v.name, v.help, "histogram" }
-func (v *HistogramVec) write(w io.Writer) {
+func (v *HistogramVec) write(w io.Writer, extra string) {
 	v.mu.Lock()
 	keys := make([]string, 0, len(v.children))
 	for k := range v.children {
@@ -335,16 +482,17 @@ func (v *HistogramVec) write(w io.Writer) {
 	}
 	v.mu.Unlock()
 	sort.Strings(keys)
+	pre := prefixLabel(extra)
 	for _, k := range keys {
 		s := copies[k]
 		lbl := escapeLabel(k)
 		cum := uint64(0)
 		for i, b := range v.bounds {
 			cum += s.counts[i]
-			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", v.name, v.label, lbl, formatFloat(b), cum)
+			fmt.Fprintf(w, "%s_bucket{%s%s=%q,le=%q} %d\n", v.name, pre, v.label, lbl, formatFloat(b), cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", v.name, v.label, lbl, s.total)
-		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", v.name, v.label, lbl, formatFloat(s.sum))
-		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", v.name, v.label, lbl, s.total)
+		fmt.Fprintf(w, "%s_bucket{%s%s=%q,le=\"+Inf\"} %d\n", v.name, pre, v.label, lbl, s.total)
+		fmt.Fprintf(w, "%s_sum{%s%s=%q} %s\n", v.name, pre, v.label, lbl, formatFloat(s.sum))
+		fmt.Fprintf(w, "%s_count{%s%s=%q} %d\n", v.name, pre, v.label, lbl, s.total)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 )
@@ -63,6 +64,10 @@ type SessionRecord struct {
 	ID         string    `json:"id"`
 	StartedAt  time.Time `json:"started_at"`
 	FinishedAt time.Time `json:"finished_at"`
+	// Tenant attributes the session to a fleet tenant (empty outside
+	// fleet deployments), so shared or aggregated histories stay
+	// disambiguated when several services record side by side.
+	Tenant string `json:"tenant,omitempty"`
 	// Trigger says what started the session: "manual", "auto" (drift),
 	// or "cli".
 	Trigger string `json:"trigger,omitempty"`
@@ -97,6 +102,7 @@ type SessionRecord struct {
 // SessionSummary is the list-view projection of a SessionRecord.
 type SessionSummary struct {
 	ID               string    `json:"id"`
+	Tenant           string    `json:"tenant,omitempty"`
 	StartedAt        time.Time `json:"started_at"`
 	FinishedAt       time.Time `json:"finished_at"`
 	Trigger          string    `json:"trigger,omitempty"`
@@ -114,6 +120,7 @@ type SessionSummary struct {
 func (r *SessionRecord) Summary() SessionSummary {
 	return SessionSummary{
 		ID:               r.ID,
+		Tenant:           r.Tenant,
 		StartedAt:        r.StartedAt,
 		FinishedAt:       r.FinishedAt,
 		Trigger:          r.Trigger,
@@ -146,6 +153,7 @@ type Recorder struct {
 	mu        sync.Mutex
 	path      string
 	limit     int
+	idPrefix  string
 	sessions  []*SessionRecord
 	nextSeq   int
 	f         *os.File
@@ -157,10 +165,20 @@ type Recorder struct {
 // Corrupt lines in an existing file are skipped, not fatal: a partial
 // history beats a daemon that won't boot.
 func NewRecorder(path string, limit int) (*Recorder, error) {
+	return NewRecorderPrefix(path, limit, "")
+}
+
+// NewRecorderPrefix is NewRecorder with a session-ID prefix: IDs become
+// "<prefix>s-000001", ... . Distinct prefixes make IDs globally unique
+// when several recorders coexist in one process — the fleet case, where
+// each tenant records its own history ("t1-s-000001" never collides
+// with "t2-s-000001") and fleet-wide views can aggregate them without
+// ambiguity.
+func NewRecorderPrefix(path string, limit int, idPrefix string) (*Recorder, error) {
 	if limit <= 0 {
 		limit = DefaultRecorderLimit
 	}
-	r := &Recorder{path: path, limit: limit, nextSeq: 1}
+	r := &Recorder{path: path, limit: limit, idPrefix: idPrefix, nextSeq: 1}
 	if path == "" {
 		return r, nil
 	}
@@ -204,7 +222,8 @@ func (r *Recorder) load() error {
 		}
 		r.sessions = append(r.sessions, &rec)
 		var seq int
-		if _, err := fmt.Sscanf(rec.ID, "s-%d", &seq); err == nil && seq >= r.nextSeq {
+		id, hasPrefix := strings.CutPrefix(rec.ID, r.idPrefix)
+		if _, err := fmt.Sscanf(id, "s-%d", &seq); hasPrefix && err == nil && seq >= r.nextSeq {
 			r.nextSeq = seq + 1
 		}
 	}
@@ -217,7 +236,8 @@ func (r *Recorder) load() error {
 	return nil
 }
 
-// NewSessionID reserves the next session identifier ("s-000001", ...).
+// NewSessionID reserves the next session identifier ("s-000001", ...,
+// with the recorder's ID prefix prepended when one was configured).
 // IDs stay monotonic across restarts because load recovers the highest
 // persisted sequence number.
 func (r *Recorder) NewSessionID() string {
@@ -226,7 +246,7 @@ func (r *Recorder) NewSessionID() string {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	id := fmt.Sprintf("s-%06d", r.nextSeq)
+	id := fmt.Sprintf("%ss-%06d", r.idPrefix, r.nextSeq)
 	r.nextSeq++
 	return id
 }

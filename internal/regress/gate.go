@@ -166,6 +166,15 @@ func gateScenario(base, c ScenarioResult, tol Tolerance) []Violation {
 			float64(base.RecordedSessions),
 			"the flight recorder retained fewer sessions than the baseline")
 	}
+	// Fleet lower bound: cross-tenant fragment reuse is the point of the
+	// fleet-throughput scenario. Shared hits dropping to zero while the
+	// baseline recorded some means multi-tenant cache sharing silently
+	// broke (tenants still get correct recommendations — just without
+	// the optimizer-call savings — so only this gate would catch it).
+	if base.SharedCacheHits > 0 && c.SharedCacheHits == 0 {
+		check("shared_cache_hits", float64(base.SharedCacheHits), 0, 1,
+			"the fleet no longer shares cached fragments across tenants")
+	}
 	// The parallel evaluation engine must not run slower than the serial
 	// algorithm (ratio ≤ 1 + 5% noise slack). Only meaningful when the
 	// run actually had more than one worker; single-core runners record

@@ -1,6 +1,7 @@
 // Package regress is the tuner's performance-regression harness. It
 // runs standardized tuning scenarios (batch TPC-H-style, an update
-// workload, and an online drift replay through the service layer),
+// workload, an online drift replay through the service layer, and a
+// multi-tenant fleet throughput scenario),
 // captures a schema-versioned benchmark record per scenario — wall
 // time, allocations, optimizer calls, recommendation quality against
 // the unconstrained §2 optimum, and the §3.3.2 calibration score — and
@@ -16,6 +17,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/workloads"
@@ -24,8 +26,9 @@ import (
 // SchemaVersion identifies the BENCH_tuner.json layout. Bump it when a
 // field changes meaning; the gate refuses to compare across versions.
 // v2 added the flight-recorder counters (frontier_points,
-// recorded_sessions).
-const SchemaVersion = 2
+// recorded_sessions); v3 added the fleet-throughput scenario
+// (fleet_tenants, shared_cache_hits).
+const SchemaVersion = 3
 
 // Bench is the schema-versioned payload written to BENCH_tuner.json.
 type Bench struct {
@@ -80,6 +83,14 @@ type ScenarioResult struct {
 	// gate bounds the ratio only when workers > 1.
 	ParallelWorkers   int     `json:"parallel_workers,omitempty"`
 	ParallelWallRatio float64 `json:"parallel_wall_ratio,omitempty"`
+	// FleetTenants and SharedCacheHits record the fleet-throughput
+	// scenario: the tenant count and the number of cross-tenant
+	// fragment-cache hits (a tenant reusing a per-statement optimal
+	// fragment another tenant computed). Shared hits dropping to zero
+	// means multi-tenant cache sharing silently broke; the gate treats
+	// that as a violation.
+	FleetTenants    int   `json:"fleet_tenants,omitempty"`
+	SharedCacheHits int64 `json:"shared_cache_hits,omitempty"`
 }
 
 // Config parameterizes a suite run.
@@ -141,6 +152,11 @@ func Scenarios() []Scenario {
 			Name: "parallel-speedup",
 			Desc: "TPC-H batch serial vs parallel evaluation engine (equivalence + wall ratio)",
 			Run:  runParallelSpeedup,
+		},
+		{
+			Name: "fleet-throughput",
+			Desc: "3-tenant fleet with overlapping shapes (shared-cache reuse + single-tenant parity)",
+			Run:  runFleetThroughput,
 		},
 	}
 }
@@ -354,6 +370,131 @@ func runOnlineDrift(cfg Config) (ScenarioResult, error) {
 	}
 	fillCalibration(&sr, svc.Explain())
 	return sr, nil
+}
+
+// runFleetThroughput registers three tenants with identical catalogs
+// and overlapping statement shapes in one fleet registry, retunes each
+// through the shared worker pool, and asserts the multi-tenant
+// acceptance criterion: cross-tenant shared-cache hits are non-zero
+// AND every tenant's recommendation is identical to what an isolated
+// single-tenant process computes for the same workload. The record
+// carries the fleet's total optimizer calls — the metric cache sharing
+// exists to reduce — and the shared-hit count the gate lower-bounds.
+func runFleetThroughput(cfg Config) (ScenarioResult, error) {
+	const tenants = 3
+	db := datagen.TPCH(cfg.SF)
+	sqls := workloads.TPCH22SQL()
+	if len(sqls) < 8+tenants {
+		return ScenarioResult{}, fmt.Errorf("TPC-H batch too small: %d statements", len(sqls))
+	}
+	// Eight shapes shared by every tenant plus one tenant-specific shape
+	// each, so reuse is real but no two windows are identical.
+	shared := sqls[:8]
+	workloadFor := func(i int) []string {
+		return append(append([]string{}, shared...), sqls[8+i])
+	}
+
+	// Budget from the shared-shape optimum so every retune must relax.
+	wS, err := workloads.FromStatements("fleet-shared", db.Name, shared)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	probe, err := core.NewTuner(db, wS, core.Options{NoViews: true})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	optCfg, err := probe.OptimalConfiguration()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	tuning := core.Options{
+		NoViews:       true,
+		MaxIterations: cfg.MaxIterations,
+		SpaceBudget:   probe.Opt.Sizer().ConfigBytes(optCfg) / 2,
+		Parallelism:   1,
+	}
+
+	reg, err := fleet.New(fleet.Options{
+		Workers: 2,
+		Catalog: func(database string, sf float64) (*catalog.Database, error) {
+			if database != "tpch" {
+				return nil, fmt.Errorf("unknown database %q", database)
+			}
+			return datagen.TPCH(sf), nil
+		},
+		Defaults: service.Options{Tuning: tuning},
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	defer reg.Close()
+
+	alloc0 := obs.HeapAllocBytes()
+	t0 := time.Now()
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		if _, err := reg.Add(fleet.TenantSpec{ID: id, Database: "tpch", ScaleFactor: cfg.SF}); err != nil {
+			return ScenarioResult{}, err
+		}
+		if res := reg.Get(id).Service.Ingest(workloadFor(i)); res.Rejected != 0 {
+			return ScenarioResult{}, fmt.Errorf("%s: %d statements rejected", id, res.Rejected)
+		}
+	}
+	fleetRecs := make([]*service.Recommendation, tenants)
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		rec, err := reg.Retune(id, "manual")
+		if err != nil {
+			return ScenarioResult{}, fmt.Errorf("%s retune: %w", id, err)
+		}
+		fleetRecs[i] = rec
+	}
+	wall := time.Since(t0)
+	allocBytes := obs.HeapAllocBytes() - alloc0
+
+	var calls, sessions int64
+	var improvement float64
+	for i := 0; i < tenants; i++ {
+		m := reg.Get(fmt.Sprintf("tenant-%d", i)).Service.MetricsSnapshot()
+		calls += m.TuneOptimizerCalls
+		sessions += m.RecordedSessions
+		improvement += fleetRecs[i].ImprovementPct
+	}
+	stats := reg.FragmentCache().Stats()
+	if stats.SharedHits == 0 {
+		return ScenarioResult{}, fmt.Errorf("no cross-tenant shared-cache hits across %d tenants with overlapping shapes", tenants)
+	}
+
+	// Parity: an isolated single-tenant service over the same catalog and
+	// workload must produce the same recommendation (outside the timed
+	// window — the record measures the fleet, not the reference runs).
+	for i := 0; i < tenants; i++ {
+		solo, err := service.New(service.Options{DB: datagen.TPCH(cfg.SF), Tuning: tuning})
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		solo.Ingest(workloadFor(i))
+		soloRec, err := solo.Retune()
+		solo.Close()
+		if err != nil {
+			return ScenarioResult{}, fmt.Errorf("solo retune %d: %w", i, err)
+		}
+		if soloRec.DDL != fleetRecs[i].DDL || soloRec.Cost != fleetRecs[i].Cost {
+			return ScenarioResult{}, fmt.Errorf("tenant-%d: fleet recommendation diverged from single-tenant run (cost %v vs %v)",
+				i, fleetRecs[i].Cost, soloRec.Cost)
+		}
+	}
+
+	return ScenarioResult{
+		Name:             "fleet-throughput",
+		WallSeconds:      wall.Seconds(),
+		AllocBytes:       allocBytes,
+		OptimizerCalls:   calls,
+		ImprovementPct:   improvement / tenants,
+		RecordedSessions: int(sessions),
+		FleetTenants:     tenants,
+		SharedCacheHits:  stats.SharedHits,
+	}, nil
 }
 
 // qualityGap is the distance from the unconstrained optimum, in

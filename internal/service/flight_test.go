@@ -94,7 +94,6 @@ func TestSessionEndpointsAndDiff(t *testing.T) {
 	}
 }
 
-
 // TestSessionHistorySurvivesRestart is the acceptance path: retune,
 // stop the service, start a fresh one over the same history file, and
 // find the session — frontier included — still served.

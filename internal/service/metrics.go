@@ -99,8 +99,11 @@ type MetricsSnapshot struct {
 
 	// Warm-start accounting from the shared request cache: calls invested
 	// building cached fragments vs. calls avoided on cache hits.
+	// CacheSharedHits counts hits on fragments another tenant stored
+	// (always 0 when the cache is service-private).
 	CacheEntries        int   `json:"cache_entries"`
 	CacheHits           int64 `json:"cache_hits"`
+	CacheSharedHits     int64 `json:"cache_shared_hits,omitempty"`
 	OptimizerCallsSaved int64 `json:"optimizer_calls_saved"`
 	OptimizerCallsSpent int64 `json:"optimizer_calls_spent"`
 
@@ -116,13 +119,13 @@ type MetricsSnapshot struct {
 // registry. Values are refreshed from a MetricsSnapshot on each scrape
 // (the tuner_* search metrics are event-driven and always current).
 type serviceGauges struct {
-	uptime         *obs.Gauge
-	ingested       *obs.Gauge
-	windowObs      *obs.Gauge
-	windowUnique   *obs.Gauge
-	retunes        *obs.Gauge
-	warmRetunes    *obs.Gauge
-	driftEvents    *obs.Gauge
+	uptime           *obs.Gauge
+	ingested         *obs.Gauge
+	windowObs        *obs.Gauge
+	windowUnique     *obs.Gauge
+	retunes          *obs.Gauge
+	warmRetunes      *obs.Gauge
+	driftEvents      *obs.Gauge
 	cacheEntries     *obs.Gauge
 	lastRetuneUnix   *obs.Gauge
 	parallelWorkers  *obs.Gauge
@@ -132,14 +135,14 @@ type serviceGauges struct {
 
 func newServiceGauges(reg *obs.Registry) *serviceGauges {
 	return &serviceGauges{
-		uptime:         reg.NewGauge("tuner_uptime_seconds", "Seconds since the service started."),
-		ingested:       reg.NewGauge("tuner_statements_ingested", "Statements ingested since start."),
-		windowObs:      reg.NewGauge("tuner_window_observations", "Statement observations in the sliding window."),
-		windowUnique:   reg.NewGauge("tuner_window_unique", "Distinct statements in the sliding window."),
-		retunes:        reg.NewGauge("tuner_retunes", "Completed tuning sessions."),
-		warmRetunes:    reg.NewGauge("tuner_warm_retunes", "Tuning sessions that warm-started from the previous recommendation."),
-		driftEvents:    reg.NewGauge("tuner_drift_events", "Drift detections since start."),
-		cacheEntries:   reg.NewGauge("tuner_fragment_cache_entries", "Entries in the per-statement optimal-fragment cache."),
+		uptime:           reg.NewGauge("tuner_uptime_seconds", "Seconds since the service started."),
+		ingested:         reg.NewGauge("tuner_statements_ingested", "Statements ingested since start."),
+		windowObs:        reg.NewGauge("tuner_window_observations", "Statement observations in the sliding window."),
+		windowUnique:     reg.NewGauge("tuner_window_unique", "Distinct statements in the sliding window."),
+		retunes:          reg.NewGauge("tuner_retunes", "Completed tuning sessions."),
+		warmRetunes:      reg.NewGauge("tuner_warm_retunes", "Tuning sessions that warm-started from the previous recommendation."),
+		driftEvents:      reg.NewGauge("tuner_drift_events", "Drift detections since start."),
+		cacheEntries:     reg.NewGauge("tuner_fragment_cache_entries", "Entries in the per-statement optimal-fragment cache."),
 		lastRetuneUnix:   reg.NewGauge("tuner_last_retune_unix", "Unix timestamp of the last successful retune (0 = none)."),
 		parallelWorkers:  reg.NewGauge("tuner_parallel_workers", "Worker count of the last retune's parallel evaluation engine (1 = serial)."),
 		recordedSessions: reg.NewGauge("tuner_recorded_sessions", "Tuning sessions retained by the flight recorder."),

@@ -29,9 +29,32 @@ import (
 type Options struct {
 	// DB is the catalog database tuned against (required).
 	DB *catalog.Database
+	// Tenant names the fleet tenant this service tunes for (empty
+	// outside fleet deployments). It becomes the session-record tenant,
+	// the request-cache origin (so cross-tenant shared hits are
+	// attributable), and — when no Recorder is supplied — the session-ID
+	// prefix, so N services in one process never mint colliding IDs.
+	Tenant string
 	// Tuning configures each retuning session (budget, iterations, ...).
-	// Cache and WarmStart are managed by the service and overwritten.
+	// Cache, CacheOrigin, and WarmStart are managed by the service and
+	// overwritten.
 	Tuning core.Options
+	// Cache, when set, is the request cache retunes consult — pass one
+	// shared core.RequestCache to every tenant's service so tenants with
+	// identical catalogs and overlapping statement shapes reuse each
+	// other's per-statement fragments. nil gives the service a private
+	// cache (the single-tenant behavior).
+	Cache *core.RequestCache
+	// CostCache, when set, shares drift-probe what-if costs across
+	// services: entries are keyed by (catalog fingerprint, configuration
+	// fingerprint, statement), so only tenants in identical states reuse
+	// them. nil keeps the probe costs service-local.
+	CostCache CostCache
+	// RetuneScheduler, when set, receives asynchronous retune requests
+	// (drift-triggered or TriggerRetune) instead of the service's own
+	// single-flight worker — the hook a fleet worker pool installs to
+	// shard retunes across tenants with per-tenant serialization.
+	RetuneScheduler func(trigger string)
 	// Window configures the streaming ingester.
 	Window workloads.WindowOptions
 	// Drift configures the retune-worthwhile decision.
@@ -61,6 +84,19 @@ type Options struct {
 	// MetricsBuckets overrides the Prometheus histogram bucket
 	// boundaries (zero value = defaults).
 	MetricsBuckets obs.TunerMetricsBuckets
+}
+
+// CostCache shares per-statement what-if costs between services. Keys
+// already encode the catalog and configuration fingerprints, so any
+// bounded map implementation is correct; internal/fleet provides a
+// tenant-attributing LRU. Implementations must be safe for concurrent
+// use.
+type CostCache interface {
+	// Get returns the cached cost for key, attributing the hit or miss
+	// to origin.
+	Get(key, origin string) (float64, bool)
+	// Put stores the cost computed by origin for key.
+	Put(key, origin string, cost float64)
 }
 
 // Recommendation is the service's current physical design advice.
@@ -142,7 +178,18 @@ func New(opts Options) (*Service, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	recorder := opts.Recorder
 	if recorder == nil {
-		recorder, _ = obs.NewRecorder("", 0) // memory-only never errors
+		// Memory-only never errors. The tenant name becomes the ID
+		// prefix so several services in one process (the fleet case)
+		// never mint the same session ID.
+		prefix := ""
+		if opts.Tenant != "" {
+			prefix = opts.Tenant + "-"
+		}
+		recorder, _ = obs.NewRecorderPrefix("", 0, prefix)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = core.NewRequestCache()
 	}
 	promReg := obs.NewRegistry()
 	tm := obs.NewTunerMetricsWith(promReg, opts.MetricsBuckets)
@@ -153,7 +200,7 @@ func New(opts Options) (*Service, error) {
 		opts:         opts,
 		db:           opts.DB,
 		window:       workloads.NewSlidingWindow(opts.DB.Name, opts.Window),
-		cache:        core.NewRequestCache(),
+		cache:        cache,
 		metrics:      &Metrics{},
 		started:      time.Now(),
 		promReg:      promReg,
@@ -271,7 +318,10 @@ func (s *Service) CheckDrift() DriftReport {
 
 // windowCostPerWeight prices the window under the current recommendation,
 // reusing the per-statement costs recorded at retune time; only
-// statements unseen since the last retune cost an optimizer call.
+// statements unseen since the last retune cost an optimizer call — and
+// with a shared CostCache installed, even those are answered for free
+// when another tenant in an identical (catalog, configuration) state
+// already priced them.
 func (s *Service) windowCostPerWeight(snap *workloads.Workload, rec *Recommendation) float64 {
 	total := snap.TotalWeight()
 	if total <= 0 {
@@ -282,9 +332,20 @@ func (s *Service) windowCostPerWeight(snap *workloads.Workload, rec *Recommendat
 	if s.rec != rec {
 		return 0 // a retune happened in between; skip the cost signal
 	}
+	shared := s.opts.CostCache
+	sharedPrefix := ""
+	if shared != nil {
+		sharedPrefix = s.db.Fingerprint() + "|" + rec.Config.Fingerprint() + "|"
+	}
 	sum := 0.0
 	for _, q := range snap.Queries {
 		c, ok := s.costCache[q.SQL]
+		if !ok && shared != nil {
+			if v, hit := shared.Get(sharedPrefix+q.SQL, s.opts.Tenant); hit {
+				c, ok = v, true
+				s.costCache[q.SQL] = c
+			}
+		}
 		if !ok {
 			bound, err := optimizer.Bind(s.db, q.Stmt)
 			if err != nil {
@@ -297,6 +358,9 @@ func (s *Service) windowCostPerWeight(snap *workloads.Workload, rec *Recommendat
 			s.metrics.driftOptimizerCalls.Add(1)
 			c = res.TotalCost()
 			s.costCache[q.SQL] = c
+			if shared != nil {
+				shared.Put(sharedPrefix+q.SQL, s.opts.Tenant, c)
+			}
 		}
 		sum += q.Weight * c
 	}
@@ -304,8 +368,14 @@ func (s *Service) windowCostPerWeight(snap *workloads.Workload, rec *Recommendat
 }
 
 // TriggerRetune schedules an asynchronous retune; a retune already
-// pending or running absorbs the trigger.
+// pending or running absorbs the trigger. With a RetuneScheduler
+// installed (fleet mode) the request is handed to it instead — the
+// pool owns queueing, priority, and per-tenant serialization.
 func (s *Service) TriggerRetune() {
+	if s.opts.RetuneScheduler != nil {
+		s.opts.RetuneScheduler("auto")
+		return
+	}
 	select {
 	case s.retuneCh <- struct{}{}:
 	default:
@@ -327,6 +397,15 @@ func (s *Service) RetuneWithBudget(budget int64) (*Recommendation, error) {
 	return s.retune("manual", budget, true)
 }
 
+// RetuneSession is the fully parameterized synchronous retune: the
+// trigger lands in the session record, and overrideBudget applies a
+// one-off budget. External schedulers (the fleet worker pool) use this
+// entry point so drift-triggered retunes record "auto" even though the
+// pool, not the service's own worker, ran them.
+func (s *Service) RetuneSession(trigger string, budget int64, overrideBudget bool) (*Recommendation, error) {
+	return s.retune(trigger, budget, overrideBudget)
+}
+
 func (s *Service) retune(trigger string, budget int64, overrideBudget bool) (*Recommendation, error) {
 	s.tuneMu.Lock()
 	defer s.tuneMu.Unlock()
@@ -338,6 +417,7 @@ func (s *Service) retune(trigger string, budget int64, overrideBudget bool) (*Re
 
 	opts := s.opts.Tuning
 	opts.Cache = s.cache
+	opts.CacheOrigin = s.opts.Tenant
 	opts.Trace = s.trace
 	opts.Profile = s.profiler
 	opts.Progress = s.progress
@@ -387,7 +467,7 @@ func (s *Service) retune(trigger string, budget int64, overrideBudget bool) (*Re
 		rec.Views = append(rec.Views, v.Name+" := "+v.SQL())
 	}
 
-	session := buildSessionRecord(sessionID, trigger, startedAt, warm, t, snap, res, opts.SpaceBudget)
+	session := buildSessionRecord(sessionID, s.opts.Tenant, trigger, startedAt, warm, t, snap, res, opts.SpaceBudget)
 	if err := s.recorder.Record(session); err != nil {
 		s.warnf("service: flight recorder: %v", err)
 	}
@@ -419,8 +499,16 @@ func (s *Service) retune(trigger string, budget int64, overrideBudget bool) (*Re
 		CostPerWeight: res.Best.Cost / snap.TotalWeight(),
 	}
 	s.costCache = make(map[string]float64, len(snap.Queries))
+	sharedPrefix := ""
+	if s.opts.CostCache != nil {
+		sharedPrefix = s.db.Fingerprint() + "|" + res.Best.Config.Fingerprint() + "|"
+	}
 	for i, q := range snap.Queries {
-		s.costCache[q.SQL] = res.Best.Results[i].TotalCost()
+		c := res.Best.Results[i].TotalCost()
+		s.costCache[q.SQL] = c
+		if s.opts.CostCache != nil {
+			s.opts.CostCache.Put(sharedPrefix+q.SQL, s.opts.Tenant, c)
+		}
 	}
 	s.mu.Unlock()
 
@@ -435,6 +523,13 @@ func (s *Service) MetricsSnapshot() MetricsSnapshot {
 	m := s.metrics.snapshot()
 	st := s.window.Stats()
 	cs := s.cache.Stats()
+	cacheHits, cacheShared := cs.Hits, cs.SharedHits
+	if s.opts.Tenant != "" {
+		// The cache may be fleet-shared; report this tenant's own
+		// activity, not the cache-wide totals.
+		os := cs.Origins[s.opts.Tenant]
+		cacheHits, cacheShared = os.Hits, os.SharedHits
+	}
 	return MetricsSnapshot{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 
@@ -461,7 +556,8 @@ func (s *Service) MetricsSnapshot() MetricsSnapshot {
 		ParallelWorkers:     m.parallelWorkers,
 
 		CacheEntries:        cs.Entries,
-		CacheHits:           cs.Hits,
+		CacheHits:           cacheHits,
+		CacheSharedHits:     cacheShared,
 		OptimizerCallsSaved: cs.CallsSaved,
 		OptimizerCallsSpent: cs.CallsSpent,
 
@@ -490,6 +586,12 @@ func (s *Service) Profile() *obs.ProfileReport {
 // PromRegistry exposes the service's Prometheus registry, e.g. to mount
 // its Handler or register additional process metrics.
 func (s *Service) PromRegistry() *obs.Registry { return s.promReg }
+
+// RefreshPromGauges mirrors the current metrics snapshot into the
+// service-level Prometheus gauges. The service's own /metrics handler
+// does this per scrape; external renderers (the fleet's merged
+// exposition) call it before reading PromRegistry.
+func (s *Service) RefreshPromGauges() { s.promGauges.update(s.MetricsSnapshot()) }
 
 // retuneWorker runs triggered retunes until the service closes.
 func (s *Service) retuneWorker() {

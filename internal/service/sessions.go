@@ -50,10 +50,11 @@ func (s *Service) Progress() *obs.Progress { return s.progress }
 
 // buildSessionRecord assembles the flight-recorder entry for one
 // completed tuning session.
-func buildSessionRecord(id, trigger string, startedAt time.Time, warm bool,
+func buildSessionRecord(id, tenant, trigger string, startedAt time.Time, warm bool,
 	t *core.Tuner, snap *workloads.Workload, res *core.Result, budget int64) *obs.SessionRecord {
 	rec := &obs.SessionRecord{
 		ID:               id,
+		Tenant:           tenant,
 		StartedAt:        startedAt.UTC(),
 		FinishedAt:       startedAt.Add(res.Elapsed).UTC(),
 		Trigger:          trigger,

@@ -20,11 +20,13 @@ package tuner
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/baseline"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/workloads"
@@ -278,3 +280,40 @@ func DiffSessions(from, to *SessionRecord) *SessionDiff { return obs.DiffSession
 func Calibrate(samples []CalibSample, economy WhatIfEconomy) *CalibrationReport {
 	return obs.Calibrate(samples, economy)
 }
+
+// Fleet types, re-exported. A fleet runs many online tuning services —
+// tenants — inside one process: a registry tenants join and leave at
+// runtime, a bounded worker pool sharding retune sessions across
+// tenants, per-tenant ingestion quotas, and shared cross-tenant caches
+// keyed by catalog fingerprint (so sharing never changes any tenant's
+// recommendation). Served over HTTP by cmd/tunerd -fleet.
+type (
+	// Fleet is the tenant registry plus the shared tuning machinery.
+	Fleet = fleet.Registry
+	// FleetOptions configure a fleet (workers, catalog resolver,
+	// per-tenant service defaults, default quota).
+	FleetOptions = fleet.Options
+	// TenantSpec declares one tenant (the POST /tenants payload).
+	TenantSpec = fleet.TenantSpec
+	// Tenant is one registered tenant and its running service.
+	Tenant = fleet.Tenant
+	// QuotaSpec is a per-tenant ingestion token bucket.
+	QuotaSpec = fleet.QuotaSpec
+	// FleetStatus is the fleet-wide status snapshot (GET /fleet).
+	FleetStatus = fleet.Status
+	// TenantStatus is one tenant's live status row.
+	TenantStatus = fleet.TenantStatus
+	// SharedCostCache is the bounded cross-tenant what-if cost LRU.
+	SharedCostCache = fleet.SharedCostCache
+)
+
+// NewFleet starts an empty fleet registry.
+func NewFleet(opts FleetOptions) (*Fleet, error) { return fleet.New(opts) }
+
+// NewFleetHandler exposes a fleet over HTTP/JSON (tenant CRUD, scoped
+// single-tenant APIs, fleet status, merged tenant-labeled metrics).
+func NewFleetHandler(r *Fleet) http.Handler { return fleet.NewHandler(r) }
+
+// NewSharedCostCache returns a bounded shared what-if cost cache
+// (capacity <= 0 = default).
+func NewSharedCostCache(capacity int) *SharedCostCache { return fleet.NewSharedCostCache(capacity) }
