@@ -418,7 +418,7 @@ func BenchmarkExecuteTPCHQuery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exec.ExecuteQuery(store, q); err != nil {
+		if _, _, err := exec.ExecuteQuery(store, q); err != nil {
 			b.Fatal(err)
 		}
 	}

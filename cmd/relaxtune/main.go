@@ -45,6 +45,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write search trace events (JSONL) to this path")
 		profile  = flag.Bool("profile", false, "print the per-phase performance profile (p50/p95/p99 wall time, allocations) after tuning")
 		parallel = flag.Int("parallel", 0, "evaluation-engine workers (0 = all cores, 1 = exact serial algorithm)")
+		replay   = flag.Bool("replay", false, "after tuning, materialize the database at -sf, execute the workload under baseline and recommended configurations, and score the cost model against measured reality")
 	)
 	flag.Parse()
 
@@ -132,6 +133,12 @@ func main() {
 		fmt.Println()
 	}
 
+	if *replay {
+		if err := runReplay(*dbName, *sf, w, res); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *explain && res.Explain != nil {
 		fmt.Println("decision log (why each structure ended up this way):")
 		res.Explain.WriteText(os.Stdout)
@@ -178,6 +185,54 @@ func database(name string, sf float64) (*tuner.Database, error) {
 	default:
 		return nil, fmt.Errorf("unknown database %q (want tpch, ds1, or bench)", name)
 	}
+}
+
+// databaseData is database with materialized rows, for -replay.
+func databaseData(name string, sf float64) (*tuner.Database, *tuner.ExecStore, error) {
+	switch strings.ToLower(name) {
+	case "tpch":
+		db, store := tuner.TPCHData(sf)
+		return db, store, nil
+	case "ds1":
+		db, store := tuner.DS1Data(sf)
+		return db, store, nil
+	case "bench":
+		db, store := tuner.BenchData(sf)
+		return db, store, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown database %q (want tpch, ds1, or bench)", name)
+	}
+}
+
+// runReplay materializes the database with row data, executes the
+// workload under the tuning result's baseline, sampled lineage, and
+// recommended configurations, and prints the execution-grounded
+// calibration report.
+func runReplay(dbName string, sf float64, w *tuner.Workload, res *tuner.Result) error {
+	rdb, store, err := databaseData(dbName, sf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying workload against materialized %s ...\n", rdb.Summary())
+	gt, err := tuner.Replay(rdb, store, w.Queries, res, tuner.ReplayOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d statements x %d configs x %d reps in %s (%d updates skipped)\n\n",
+		gt.Statements, len(gt.Configs), gt.Repetitions,
+		time.Duration(gt.DurationNanos).Round(time.Millisecond), gt.SkippedUpdates)
+	fmt.Printf("%-16s %12s %14s %12s %10s\n", "config", "est cost", "measured", "rows scanned", "size MB")
+	for _, c := range gt.Configs {
+		fmt.Printf("%-16s %12.1f %14s %12d %10.2f\n", c.Label, c.EstCost,
+			time.Duration(c.MeasuredNanos).Round(time.Microsecond), c.RowsScanned,
+			float64(c.StructureBytes)/(1<<20))
+	}
+	fmt.Println()
+	fmt.Println("cost-model calibration (execution-grounded):")
+	cal := tuner.CalibrateGrounded(res.CalibSamples, res.Economy, gt)
+	cal.WriteText(os.Stdout)
+	fmt.Println()
+	return nil
 }
 
 func loadWorkload(db *tuner.Database, spec string, gen int, updates float64, seed int64) (*tuner.Workload, error) {

@@ -23,6 +23,9 @@
 //	GET  /diff            structural delta between two sessions
 //	                      (?from=&to=; defaults to the two most recent)
 //	GET  /drift           assess workload drift
+//	GET  /calibration     cost-model calibration of the last retune
+//	                      (?ground_truth=1 runs an execution-backed
+//	                      replay first; requires -replay)
 //	GET  /metrics         activity counters (JSON; Prometheus text with
 //	                      Accept: text/plain or ?format=prometheus)
 //	GET  /healthz         liveness
@@ -73,8 +76,11 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/exec"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/replay"
 	"repro/internal/service"
 	"repro/internal/workloads"
 	"repro/tuner"
@@ -101,6 +107,8 @@ func main() {
 		driftCost  = flag.Float64("drift-cost", 1.25, "cost inflation ratio threshold")
 		autoRetune = flag.Bool("auto-retune", true, "retune automatically when drift is detected")
 		parallel   = flag.Int("parallel", 0, "evaluation-engine workers per retune (0 = all cores, 1 = exact serial algorithm)")
+		replayOn   = flag.Bool("replay", false, "enable execution-backed ground-truth replay (GET /calibration?ground_truth=1); materializes the database at -sf lazily on first use")
+		replayEach = flag.Bool("replay-each-retune", false, "run a ground-truth replay after every retune (implies -replay)")
 
 		retuneBuckets = flag.String("retune-buckets", "", "comma-separated tuner_retune_duration_seconds bucket bounds (empty = defaults)")
 		phaseBuckets  = flag.String("phase-buckets", "", "comma-separated tuner_phase_duration_seconds bucket bounds (empty = defaults)")
@@ -172,8 +180,12 @@ func main() {
 		Warnf: func(format string, args ...any) {
 			logger.Warn(fmt.Sprintf(format, args...))
 		},
-		TraceSink:      traceSink,
-		MetricsBuckets: buckets,
+		TraceSink:        traceSink,
+		MetricsBuckets:   buckets,
+		ReplayEachRetune: *replayEach,
+	}
+	if *replayEach {
+		*replayOn = true
 	}
 
 	var (
@@ -184,7 +196,7 @@ func main() {
 		if *historyPath != "" {
 			logger.Warn("tunerd: -history is ignored in fleet mode; tenant histories are in-memory")
 		}
-		reg, err := fleet.New(fleet.Options{
+		fleetOpts := fleet.Options{
 			Workers:           *fleetWorkers,
 			Catalog:           database,
 			Defaults:          baseOpts,
@@ -193,7 +205,11 @@ func main() {
 			Logf: func(format string, args ...any) {
 				logger.Info(fmt.Sprintf(format, args...))
 			},
-		})
+		}
+		if *replayOn {
+			fleetOpts.ReplaySource = databaseData
+		}
+		reg, err := fleet.New(fleetOpts)
 		if err != nil {
 			fatal("tunerd: starting fleet", err)
 		}
@@ -214,6 +230,13 @@ func main() {
 		}
 		baseOpts.DB = db
 		baseOpts.Recorder = recorder
+		if *replayOn {
+			name, scale := *dbName, *sf
+			baseOpts.Replay = &replay.Source{Build: func() (*catalog.Database, *exec.Store, error) {
+				return databaseData(name, scale)
+			}}
+			logger.Info("tunerd: ground-truth replay enabled", "each_retune", *replayEach)
+		}
 		svc, err := service.New(baseOpts)
 		if err != nil {
 			fatal("tunerd: starting service", err)
@@ -319,4 +342,21 @@ func database(name string, sf float64) (*catalog.Database, error) {
 		return tuner.Bench(sf), nil
 	}
 	return nil, fmt.Errorf("unknown database %q (want tpch, ds1, or bench)", name)
+}
+
+// databaseData is database with materialized row data — the replay
+// substrate builder for -replay (single-tenant and fleet tenants alike).
+func databaseData(name string, sf float64) (*catalog.Database, *exec.Store, error) {
+	switch name {
+	case "tpch":
+		db, store := datagen.TPCHData(sf)
+		return db, store, nil
+	case "ds1":
+		db, store := datagen.DS1Data(sf)
+		return db, store, nil
+	case "bench":
+		db, store := datagen.BenchData(sf)
+		return db, store, nil
+	}
+	return nil, nil, fmt.Errorf("unknown database %q (want tpch, ds1, or bench)", name)
 }

@@ -30,7 +30,7 @@ func main() {
 		"SELECT s_name, COUNT(*) FROM supplier, nation WHERE s_nationkey = n_nationkey GROUP BY s_name",
 	}
 
-	fmt.Printf("%-4s %12s %12s %8s  %s\n", "#", "estimated", "actual", "ratio", "query")
+	fmt.Printf("%-4s %12s %12s %8s %10s  %s\n", "#", "estimated", "actual", "ratio", "scanned", "query")
 	for i, src := range queries {
 		stmt, err := sqlx.Parse(src)
 		if err != nil {
@@ -44,7 +44,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := exec.ExecuteQuery(store, q)
+		res, st, err := exec.ExecuteQuery(store, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func main() {
 		if actual > 0 {
 			ratio = est / actual
 		}
-		fmt.Printf("%-4d %12.0f %12.0f %8.2f  %s\n", i+1, est, actual, ratio, src)
+		fmt.Printf("%-4d %12.0f %12.0f %8.2f %10d  %s\n", i+1, est, actual, ratio, st.RowsScanned, src)
 	}
 	fmt.Println("\nratios near 1.0 mean the histogram/containment model that drives all")
 	fmt.Println("tuning decisions agrees with ground truth on this synthetic data")

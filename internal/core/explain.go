@@ -86,6 +86,21 @@ func (t *Tuner) buildExplain(res *Result, bestNode *searchNode, source string) *
 		lineage[i], lineage[j] = lineage[j], lineage[i]
 	}
 
+	res.Lineage = res.Lineage[:0]
+	for _, n := range lineage {
+		kind := "multi"
+		if len(n.applied) == 1 {
+			kind = n.applied[0].Kind.String()
+		}
+		res.Lineage = append(res.Lineage, LineageStep{
+			Iteration: n.iteration,
+			Kind:      kind,
+			EstCost:   n.eval.Cost,
+			SizeBytes: n.eval.SizeBytes,
+			Config:    n.eval.Config,
+		})
+	}
+
 	rep := &ExplainReport{Source: source, Steps: len(lineage)}
 	switch source {
 	case explainSourceOptimal:

@@ -64,6 +64,27 @@ type Result struct {
 	// ParallelWorkers is the worker count the evaluation engine ran with
 	// (Options.Workers()); 1 means the exact serial algorithm.
 	ParallelWorkers int
+	// Lineage is the winning relaxation lineage root-first: each entry is
+	// one accepted step between the optimal configuration and Best, with
+	// the full configuration at that point. Empty when no relaxation was
+	// needed (Best is the optimal or initial configuration). The replay
+	// harness re-executes these configurations against real data.
+	Lineage []LineageStep
+}
+
+// LineageStep is one accepted step of the winning relaxation lineage.
+type LineageStep struct {
+	// Iteration is the search iteration that accepted the step.
+	Iteration int
+	// Kind is the transformation kind that produced it ("multi" when a
+	// §3.4 multi-transformation step applied several at once).
+	Kind string
+	// EstCost / SizeBytes are the step's evaluated workload cost and
+	// configuration size.
+	EstCost   float64
+	SizeBytes int64
+	// Config is the configuration after the step (shared, do not mutate).
+	Config *physical.Configuration
 }
 
 // ImprovementPct returns the paper's improvement metric for the final

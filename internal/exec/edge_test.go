@@ -1,0 +1,235 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/physical"
+	"repro/internal/sqlx"
+)
+
+// emptyStore is tinyStore's schema with zero rows in both tables — the
+// empty-relation edge the executor must survive everywhere (selection,
+// joins, aggregation, view materialization).
+func emptyStore() *Store {
+	s := NewStore()
+	s.Put("r", NewRelation([]string{"r.a", "r.b", "r.s"}))
+	s.Put("u", NewRelation([]string{"u.fk", "u.x"}))
+	return s
+}
+
+// nullHeavyStore approximates NULL-heavy data the way the engine can
+// represent it: zero-valued numerics and empty strings dominating a
+// column. Aggregates and predicates must stay well-defined over them.
+func nullHeavyStore() *Store {
+	s := NewStore()
+	r := NewRelation([]string{"r.a", "r.b", "r.s"})
+	rows := []struct {
+		a, b float64
+		s    string
+	}{
+		{1, 0, ""}, {1, 0, ""}, {2, 0, ""}, {2, 30, "x"}, {3, 0, ""},
+	}
+	for _, t := range rows {
+		r.Append(Row{Num(t.a), Num(t.b), Str(t.s)})
+	}
+	s.Put("r", r)
+	u := NewRelation([]string{"u.fk", "u.x"})
+	s.Put("u", u) // empty side of the join
+	return s
+}
+
+func TestExecuteOverEmptyRelation(t *testing.T) {
+	store := emptyStore()
+	for _, src := range []string{
+		"SELECT r.b FROM r WHERE r.a = 1",
+		"SELECT r.b, u.x FROM r, u WHERE r.a = u.fk",
+		"SELECT r.a, SUM(r.b), COUNT(*) FROM r GROUP BY r.a",
+		"SELECT r.b FROM r WHERE r.s = 'x'",
+	} {
+		res, st, err := ExecuteQuery(store, bindOn(t, src))
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if res.Len() != 0 {
+			t.Errorf("%q: empty tables produced %d rows", src, res.Len())
+		}
+		if st.RowsScanned != 0 {
+			t.Errorf("%q: scanned %d rows of nothing", src, st.RowsScanned)
+		}
+	}
+}
+
+func TestIndexOverEmptyRelation(t *testing.T) {
+	store := emptyStore()
+	if err := store.AddIndex("ix:r:a", "r", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := ExecuteQuery(store, bindOn(t, "SELECT r.b FROM r WHERE r.a = 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 || st.RowsScanned != 0 {
+		t.Errorf("indexed empty table: %d rows, %+v", res.Len(), st)
+	}
+}
+
+func TestAggregatesOverEmptyInput(t *testing.T) {
+	store := emptyStore()
+	// Grouped aggregate over nothing: zero groups (SQL semantics for
+	// GROUP BY over an empty input).
+	res, _, err := ExecuteQuery(store, bindOn(t, "SELECT r.a, SUM(r.b), MIN(r.b), MAX(r.b), AVG(r.b) FROM r GROUP BY r.a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("grouping empty input yields %d groups", res.Len())
+	}
+}
+
+func TestNullHeavyAggregation(t *testing.T) {
+	store := nullHeavyStore()
+	res, _, err := ExecuteQuery(store, bindOn(t, "SELECT r.a, SUM(r.b), COUNT(*) FROM r GROUP BY r.a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("groups: %d", res.Len())
+	}
+	ai := res.ColIndex(res.Cols[0])
+	for _, row := range res.Rows {
+		switch row[ai].F {
+		case 1:
+			if row[1].F != 0 || row[2].F != 2 {
+				t.Errorf("group a=1 over zero-heavy column: %v", row)
+			}
+		case 2:
+			if row[1].F != 30 || row[2].F != 2 {
+				t.Errorf("group a=2: %v", row)
+			}
+		}
+	}
+}
+
+func TestNullHeavyStringPredicates(t *testing.T) {
+	store := nullHeavyStore()
+	res, _, err := ExecuteQuery(store, bindOn(t, "SELECT r.a FROM r WHERE r.s = ''"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Errorf("empty-string rows: %d, want 4", res.Len())
+	}
+	res, _, err = ExecuteQuery(store, bindOn(t, "SELECT r.a FROM r WHERE r.s = 'x'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("'x' rows: %d, want 1", res.Len())
+	}
+}
+
+func TestJoinAgainstEmptySide(t *testing.T) {
+	store := nullHeavyStore() // r populated, u empty
+	res, _, err := ExecuteQuery(store, bindOn(t, "SELECT r.b, u.x FROM r, u WHERE r.a = u.fk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("join against empty side: %d rows", res.Len())
+	}
+}
+
+// viewOf lowers a query to its view definition shape by hand, so
+// ExecuteView is covered without the optimizer package (unit scope).
+func viewOf(tables []string, ranges []physical.RangeCond, joins []physical.JoinPred, groupBy []sqlx.ColRef, outs []physical.ViewColumn) *physical.View {
+	return &physical.View{
+		Name: "v_test", Tables: tables, Ranges: ranges,
+		Joins: joins, GroupBy: groupBy, Cols: outs,
+	}
+}
+
+func TestExecuteViewSelectionAndProjection(t *testing.T) {
+	store := tinyStore()
+	v := viewOf(
+		[]string{"r"},
+		[]physical.RangeCond{{
+			Col: sqlx.ColRef{Table: "r", Column: "a"},
+			Iv:  physical.Interval{Lo: 2, Hi: 3, LoIncl: true, HiIncl: true},
+		}},
+		nil, nil,
+		[]physical.ViewColumn{
+			{Name: "a", Source: sqlx.ColRef{Table: "r", Column: "a"}},
+			{Name: "b", Source: sqlx.ColRef{Table: "r", Column: "b"}},
+		},
+	)
+	res, st, err := ExecuteView(store, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("view rows: %d", res.Len())
+	}
+	if st.RowsScanned != 5 || st.TableScans != 1 {
+		t.Errorf("view stats: %+v", st)
+	}
+}
+
+func TestExecuteViewGroupedJoin(t *testing.T) {
+	store := tinyStore()
+	v := viewOf(
+		[]string{"r", "u"},
+		nil,
+		[]physical.JoinPred{{
+			L: sqlx.ColRef{Table: "r", Column: "a"},
+			R: sqlx.ColRef{Table: "u", Column: "fk"},
+		}},
+		[]sqlx.ColRef{{Table: "r", Column: "a"}},
+		[]physical.ViewColumn{
+			{Name: "a", Source: sqlx.ColRef{Table: "r", Column: "a"}},
+			{Name: "sum_x", Agg: sqlx.AggSum, Source: sqlx.ColRef{Table: "u", Column: "x"}},
+			{Name: "cnt", Agg: sqlx.AggCount},
+		},
+	)
+	res, _, err := ExecuteView(store, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=1 joins u.fk=1 twice (x=100 each), a=2 joins fk=2 twice.
+	if res.Len() != 2 {
+		t.Fatalf("groups: %d", res.Len())
+	}
+	ai := res.ColIndex("a")
+	for _, row := range res.Rows {
+		if row[ai].F == 1 && (row[1].F != 200 || row[2].F != 2) {
+			t.Errorf("group a=1: %v", row)
+		}
+	}
+}
+
+func TestExecuteViewOverEmptyTables(t *testing.T) {
+	store := emptyStore()
+	v := viewOf(
+		[]string{"r"}, nil, nil,
+		[]sqlx.ColRef{{Table: "r", Column: "a"}},
+		[]physical.ViewColumn{
+			{Name: "a", Source: sqlx.ColRef{Table: "r", Column: "a"}},
+			{Name: "cnt", Agg: sqlx.AggCount},
+		},
+	)
+	res, st, err := ExecuteView(store, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 || st.RowsScanned != 0 {
+		t.Errorf("view over empty table: %d rows, %+v", res.Len(), st)
+	}
+}
+
+func TestExecuteViewMissingTable(t *testing.T) {
+	store := emptyStore()
+	v := viewOf([]string{"ghost"}, nil, nil, nil,
+		[]physical.ViewColumn{{Name: "g", Source: sqlx.ColRef{Table: "ghost", Column: "g"}}})
+	if _, _, err := ExecuteView(store, v); err == nil {
+		t.Error("view over an unknown table must error")
+	}
+}

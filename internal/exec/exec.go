@@ -24,12 +24,14 @@ type block struct {
 }
 
 // ExecuteQuery runs a bound SELECT against the store and returns its
-// result. Aggregates over compound expressions are evaluated over their
-// representative column (mirroring how the tuner models them), so results
-// are internally consistent rather than full SQL semantics.
-func ExecuteQuery(store *Store, q *optimizer.BoundQuery) (*Relation, error) {
+// result together with execution counters (rows scanned, pages touched,
+// access-path decisions). Aggregates over compound expressions are
+// evaluated over their representative column (mirroring how the tuner
+// models them), so results are internally consistent rather than full
+// SQL semantics.
+func ExecuteQuery(store *Store, q *optimizer.BoundQuery) (*Relation, ExecStats, error) {
 	if q.IsUpdate() {
-		return nil, fmt.Errorf("exec: only SELECT statements are executable")
+		return nil, ExecStats{}, fmt.Errorf("exec: only SELECT statements are executable")
 	}
 	b := &block{
 		tables:  q.Tables,
@@ -54,8 +56,9 @@ func ExecuteQuery(store *Store, q *optimizer.BoundQuery) (*Relation, error) {
 	return executeBlock(store, b)
 }
 
-// ExecuteView materializes a view definition's contents.
-func ExecuteView(store *Store, v *physical.View) (*Relation, error) {
+// ExecuteView materializes a view definition's contents, with the same
+// execution counters as ExecuteQuery.
+func ExecuteView(store *Store, v *physical.View) (*Relation, ExecStats, error) {
 	b := &block{
 		tables:  v.Tables,
 		ranges:  v.Ranges,
@@ -67,16 +70,28 @@ func ExecuteView(store *Store, v *physical.View) (*Relation, error) {
 	return executeBlock(store, b)
 }
 
-func executeBlock(store *Store, b *block) (*Relation, error) {
-	// 1. Per-table selection.
+func executeBlock(store *Store, b *block) (*Relation, ExecStats, error) {
+	var stats ExecStats
+	// 1. Per-table selection, through the cheapest registered access
+	// path: an index whose leading key column is bound by one of the
+	// block's ranges scans only its binary-searched span; otherwise the
+	// full table.
 	filtered := map[string]*Relation{}
 	for _, t := range b.tables {
 		base := store.Get(t)
 		if base == nil {
-			return nil, fmt.Errorf("exec: no data for table %q", t)
+			return nil, stats, fmt.Errorf("exec: no data for table %q", t)
+		}
+		path := store.chooseAccessPath(t, base, b.ranges)
+		stats.RowsScanned += path.scanned
+		stats.PagesTouched += path.pages
+		if path.indexed {
+			stats.IndexSeeks++
+		} else {
+			stats.TableScans++
 		}
 		out := NewRelation(base.Cols)
-		for _, row := range base.Rows {
+		for _, row := range path.rows {
 			keep := true
 			for _, rc := range b.ranges {
 				if !strings.EqualFold(rc.Col.Table, t) {
@@ -84,7 +99,7 @@ func executeBlock(store *Store, b *block) (*Relation, error) {
 				}
 				v, err := EvalExpr(base, row, rc.Col)
 				if err != nil {
-					return nil, err
+					return nil, stats, err
 				}
 				if !inInterval(v, rc.Iv) {
 					keep = false
@@ -94,7 +109,7 @@ func executeBlock(store *Store, b *block) (*Relation, error) {
 			if keep {
 				ok, err := singleTableOthers(base, row, t, b.others)
 				if err != nil {
-					return nil, err
+					return nil, stats, err
 				}
 				keep = ok
 			}
@@ -108,17 +123,18 @@ func executeBlock(store *Store, b *block) (*Relation, error) {
 	// 2. Join along the equi-join edges (hash joins), cartesian fallback.
 	joined, err := joinAll(b, filtered)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 
 	// 3. Residual predicates spanning tables.
 	joined, err = filterCross(joined, b)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 
 	// 4. Grouping / projection.
-	return projectOrAggregate(joined, b)
+	res, err := projectOrAggregate(joined, b)
+	return res, stats, err
 }
 
 // singleTableOthers applies the residual conjuncts fully contained in one

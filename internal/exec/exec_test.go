@@ -70,7 +70,7 @@ func bindOn(t *testing.T, src string) *optimizer.BoundQuery {
 func TestExecuteSelectionAndProjection(t *testing.T) {
 	store := tinyStore()
 	q := bindOn(t, "SELECT r.b FROM r WHERE r.a = 1")
-	res, err := ExecuteQuery(store, q)
+	res, _, err := ExecuteQuery(store, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestExecuteSelectionAndProjection(t *testing.T) {
 func TestExecuteStringPredicate(t *testing.T) {
 	store := tinyStore()
 	q := bindOn(t, "SELECT r.b FROM r WHERE r.s = 'x'")
-	res, err := ExecuteQuery(store, q)
+	res, _, err := ExecuteQuery(store, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestExecuteStringPredicate(t *testing.T) {
 func TestExecuteJoin(t *testing.T) {
 	store := tinyStore()
 	q := bindOn(t, "SELECT r.b, u.x FROM r, u WHERE r.a = u.fk")
-	res, err := ExecuteQuery(store, q)
+	res, _, err := ExecuteQuery(store, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestExecuteJoin(t *testing.T) {
 func TestExecuteGroupBy(t *testing.T) {
 	store := tinyStore()
 	q := bindOn(t, "SELECT r.a, SUM(r.b), COUNT(*) FROM r GROUP BY r.a")
-	res, err := ExecuteQuery(store, q)
+	res, _, err := ExecuteQuery(store, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestExecuteGroupBy(t *testing.T) {
 func TestExecuteNonSargable(t *testing.T) {
 	store := tinyStore()
 	q := bindOn(t, "SELECT r.b FROM r WHERE r.a + r.b > 32")
-	res, err := ExecuteQuery(store, q)
+	res, _, err := ExecuteQuery(store, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestExecuteNonSargable(t *testing.T) {
 func TestExecuteCrossTablePredicate(t *testing.T) {
 	store := tinyStore()
 	q := bindOn(t, "SELECT r.b FROM r, u WHERE r.a = u.fk AND r.b + u.x > 150")
-	res, err := ExecuteQuery(store, q)
+	res, _, err := ExecuteQuery(store, q)
 	if err != nil {
 		t.Fatal(err)
 	}

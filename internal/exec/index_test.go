@@ -1,0 +1,181 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/physical"
+)
+
+// execOn binds and executes a query over the tiny store, returning the
+// result and counters.
+func execOn(t *testing.T, store *Store, src string) (*Relation, ExecStats) {
+	t.Helper()
+	q := bindOn(t, src)
+	res, st, err := ExecuteQuery(store, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st
+}
+
+func TestExecStatsFullScan(t *testing.T) {
+	store := tinyStore()
+	_, st := execOn(t, store, "SELECT r.b FROM r WHERE r.a = 1")
+	if st.RowsScanned != 5 {
+		t.Errorf("full scan should read all 5 rows, got %d", st.RowsScanned)
+	}
+	if st.TableScans != 1 || st.IndexSeeks != 0 {
+		t.Errorf("expected one table scan, got %+v", st)
+	}
+	if st.PagesTouched < 1 {
+		t.Errorf("pages touched must be positive, got %d", st.PagesTouched)
+	}
+}
+
+func TestIndexSeekNarrowsScan(t *testing.T) {
+	store := tinyStore()
+	if err := store.AddIndex("ix:r:a", "r", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	res, st := execOn(t, store, "SELECT r.b FROM r WHERE r.a = 1")
+	if res.Len() != 2 {
+		t.Fatalf("rows: %d", res.Len())
+	}
+	if st.RowsScanned != 2 {
+		t.Errorf("point seek on a=1 should read 2 rows, got %d", st.RowsScanned)
+	}
+	if st.IndexSeeks != 1 || st.TableScans != 0 {
+		t.Errorf("expected one index seek, got %+v", st)
+	}
+}
+
+func TestIndexSeekRangePredicate(t *testing.T) {
+	store := tinyStore()
+	if err := store.AddIndex("ix:r:a", "r", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	res, st := execOn(t, store, "SELECT r.b FROM r WHERE r.a >= 2")
+	if res.Len() != 3 {
+		t.Fatalf("rows: %d", res.Len())
+	}
+	if st.RowsScanned != 3 {
+		t.Errorf("range seek a>=2 should read 3 rows, got %d", st.RowsScanned)
+	}
+}
+
+func TestIndexSeekStringPoint(t *testing.T) {
+	store := tinyStore()
+	if err := store.AddIndex("ix:r:s", "r", []string{"s"}); err != nil {
+		t.Fatal(err)
+	}
+	res, st := execOn(t, store, "SELECT r.b FROM r WHERE r.s = 'x'")
+	if res.Len() != 3 {
+		t.Fatalf("rows: %d", res.Len())
+	}
+	if st.RowsScanned != 3 || st.IndexSeeks != 1 {
+		t.Errorf("string point seek: %+v", st)
+	}
+}
+
+// TestIndexedResultsMatchFullScan: indexes are an access path, never a
+// semantic change — every query must produce identical results with and
+// without them.
+func TestIndexedResultsMatchFullScan(t *testing.T) {
+	queries := []string{
+		"SELECT r.b FROM r WHERE r.a = 1",
+		"SELECT r.b FROM r WHERE r.a >= 2",
+		"SELECT r.b FROM r WHERE r.a > 1 AND r.b < 40",
+		"SELECT r.b, u.x FROM r, u WHERE r.a = u.fk",
+		"SELECT r.a, SUM(r.b), COUNT(*) FROM r GROUP BY r.a",
+		"SELECT r.b FROM r WHERE r.s = 'y'",
+	}
+	plain := tinyStore()
+	indexed := tinyStore()
+	for _, spec := range [][2]string{{"r", "a"}, {"r", "s"}, {"u", "fk"}} {
+		if err := indexed.AddIndex("ix:"+spec[0]+":"+spec[1], spec[0], []string{spec[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, src := range queries {
+		want, _ := execOn(t, plain, src)
+		got, _ := execOn(t, indexed, src)
+		if want.Fingerprint() != got.Fingerprint() {
+			t.Errorf("%q: indexed result differs from full scan (%d vs %d rows)",
+				src, got.Len(), want.Len())
+		}
+	}
+}
+
+func TestResetIndexesRestoresFullScan(t *testing.T) {
+	store := tinyStore()
+	if err := store.AddIndex("ix:r:a", "r", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if store.NumIndexes() != 1 {
+		t.Fatalf("NumIndexes: %d", store.NumIndexes())
+	}
+	store.ResetIndexes()
+	if store.NumIndexes() != 0 {
+		t.Fatalf("indexes survive reset: %d", store.NumIndexes())
+	}
+	_, st := execOn(t, store, "SELECT r.b FROM r WHERE r.a = 1")
+	if st.IndexSeeks != 0 || st.RowsScanned != 5 {
+		t.Errorf("after reset execution must full-scan: %+v", st)
+	}
+}
+
+func TestAddIndexErrors(t *testing.T) {
+	store := tinyStore()
+	if err := store.AddIndex("ix", "nope", []string{"a"}); err == nil {
+		t.Error("unknown table must error")
+	}
+	if err := store.AddIndex("ix", "r", []string{"zzz"}); err == nil {
+		t.Error("unknown column must error")
+	}
+}
+
+func TestAddConfigIndexes(t *testing.T) {
+	store := tinyStore()
+	cfg := physical.NewConfiguration()
+	cfg.AddIndex(&physical.Index{Table: "r", Keys: []string{"a"}})
+	cfg.AddIndex(&physical.Index{Table: "ghost", Keys: []string{"g"}})
+	if n := store.AddConfigIndexes(cfg); n != 1 {
+		t.Fatalf("registered %d indexes, want 1 (ghost table skipped)", n)
+	}
+	_, st := execOn(t, store, "SELECT r.b FROM r WHERE r.a = 1")
+	if st.IndexSeeks != 1 {
+		t.Errorf("config index unused: %+v", st)
+	}
+}
+
+func TestExecStatsAdd(t *testing.T) {
+	a := ExecStats{RowsScanned: 1, PagesTouched: 2, IndexSeeks: 3, TableScans: 4}
+	a.Add(ExecStats{RowsScanned: 10, PagesTouched: 20, IndexSeeks: 30, TableScans: 40})
+	if a != (ExecStats{RowsScanned: 11, PagesTouched: 22, IndexSeeks: 33, TableScans: 44}) {
+		t.Errorf("Add: %+v", a)
+	}
+}
+
+func TestIndexSpanBounds(t *testing.T) {
+	store := tinyStore()
+	if err := store.AddIndex("ix:r:a", "r", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	ix := store.indexes["r"][0]
+	cases := []struct {
+		iv     physical.Interval
+		lo, hi int
+	}{
+		{physical.Interval{Lo: 1, Hi: 1, LoIncl: true, HiIncl: true}, 0, 2},
+		{physical.Interval{Lo: 2, Hi: math.Inf(1), LoIncl: true, HiIncl: true}, 2, 5},
+		{physical.Interval{Lo: math.Inf(-1), Hi: 2, LoIncl: true, HiIncl: false}, 0, 2},
+		{physical.Interval{Lo: 7, Hi: 9, LoIncl: true, HiIncl: true}, 5, 5}, // empty span
+	}
+	for _, c := range cases {
+		lo, hi := indexSpan(ix, c.iv)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("span(%+v) = [%d,%d), want [%d,%d)", c.iv, lo, hi, c.lo, c.hi)
+		}
+	}
+}

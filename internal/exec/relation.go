@@ -173,17 +173,21 @@ func (r *Relation) Fingerprint() string {
 }
 
 // Store holds the materialized contents of a database's tables (keyed by
-// lower-case table name, columns qualified as "table.column").
+// lower-case table name, columns qualified as "table.column"), plus any
+// in-memory secondary indexes registered with AddIndex.
 type Store struct {
 	relations map[string]*Relation
+	indexes   map[string][]*tableIndex
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{relations: map[string]*Relation{}} }
 
-// Put registers a relation under a name.
+// Put registers a relation under a name. Replacing a table's data drops
+// any indexes registered over the previous contents.
 func (s *Store) Put(name string, r *Relation) {
 	s.relations[strings.ToLower(name)] = r
+	delete(s.indexes, strings.ToLower(name))
 }
 
 // Get returns a relation, or nil.

@@ -46,7 +46,7 @@ func TestCardinalityEstimatesAgainstExecution(t *testing.T) {
 		if err != nil {
 			t.Fatalf("optimize: %v", err)
 		}
-		actualRel, err := exec.ExecuteQuery(store, q)
+		actualRel, _, err := exec.ExecuteQuery(store, q)
 		if err != nil {
 			t.Fatalf("execute: %v", err)
 		}
@@ -88,7 +88,7 @@ func TestViewCardinalityAgainstExecution(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		content, err := exec.ExecuteView(store, v)
+		content, _, err := exec.ExecuteView(store, v)
 		if err != nil {
 			t.Fatalf("materialize view: %v", err)
 		}
@@ -126,11 +126,11 @@ func TestViewDefinitionMatchesQueryResult(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		content, err := exec.ExecuteView(store, v)
+		content, _, err := exec.ExecuteView(store, v)
 		if err != nil {
 			t.Fatal(err)
 		}
-		direct, err := exec.ExecuteQuery(store, q)
+		direct, _, err := exec.ExecuteQuery(store, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +189,7 @@ func TestWiderViewWithResidualFilterMatchesQuery(t *testing.T) {
 		t.Fatalf("expected one residual range: %+v", m)
 	}
 
-	content, err := exec.ExecuteView(store, wider)
+	content, _, err := exec.ExecuteView(store, wider)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestWiderViewWithResidualFilterMatchesQuery(t *testing.T) {
 			kept++
 		}
 	}
-	direct, err := exec.ExecuteQuery(store, q)
+	direct, _, err := exec.ExecuteQuery(store, q)
 	if err != nil {
 		t.Fatal(err)
 	}

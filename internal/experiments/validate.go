@@ -16,6 +16,9 @@ type ValidateRow struct {
 	Query     string
 	Estimated float64
 	Actual    int
+	// RowsScanned counts base-table rows the executor's access paths
+	// actually read for this query.
+	RowsScanned int64
 }
 
 // Ratio returns estimate/actual (0 when the result is empty).
@@ -48,14 +51,15 @@ func Validate(cfg Config) ([]ValidateRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := exec.ExecuteQuery(store, q)
+		res, st, err := exec.ExecuteQuery(store, q)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, ValidateRow{
-			Query:     fmt.Sprintf("q%d", i+1),
-			Estimated: p.Root.OutRows(),
-			Actual:    res.Len(),
+			Query:       fmt.Sprintf("q%d", i+1),
+			Estimated:   p.Root.OutRows(),
+			Actual:      res.Len(),
+			RowsScanned: st.RowsScanned,
 		})
 	}
 	return rows, nil
@@ -64,8 +68,8 @@ func Validate(cfg Config) ([]ValidateRow, error) {
 // RenderValidate prints the estimate-vs-actual table.
 func RenderValidate(w io.Writer, rows []ValidateRow) {
 	fmt.Fprintln(w, "Validation: optimizer estimates vs. executed TPC-H results")
-	fmt.Fprintf(w, "%-6s %12s %12s %8s\n", "query", "estimated", "actual", "ratio")
+	fmt.Fprintf(w, "%-6s %12s %12s %8s %12s\n", "query", "estimated", "actual", "ratio", "scanned")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-6s %12.0f %12d %8.2f\n", r.Query, r.Estimated, r.Actual, r.Ratio())
+		fmt.Fprintf(w, "%-6s %12.0f %12d %8.2f %12d\n", r.Query, r.Estimated, r.Actual, r.Ratio(), r.RowsScanned)
 	}
 }

@@ -26,6 +26,8 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/replay"
 	"repro/internal/service"
 )
 
@@ -72,6 +74,12 @@ type Options struct {
 	// Catalog builds a tenant's catalog database from its spec
 	// (required); cmd/tunerd passes its -db name resolver.
 	Catalog func(database string, scaleFactor float64) (*catalog.Database, error)
+	// ReplaySource builds a tenant's ground-truth replay substrate
+	// (materialized catalog + rows) from its spec; cmd/tunerd passes the
+	// datagen materializer. nil disables fleet-wide ground-truth
+	// replays. Each tenant's substrate is built lazily on its first
+	// replay and cached by its service.
+	ReplaySource func(database string, scaleFactor float64) (*catalog.Database, *exec.Store, error)
 	// Defaults is the service.Options template every tenant starts
 	// from. The registry overwrites DB, Tenant, Cache, CostCache,
 	// Recorder, and RetuneScheduler; TenantSpec fields override the
@@ -204,6 +212,15 @@ func (r *Registry) Add(spec TenantSpec) (*Tenant, error) {
 	svcOpts.Cache = r.frags
 	svcOpts.CostCache = r.costs
 	svcOpts.Recorder = nil // per-tenant in-memory recorder, ID-prefixed by tenant
+	// A Defaults-level replay source would point every tenant at the
+	// same substrate; rebuild it from this tenant's own spec instead.
+	svcOpts.Replay = nil
+	if build := r.opts.ReplaySource; build != nil {
+		database, sf := spec.Database, spec.ScaleFactor
+		svcOpts.Replay = &replay.Source{Build: func() (*catalog.Database, *exec.Store, error) {
+			return build(database, sf)
+		}}
+	}
 	svcOpts.RetuneScheduler = func(trigger string) {
 		if r.Get(id) != nil {
 			r.pool.EnqueueAuto(id, trigger)

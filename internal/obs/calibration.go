@@ -9,7 +9,9 @@ import (
 
 // CalibrationSchemaVersion identifies the serialized CalibrationReport
 // layout for archived reports and the tunerbench regression gate.
-const CalibrationSchemaVersion = 1
+// Version 2 added the execution-grounded sample stream (Ground) and the
+// per-kind NonFinite counter.
+const CalibrationSchemaVersion = 2
 
 // CalibSample pairs one accepted relaxation step's §3.3.2 estimated ΔT
 // upper bound with the ΔT the evaluation then realized. Kind labels the
@@ -84,6 +86,11 @@ type KindCalibration struct {
 	// BoundViolations counts rated samples with realized > estimated
 	// (the §3.3.2 bound failed to be an upper bound).
 	BoundViolations int `json:"bound_violations"`
+	// NonFinite counts rated samples whose tightness ratio overflowed or
+	// was undefined (NaN/±Inf, e.g. a denormal-tiny estimate). They are
+	// excluded from the ratio statistics so the report always
+	// JSON-marshals (encoding/json rejects non-finite floats).
+	NonFinite int `json:"non_finite,omitempty"`
 	// RankCorrelation is the Spearman correlation between the estimated
 	// and realized ΔT orderings: the penalty ranking only needs the
 	// *order* to be right, so high rank correlation with loose ratios
@@ -100,6 +107,37 @@ type CalibrationReport struct {
 	Overall       KindCalibration   `json:"overall"`
 	PerKind       []KindCalibration `json:"per_kind,omitempty"`
 	Economy       WhatIfEconomy     `json:"economy"`
+	// Ground is the execution-grounded second sample stream: the same
+	// per-kind tightness scoring, but with "realized" ΔT measured by
+	// actually replaying the workload through the executor instead of
+	// estimated by another what-if call. Present only after a replay.
+	Ground *GroundCalibration `json:"ground,omitempty"`
+}
+
+// GroundCalibration scores the cost model against measured execution:
+// per-kind tightness of estimated ΔT against measured ΔT (normalized to
+// the optimizer's cost unit), whether estimates at least order the
+// replayed configurations correctly, and the measured speedup of the
+// recommendation over the unindexed baseline.
+type GroundCalibration struct {
+	Overall KindCalibration   `json:"overall"`
+	PerKind []KindCalibration `json:"per_kind,omitempty"`
+	// ConfigRankCorrelation is the Spearman correlation between
+	// estimated workload cost and measured wall time across all replayed
+	// configurations — the "does the cost model order configurations
+	// correctly?" number. 1 is a perfect ordering.
+	ConfigRankCorrelation float64 `json:"config_rank_correlation"`
+	// SpeedupMeasured is baseline measured wall time / recommended
+	// measured wall time. Below 1 means the recommendation is measurably
+	// *worse* than no tuning — the inversion the regress gate forbids.
+	SpeedupMeasured float64 `json:"speedup_measured"`
+	// SpeedupEstimated is the optimizer's predicted speedup for the same
+	// pair of configurations at replay scale, for direct comparison.
+	SpeedupEstimated float64 `json:"speedup_estimated"`
+	// RowsScannedBaseline / RowsScannedRecommended compare the access-path
+	// work of the two endpoint configurations (deterministic, noise-free).
+	RowsScannedBaseline    int64 `json:"rows_scanned_baseline"`
+	RowsScannedRecommended int64 `json:"rows_scanned_recommended"`
 }
 
 // Calibrate scores a session's est-vs-realized ΔT pairs. Samples with a
@@ -127,17 +165,71 @@ func Calibrate(samples []CalibSample, economy WhatIfEconomy) *CalibrationReport 
 	return rep
 }
 
+// CalibrateGrounded extends Calibrate with the execution-grounded sample
+// stream from a replay: the ground samples get the same per-kind scoring
+// as the estimate-vs-estimate stream, plus the configuration-level rank
+// correlation and measured speedup carried over from the replay report.
+// A nil ground report degrades to plain Calibrate.
+func CalibrateGrounded(samples []CalibSample, economy WhatIfEconomy, gt *GroundTruthReport) *CalibrationReport {
+	rep := Calibrate(samples, economy)
+	rep.AttachGroundTruth(gt)
+	return rep
+}
+
+// AttachGroundTruth fills the report's Ground block from a replay
+// report. nil is a no-op, so callers can attach unconditionally.
+func (r *CalibrationReport) AttachGroundTruth(gt *GroundTruthReport) {
+	if gt == nil {
+		return
+	}
+	g := &GroundCalibration{
+		Overall:               scoreKind("overall", gt.Samples),
+		ConfigRankCorrelation: gt.RankCorrelation,
+		SpeedupMeasured:       gt.SpeedupMeasured,
+		SpeedupEstimated:      gt.SpeedupEstimated,
+	}
+	if base, rec := gt.Baseline(), gt.Recommended(); base != nil && rec != nil {
+		g.RowsScannedBaseline = base.RowsScanned
+		g.RowsScannedRecommended = rec.RowsScanned
+	}
+	byKind := map[string][]CalibSample{}
+	var kinds []string
+	for _, s := range gt.Samples {
+		if _, ok := byKind[s.Kind]; !ok {
+			kinds = append(kinds, s.Kind)
+		}
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		g.PerKind = append(g.PerKind, scoreKind(k, byKind[k]))
+	}
+	r.Ground = g
+}
+
 func scoreKind(kind string, samples []CalibSample) KindCalibration {
 	kc := KindCalibration{Kind: kind, Samples: len(samples)}
 	var ratios []float64
 	var est, realized []float64
 	for _, s := range samples {
+		if math.IsNaN(s.EstDT) || math.IsNaN(s.RealizedDT) ||
+			math.IsInf(s.EstDT, 0) || math.IsInf(s.RealizedDT, 0) {
+			kc.NonFinite++
+			continue
+		}
 		est = append(est, s.EstDT)
 		realized = append(realized, s.RealizedDT)
 		if s.EstDT <= 0 {
 			continue
 		}
 		r := s.RealizedDT / s.EstDT
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			// A denormal-tiny estimate can overflow the ratio even though
+			// both inputs are finite; keep it out of the quantile math so
+			// mean/p50/p90 (and the JSON encoding) stay well-defined.
+			kc.NonFinite++
+			continue
+		}
 		ratios = append(ratios, r)
 		if s.RealizedDT > s.EstDT*(1+1e-9) {
 			kc.BoundViolations++
@@ -256,4 +348,14 @@ func (r *CalibrationReport) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "; cache saved %d calls over %d hits", e.CacheCallsSaved, e.CacheHits)
 	}
 	fmt.Fprintln(w)
+	if g := r.Ground; g != nil {
+		fmt.Fprintln(w, "\nground truth (measured ΔT / estimated §3.3.2 bound, executor replay):")
+		row(g.Overall)
+		for _, kc := range g.PerKind {
+			row(kc)
+		}
+		fmt.Fprintf(w, "measured speedup %.2fx (estimated %.2fx); config rank correlation %.3f; rows scanned %d -> %d\n",
+			g.SpeedupMeasured, g.SpeedupEstimated, g.ConfigRankCorrelation,
+			g.RowsScannedBaseline, g.RowsScannedRecommended)
+	}
 }

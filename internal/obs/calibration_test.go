@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -130,5 +131,113 @@ func TestSpearman(t *testing.T) {
 	// Ties take average ranks: still well-defined and bounded.
 	if got := Spearman([]float64{1, 1, 2, 2}, []float64{1, 2, 3, 4}); math.Abs(got) > 1 {
 		t.Errorf("tied ranks out of bounds: %g", got)
+	}
+}
+
+// Satellite fix: kinds with degenerate or pathological samples must keep
+// the report finite and JSON-marshalable (encoding/json rejects NaN/±Inf).
+func TestCalibrateNonFiniteGuard(t *testing.T) {
+	samples := []CalibSample{
+		{Kind: "k", EstDT: math.NaN(), RealizedDT: 1},
+		{Kind: "k", EstDT: 1, RealizedDT: math.Inf(1)},
+		// Denormal-tiny estimate: both inputs finite, ratio overflows.
+		{Kind: "k", EstDT: math.SmallestNonzeroFloat64, RealizedDT: math.MaxFloat64},
+		{Kind: "k", EstDT: 10, RealizedDT: 5},
+	}
+	rep := Calibrate(samples, WhatIfEconomy{})
+	o := rep.Overall
+	if o.NonFinite != 3 {
+		t.Errorf("non-finite samples = %d, want 3", o.NonFinite)
+	}
+	if o.Rated != 1 || o.MeanRatio != 0.5 || o.P50Ratio != 0.5 || o.P90Ratio != 0.5 {
+		t.Errorf("surviving sample misscored: %+v", o)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report with pathological samples must marshal: %v", err)
+	}
+}
+
+func TestCalibrateQuantilesZeroAndOneSample(t *testing.T) {
+	// Zero rated samples: all quantiles zero, no NaN.
+	rep := Calibrate([]CalibSample{{Kind: "k", EstDT: 0, RealizedDT: 1}}, WhatIfEconomy{})
+	o := rep.Overall
+	for name, v := range map[string]float64{
+		"mean": o.MeanRatio, "p50": o.P50Ratio, "p90": o.P90Ratio, "max": o.MaxRatio,
+	} {
+		if v != 0 || math.IsNaN(v) {
+			t.Errorf("zero-rated %s = %g, want 0", name, v)
+		}
+	}
+	// One rated sample: every quantile collapses to that ratio.
+	rep = Calibrate([]CalibSample{{Kind: "k", EstDT: 4, RealizedDT: 3}}, WhatIfEconomy{})
+	o = rep.Overall
+	if o.P50Ratio != 0.75 || o.P90Ratio != 0.75 || o.MaxRatio != 0.75 {
+		t.Errorf("single-sample quantiles: %+v", o)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestAttachGroundTruth(t *testing.T) {
+	gt := &GroundTruthReport{
+		SchemaVersion: 1,
+		Configs: []ReplayConfig{
+			{Label: "baseline", EstCost: 100, MeasuredNanos: 1000, RowsScanned: 500},
+			{Label: "step-3", Kind: "merge-indexes", EstCost: 60, MeasuredNanos: 700, RowsScanned: 300},
+			{Label: "recommended", Kind: "remove-index", EstCost: 40, MeasuredNanos: 500, RowsScanned: 200},
+		},
+		Samples: []CalibSample{
+			{Kind: "merge-indexes", EstDT: 40, RealizedDT: 30},
+			{Kind: "remove-index", EstDT: 20, RealizedDT: 20},
+		},
+		RankCorrelation:  1,
+		SpeedupMeasured:  2,
+		SpeedupEstimated: 2.5,
+	}
+	rep := CalibrateGrounded(nil, WhatIfEconomy{}, gt)
+	g := rep.Ground
+	if g == nil {
+		t.Fatal("ground block missing")
+	}
+	if g.Overall.Samples != 2 || g.Overall.Rated != 2 {
+		t.Errorf("ground overall: %+v", g.Overall)
+	}
+	if len(g.PerKind) != 2 {
+		t.Fatalf("ground per-kind: %d", len(g.PerKind))
+	}
+	if g.SpeedupMeasured != 2 || g.ConfigRankCorrelation != 1 {
+		t.Errorf("ground carried fields: %+v", g)
+	}
+	if g.RowsScannedBaseline != 500 || g.RowsScannedRecommended != 200 {
+		t.Errorf("rows scanned: %d -> %d", g.RowsScannedBaseline, g.RowsScannedRecommended)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	if !strings.Contains(sb.String(), "measured speedup 2.00x") {
+		t.Errorf("WriteText ground block:\n%s", sb.String())
+	}
+
+	// Attaching nil is a no-op; Calibrate alone leaves Ground unset.
+	plain := Calibrate(nil, WhatIfEconomy{})
+	plain.AttachGroundTruth(nil)
+	if plain.Ground != nil {
+		t.Error("nil attach must not create a ground block")
+	}
+}
+
+func TestGroundTruthEndpointLookups(t *testing.T) {
+	gt := &GroundTruthReport{Configs: []ReplayConfig{
+		{Label: "baseline"}, {Label: "step-1"}, {Label: "recommended"},
+	}}
+	if gt.Baseline() == nil || gt.Baseline().Label != "baseline" {
+		t.Error("Baseline lookup failed")
+	}
+	if gt.Recommended() == nil || gt.Recommended().Label != "recommended" {
+		t.Error("Recommended lookup failed")
+	}
+	empty := &GroundTruthReport{}
+	if empty.Baseline() != nil || empty.Recommended() != nil {
+		t.Error("empty report lookups must be nil")
 	}
 }

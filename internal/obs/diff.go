@@ -39,6 +39,13 @@ type SessionDiff struct {
 	SizeDelta        int64   `json:"size_delta"`
 	BudgetDelta      int64   `json:"budget_delta"`
 	ImprovementDelta float64 `json:"improvement_delta"`
+
+	// Measured deltas, present only when both sessions carry a
+	// ground-truth replay: the measured speedups and the change in
+	// measured recommended-config wall time between them.
+	FromMeasuredSpeedup float64 `json:"from_measured_speedup,omitempty"`
+	ToMeasuredSpeedup   float64 `json:"to_measured_speedup,omitempty"`
+	MeasuredNanosDelta  int64   `json:"measured_nanos_delta,omitempty"`
 }
 
 // structureKey identifies a structure across sessions. The kind joins
@@ -55,6 +62,14 @@ func DiffSessions(from, to *SessionRecord) *SessionDiff {
 		SizeDelta:        to.SizeBytes - from.SizeBytes,
 		BudgetDelta:      to.SpaceBudgetBytes - from.SpaceBudgetBytes,
 		ImprovementDelta: to.ImprovementPct - from.ImprovementPct,
+	}
+	if from.GroundTruth != nil && to.GroundTruth != nil {
+		d.FromMeasuredSpeedup = from.GroundTruth.SpeedupMeasured
+		d.ToMeasuredSpeedup = to.GroundTruth.SpeedupMeasured
+		fr, tr := from.GroundTruth.Recommended(), to.GroundTruth.Recommended()
+		if fr != nil && tr != nil {
+			d.MeasuredNanosDelta = tr.MeasuredNanos - fr.MeasuredNanos
+		}
 	}
 	fromBy := make(map[string]StructureRecord, len(from.Structures))
 	for _, s := range from.Structures {

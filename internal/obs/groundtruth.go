@@ -1,0 +1,112 @@
+package obs
+
+// GroundTruthReport is the outcome of one execution-backed replay: the
+// recommended configuration (and sampled points of its winning lineage)
+// materialized in the in-repo storage engine at sampled scale, the
+// workload executed for real, and measured wall time / rows scanned /
+// structure bytes recorded next to the optimizer's estimates for the
+// same statements. It lives in obs (not internal/replay) for the same
+// reason FrontierSample does: session records and calibration reports
+// embed it, and core cannot import the packages that produce it.
+type GroundTruthReport struct {
+	SchemaVersion int `json:"schema_version"`
+
+	// Scale of the replay substrate.
+	Database   string `json:"database"`
+	TotalRows  int64  `json:"total_rows"`
+	TotalBytes int64  `json:"total_bytes"`
+
+	// Statements replayed per configuration; updates are estimated-only
+	// (the executor runs SELECTs) and counted, not timed.
+	Statements     int `json:"statements"`
+	SkippedUpdates int `json:"skipped_updates,omitempty"`
+	// Repetitions is how many times each statement ran per
+	// configuration; measured times are the minimum over repetitions.
+	Repetitions int `json:"repetitions"`
+
+	// Configs are the replayed configurations in lineage order: the
+	// unindexed baseline first, sampled intermediate lineage steps, the
+	// recommendation last.
+	Configs []ReplayConfig `json:"configs"`
+
+	// Samples are the execution-grounded calibration stream: one sample
+	// per consecutive lineage pair, pairing the step's estimated ΔT with
+	// the measured ΔT (wall-time delta normalized to the optimizer's
+	// cost unit via the baseline ratio).
+	Samples []CalibSample `json:"samples,omitempty"`
+
+	// RankCorrelation is Spearman's ρ between estimated workload cost
+	// and measured wall time across Configs.
+	RankCorrelation float64 `json:"rank_correlation"`
+	// SpeedupMeasured is baseline wall / recommended wall;
+	// SpeedupEstimated is the optimizer's prediction of the same ratio.
+	SpeedupMeasured  float64 `json:"speedup_measured"`
+	SpeedupEstimated float64 `json:"speedup_estimated"`
+
+	// DurationNanos is the wall time of the whole replay (materialize +
+	// execute + score).
+	DurationNanos int64 `json:"duration_nanos"`
+}
+
+// ReplayConfig is one configuration's measured replay record.
+type ReplayConfig struct {
+	// Label identifies the configuration: "baseline", "recommended", or
+	// "step-<iteration>" for sampled lineage points.
+	Label string `json:"label"`
+	// Kind is the transformation kind that produced this lineage step
+	// ("" for the baseline).
+	Kind      string `json:"kind,omitempty"`
+	Iteration int    `json:"iteration,omitempty"`
+
+	Indexes int `json:"indexes"`
+	Views   int `json:"views"`
+	// StructureBytes is the §3.3.1 size-model bytes of the
+	// configuration's structures over the *materialized* row counts.
+	StructureBytes int64 `json:"structure_bytes"`
+
+	// EstCost is the optimizer's weighted workload cost under this
+	// configuration at replay scale.
+	EstCost float64 `json:"est_cost"`
+	// MeasuredNanos is the weighted sum over statements of each
+	// statement's minimum-over-repetitions wall time.
+	MeasuredNanos int64 `json:"measured_nanos"`
+
+	// Executor counters summed over statements (single repetition).
+	RowsScanned  int64 `json:"rows_scanned"`
+	PagesTouched int64 `json:"pages_touched"`
+	IndexSeeks   int64 `json:"index_seeks"`
+	TableScans   int64 `json:"table_scans"`
+
+	// PerStatement breaks the measurement down per replayed statement.
+	PerStatement []ReplayStatement `json:"per_statement,omitempty"`
+}
+
+// ReplayStatement is one statement's measurement under one configuration.
+type ReplayStatement struct {
+	ID            string  `json:"id"`
+	Weight        float64 `json:"weight"`
+	EstCost       float64 `json:"est_cost"`
+	MeasuredNanos int64   `json:"measured_nanos"`
+	RowsScanned   int64   `json:"rows_scanned"`
+	ResultRows    int     `json:"result_rows"`
+}
+
+// Baseline returns the baseline configuration's record, or nil.
+func (g *GroundTruthReport) Baseline() *ReplayConfig {
+	for i := range g.Configs {
+		if g.Configs[i].Label == "baseline" {
+			return &g.Configs[i]
+		}
+	}
+	return nil
+}
+
+// Recommended returns the recommendation's record, or nil.
+func (g *GroundTruthReport) Recommended() *ReplayConfig {
+	for i := range g.Configs {
+		if g.Configs[i].Label == "recommended" {
+			return &g.Configs[i]
+		}
+	}
+	return nil
+}

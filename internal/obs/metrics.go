@@ -51,6 +51,16 @@ type TunerMetrics struct {
 	FrontierSpace   *Gauge
 	BudgetGap       *Gauge
 	BoundViolations *Counter
+
+	// Ground-truth replay series, recorded by the caller that ran the
+	// replay (the service retune hook or an explicit /calibration
+	// trigger): replay wall time, the measured baseline/recommended
+	// speedup, Spearman's ρ between estimated cost and measured wall
+	// time across replayed configs, and executor rows scanned.
+	ReplayDuration  *Histogram
+	ReplaySpeedup   *Gauge
+	RankCorrelation *Gauge
+	ReplayRows      *Counter
 }
 
 // TunerMetricsBuckets overrides histogram bucket boundaries for the
@@ -65,6 +75,8 @@ type TunerMetricsBuckets struct {
 	BoundTightness []float64
 	// PhaseDuration bounds tuner_phase_duration_seconds (seconds).
 	PhaseDuration []float64
+	// ReplayDuration bounds tuner_replay_duration_seconds (seconds).
+	ReplayDuration []float64
 }
 
 // Default bucket boundaries (exported so callers can extend rather
@@ -76,6 +88,9 @@ var (
 	// latencies range from per-candidate penalty estimation (µs) to
 	// whole search loops (tens of seconds).
 	DefaultPhaseBuckets = ExpBuckets(1e-5, 4, 12)
+	// DefaultReplayBuckets covers 1ms .. ~1min: a replay materializes
+	// data, registers indexes, and runs the workload several times.
+	DefaultReplayBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 )
 
 // NewTunerMetrics registers the tuner metric family on reg with
@@ -95,6 +110,9 @@ func NewTunerMetricsWith(reg *Registry, buckets TunerMetricsBuckets) *TunerMetri
 	}
 	if buckets.PhaseDuration == nil {
 		buckets.PhaseDuration = DefaultPhaseBuckets
+	}
+	if buckets.ReplayDuration == nil {
+		buckets.ReplayDuration = DefaultReplayBuckets
 	}
 	return &TunerMetrics{
 		OptimizerCalls: reg.NewCounter("tuner_optimizer_calls_total",
@@ -142,7 +160,32 @@ func NewTunerMetricsWith(reg *Registry, buckets TunerMetricsBuckets) *TunerMetri
 			"How far the last-visited configuration sits above the space budget (negative once it fits)."),
 		BoundViolations: reg.NewCounter("tuner_bound_violations_total",
 			"Accepted relaxation steps whose realized ΔT exceeded the §3.3.2 upper bound."),
+		ReplayDuration: reg.NewHistogram("tuner_replay_duration_seconds",
+			"Wall-clock duration of ground-truth replay runs (materialize + execute + score).",
+			buckets.ReplayDuration),
+		ReplaySpeedup: reg.NewGauge("tuner_replay_speedup_ratio",
+			"Measured baseline/recommended wall-time ratio from the last ground-truth replay."),
+		RankCorrelation: reg.NewGauge("tuner_costmodel_rank_correlation",
+			"Spearman's ρ between estimated workload cost and measured wall time across replayed configurations."),
+		ReplayRows: reg.NewCounter("tuner_replay_rows_scanned_total",
+			"Executor rows scanned by ground-truth replay runs."),
 	}
+}
+
+// ObserveReplay records a ground-truth replay's outcome on the replay
+// series. Nil-safe on both receiver and report.
+func (m *TunerMetrics) ObserveReplay(gt *GroundTruthReport) {
+	if m == nil || gt == nil {
+		return
+	}
+	m.ReplayDuration.Observe(float64(gt.DurationNanos) / 1e9)
+	m.ReplaySpeedup.Set(gt.SpeedupMeasured)
+	m.RankCorrelation.Set(gt.RankCorrelation)
+	var rows int64
+	for i := range gt.Configs {
+		rows += gt.Configs[i].RowsScanned
+	}
+	m.ReplayRows.Add(float64(rows))
 }
 
 // Sink returns a trace sink that keeps the search-internal metrics

@@ -97,6 +97,9 @@ type SessionRecord struct {
 	Frontier    []FrontierSample   `json:"frontier"`
 	Explain     *ExplainDigest     `json:"explain,omitempty"`
 	Calibration *CalibrationDigest `json:"calibration,omitempty"`
+	// GroundTruth is the execution-backed replay of this session's
+	// recommendation, present only when the service ran one.
+	GroundTruth *GroundTruthReport `json:"ground_truth,omitempty"`
 }
 
 // SessionSummary is the list-view projection of a SessionRecord.
@@ -114,6 +117,9 @@ type SessionSummary struct {
 	Iterations       int       `json:"iterations"`
 	Structures       int       `json:"structures"`
 	FrontierPoints   int       `json:"frontier_points"`
+	// MeasuredSpeedup is the replay's baseline/recommended measured wall
+	// ratio (0 when the session had no ground-truth replay).
+	MeasuredSpeedup float64 `json:"measured_speedup,omitempty"`
 }
 
 // Summary projects the record into its list view.
@@ -132,7 +138,15 @@ func (r *SessionRecord) Summary() SessionSummary {
 		Iterations:       r.Iterations,
 		Structures:       len(r.Structures),
 		FrontierPoints:   len(r.Frontier),
+		MeasuredSpeedup:  r.measuredSpeedup(),
 	}
+}
+
+func (r *SessionRecord) measuredSpeedup() float64 {
+	if r.GroundTruth == nil {
+		return 0
+	}
+	return r.GroundTruth.SpeedupMeasured
 }
 
 // DefaultRecorderLimit bounds how many sessions a recorder retains when
@@ -280,6 +294,33 @@ func (r *Recorder) Record(rec *SessionRecord) error {
 		return r.compactLocked()
 	}
 	return nil
+}
+
+// Amend replaces the retained record with the given ID by a copy fn has
+// modified, then rewrites the persisted tail so the file matches memory.
+// Readers holding the old pointer keep seeing the pre-amend record (no
+// in-place mutation). Returns false when the ID is not retained. Used by
+// on-demand ground-truth replays to attach measurements to an
+// already-recorded session.
+func (r *Recorder) Amend(id string, fn func(*SessionRecord)) (bool, error) {
+	if r == nil || fn == nil {
+		return false, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, rec := range r.sessions {
+		if rec.ID != id {
+			continue
+		}
+		cp := *rec
+		fn(&cp)
+		r.sessions[i] = &cp
+		if r.f == nil {
+			return true, nil
+		}
+		return true, r.compactLocked()
+	}
+	return false, nil
 }
 
 // compactLocked rewrites the history file to exactly the retained tail.

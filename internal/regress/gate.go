@@ -175,6 +175,26 @@ func gateScenario(base, c ScenarioResult, tol Tolerance) []Violation {
 		check("shared_cache_hits", float64(base.SharedCacheHits), 0, 1,
 			"the fleet no longer shares cached fragments across tenants")
 	}
+	// Ground-truth lower bounds, from the execution-backed replay.
+	// MeasuredSpeedup is a ratio of two wall-time measurements, so noise
+	// compounds; gate it against the committed baseline (recorded ≥ 1)
+	// with a loose factor rather than an absolute floor. A recommendation
+	// that executes materially slower than the record — the regression
+	// every estimate-based metric above is blind to — still fails. The
+	// rows-scanned comparison is deterministic: the recommended
+	// configuration scanning more rows than the baseline means its
+	// structures went unused.
+	if base.MeasuredSpeedup > 0 {
+		if floor := base.MeasuredSpeedup * 0.75; c.MeasuredSpeedup < floor {
+			check("measured_speedup", base.MeasuredSpeedup, c.MeasuredSpeedup, floor,
+				"the recommendation measures materially slower than the baseline record when actually executed")
+		}
+	}
+	if base.ReplayRowsBaseline > 0 && c.ReplayRowsRecommended > c.ReplayRowsBaseline {
+		check("replay_rows", float64(base.ReplayRowsRecommended), float64(c.ReplayRowsRecommended),
+			float64(c.ReplayRowsBaseline),
+			"the recommended configuration scans more rows than the unindexed baseline")
+	}
 	// The parallel evaluation engine must not run slower than the serial
 	// algorithm (ratio ≤ 1 + 5% noise slack). Only meaningful when the
 	// run actually had more than one worker; single-core runners record

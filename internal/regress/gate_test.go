@@ -25,6 +25,10 @@ func baselineBench() *Bench {
 				BoundViolations:    1,
 				PlansReusedPct:     89.9,
 				ProfileCoveragePct: 99.9,
+
+				MeasuredSpeedup:       1.25,
+				ReplayRowsBaseline:    119420,
+				ReplayRowsRecommended: 74197,
 			},
 			{
 				Name:               "online-drift",
@@ -145,6 +149,44 @@ func TestGateFlightRecorderLowerBounds(t *testing.T) {
 	cur.Scenarios[1].RecordedSessions = 3
 	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
 		t.Fatalf("growth flagged: %v", vs)
+	}
+}
+
+// TestGateGroundTruthLowerBounds: the replay gates are lower bounds on
+// measured reality — a recommendation that executes materially slower
+// than the committed record, or scans more rows than the unindexed
+// baseline, fails even when every estimate-based metric looks fine.
+func TestGateGroundTruthLowerBounds(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	cur.Scenarios[0].MeasuredSpeedup = 0.85 // below 0.75 × the 1.25 record
+
+	vs := Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Metric != "measured_speedup" {
+		t.Fatalf("sub-1 measured speedup not flagged: %v", vs)
+	}
+
+	cur = baselineBench()
+	cur.Scenarios[0].ReplayRowsRecommended = cur.Scenarios[0].ReplayRowsBaseline + 1
+	vs = Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Metric != "replay_rows" {
+		t.Fatalf("rows-scanned regression not flagged: %v", vs)
+	}
+
+	// Fewer rows or a larger speedup is improvement, not violation; and a
+	// baseline without replay data (pre-v4 regeneration) gates nothing.
+	cur = baselineBench()
+	cur.Scenarios[0].MeasuredSpeedup = 2.0
+	cur.Scenarios[0].ReplayRowsRecommended = 50000
+	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("improvement flagged: %v", vs)
+	}
+	base.Scenarios[0].MeasuredSpeedup = 0
+	base.Scenarios[0].ReplayRowsBaseline = 0
+	cur.Scenarios[0].MeasuredSpeedup = 0.5
+	cur.Scenarios[0].ReplayRowsRecommended = 1 << 40
+	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("gates fired without baseline replay data: %v", vs)
 	}
 }
 

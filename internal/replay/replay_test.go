@@ -1,0 +1,196 @@
+package replay
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/physical"
+	"repro/internal/workloads"
+)
+
+// tuneAndReplay runs a real (tiny) tuning session over materialized
+// TPC-H data and replays its result.
+func tuneAndReplay(t *testing.T, opts Options) (*core.Result, *obs.GroundTruthReport) {
+	t.Helper()
+	db, store := datagen.TPCHData(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := core.NewTuner(db, w, core.Options{
+		SpaceBudget:   4 << 20,
+		NoViews:       true,
+		MaxIterations: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := Run(db, store, w.Queries, res, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, gt
+}
+
+func TestReplayProducesGroundTruth(t *testing.T) {
+	res, gt := tuneAndReplay(t, Options{Repetitions: 1, MaxLineageSteps: 3})
+	if gt.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version %d", gt.SchemaVersion)
+	}
+	if gt.Statements == 0 || gt.TotalRows == 0 {
+		t.Fatalf("empty substrate: %d statements, %d rows", gt.Statements, gt.TotalRows)
+	}
+	base, rec := gt.Baseline(), gt.Recommended()
+	if base == nil || rec == nil {
+		t.Fatal("baseline/recommended config missing")
+	}
+	if base.Indexes != 0 || base.IndexSeeks != 0 {
+		t.Errorf("baseline must be unindexed: %+v", base)
+	}
+	if rec.Indexes != res.Best.Config.NumIndexes() {
+		t.Errorf("recommended indexes %d, want %d", rec.Indexes, res.Best.Config.NumIndexes())
+	}
+	if base.MeasuredNanos <= 0 || rec.MeasuredNanos <= 0 {
+		t.Errorf("measured wall times not positive: %d / %d", base.MeasuredNanos, rec.MeasuredNanos)
+	}
+	if gt.SpeedupMeasured <= 0 {
+		t.Errorf("speedup %g", gt.SpeedupMeasured)
+	}
+	// The recommendation's access paths must do no more row work than
+	// the unindexed baseline — this is the deterministic, noise-free
+	// half of the "recommendation helps" claim.
+	if rec.RowsScanned > base.RowsScanned {
+		t.Errorf("recommendation scans more rows than baseline: %d > %d",
+			rec.RowsScanned, base.RowsScanned)
+	}
+	if rec.IndexSeeks == 0 {
+		t.Errorf("recommended config never seeked an index: %+v", rec)
+	}
+	if len(base.PerStatement) != gt.Statements || len(rec.PerStatement) != gt.Statements {
+		t.Errorf("per-statement breakdown incomplete: %d / %d of %d",
+			len(base.PerStatement), len(rec.PerStatement), gt.Statements)
+	}
+	if gt.DurationNanos <= 0 {
+		t.Error("replay duration missing")
+	}
+	// The report must survive JSON (service + session record path).
+	if _, err := json.Marshal(gt); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	// And fold into a calibration report without error.
+	rep := obs.CalibrateGrounded(res.CalibSamples, res.Economy, gt)
+	if rep.Ground == nil || rep.Ground.SpeedupMeasured != gt.SpeedupMeasured {
+		t.Errorf("ground block not attached: %+v", rep.Ground)
+	}
+}
+
+func TestReplayLineageSampling(t *testing.T) {
+	res, gt := tuneAndReplay(t, Options{Repetitions: 1, MaxLineageSteps: 2})
+	// baseline + ≤2 interior steps + recommended.
+	if len(gt.Configs) > 4 {
+		t.Errorf("lineage cap ignored: %d configs", len(gt.Configs))
+	}
+	if len(res.Lineage) > 1 && len(gt.Configs) < 3 {
+		t.Errorf("lineage of %d steps replayed only %d configs", len(res.Lineage), len(gt.Configs))
+	}
+	// Ground samples exist only when interior lineage points were
+	// replayed, and estimated ΔT along the lineage is non-negative (the
+	// relaxation trades cost for space monotonically).
+	for _, s := range gt.Samples {
+		if s.EstDT < 0 {
+			t.Errorf("lineage step with negative estimated ΔT: %+v", s)
+		}
+		if s.Kind == "" {
+			t.Errorf("unlabeled ground sample: %+v", s)
+		}
+	}
+}
+
+func TestReplayStatementCap(t *testing.T) {
+	_, gt := tuneAndReplay(t, Options{Repetitions: 1, MaxStatements: 5, MaxLineageSteps: 1})
+	if gt.Statements != 5 {
+		t.Errorf("statement cap: %d, want 5", gt.Statements)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	db, store := datagen.TPCHData(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(nil, store, w.Queries, &core.Result{}, Options{}); err == nil {
+		t.Error("nil db must error")
+	}
+	if _, err := Run(db, store, w.Queries, &core.Result{}, Options{}); err == nil {
+		t.Error("result without recommendation must error")
+	}
+	res := &core.Result{Best: &core.EvaluatedConfig{Config: physical.NewConfiguration()}}
+	if _, err := Run(db, store, nil, res, Options{}); err == nil {
+		t.Error("empty workload must error")
+	}
+}
+
+func TestSampleIndices(t *testing.T) {
+	cases := []struct {
+		n, max int
+		want   []int
+	}{
+		{0, 4, nil},
+		{3, 4, []int{0, 1, 2}},
+		{4, 4, []int{0, 1, 2, 3}},
+		{10, 4, nil}, // checked structurally below
+		{100, 1, []int{99}},
+	}
+	for _, c := range cases {
+		got := sampleIndices(c.n, c.max)
+		if c.want != nil {
+			if len(got) != len(c.want) {
+				t.Errorf("sampleIndices(%d,%d) = %v, want %v", c.n, c.max, got, c.want)
+				continue
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Errorf("sampleIndices(%d,%d) = %v, want %v", c.n, c.max, got, c.want)
+					break
+				}
+			}
+			continue
+		}
+		if len(got) > c.max {
+			t.Errorf("sampleIndices(%d,%d) returned %d indices", c.n, c.max, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Errorf("sampleIndices(%d,%d) not strictly increasing: %v", c.n, c.max, got)
+			}
+		}
+		if len(got) > 0 && got[len(got)-1] != c.n-1 {
+			t.Errorf("sampleIndices(%d,%d) must include the last index: %v", c.n, c.max, got)
+		}
+	}
+}
+
+func TestReplayLeavesStoreClean(t *testing.T) {
+	db, store := datagen.TPCHData(0.001)
+	w, err := workloads.TPCH22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := physical.NewConfiguration()
+	cfg.AddIndex(&physical.Index{Table: "lineitem", Keys: []string{"l_orderkey"}})
+	res := &core.Result{Best: &core.EvaluatedConfig{Config: cfg}}
+	if _, err := Run(db, store, w.Queries, res, Options{Repetitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if store.NumIndexes() != 0 {
+		t.Errorf("replay left %d indexes registered", store.NumIndexes())
+	}
+}

@@ -63,6 +63,11 @@ type sessionsResponse struct {
 //	                      space budget for this session only
 //	GET  /progress        live per-iteration search events over SSE
 //	                      (?timeout=30s and ?max=N bound the stream)
+//	GET  /calibration     cost-model calibration report of the last
+//	                      retune (?format=text for a table);
+//	                      ?ground_truth=1 first replays the recommendation
+//	                      against materialized data and attaches the
+//	                      measured speedup / tightness / rank correlation
 //	GET  /sessions        flight-recorder history (newest last)
 //	GET  /sessions/{id}   one recorded session in full
 //	GET  /diff            structural delta between two recorded sessions
@@ -156,6 +161,37 @@ func NewHandler(s *Service) http.Handler {
 
 	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, r *http.Request) {
 		serveProgress(s, w, r)
+	})
+
+	mux.HandleFunc("GET /calibration", func(w http.ResponseWriter, r *http.Request) {
+		groundTruth := false
+		switch r.URL.Query().Get("ground_truth") {
+		case "", "0", "false":
+		case "1", "true":
+			groundTruth = true
+		default:
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid ground_truth (want 0/1)"})
+			return
+		}
+		cal, err := s.Calibration(groundTruth)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrReplayUnavailable) {
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		if cal == nil {
+			writeNoData(w, "no calibration report yet; ingest a workload and POST /retune")
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			cal.WriteText(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, cal)
 	})
 
 	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {

@@ -19,6 +19,7 @@ type Metrics struct {
 
 	retunes     atomic.Int64
 	warmRetunes atomic.Int64
+	replays     atomic.Int64
 
 	tuneOptimizerCalls  atomic.Int64
 	driftOptimizerCalls atomic.Int64
@@ -42,7 +43,7 @@ func (m *Metrics) retuneSeconds() float64 {
 type metricsLocals struct {
 	ingestRequests, statementsIngested, parseErrors int64
 	driftChecks, driftEvents                        int64
-	retunes, warmRetunes                            int64
+	retunes, warmRetunes, replays                   int64
 	tuneOptimizerCalls, driftOptimizerCalls         int64
 	lastRetuneCalls, lastRetuneMillis               int64
 	lastRetuneUnix                                  int64
@@ -58,6 +59,7 @@ func (m *Metrics) snapshot() metricsLocals {
 		driftEvents:         m.driftEvents.Load(),
 		retunes:             m.retunes.Load(),
 		warmRetunes:         m.warmRetunes.Load(),
+		replays:             m.replays.Load(),
 		tuneOptimizerCalls:  m.tuneOptimizerCalls.Load(),
 		driftOptimizerCalls: m.driftOptimizerCalls.Load(),
 		lastRetuneCalls:     m.lastRetuneCalls.Load(),
@@ -85,6 +87,9 @@ type MetricsSnapshot struct {
 
 	Retunes     int64 `json:"retunes"`
 	WarmRetunes int64 `json:"warm_retunes"`
+	// GroundTruthReplays counts completed execution-backed replays
+	// (retune hooks plus on-demand /calibration?ground_truth=1 runs).
+	GroundTruthReplays int64 `json:"ground_truth_replays,omitempty"`
 
 	TuneOptimizerCalls  int64 `json:"tune_optimizer_calls"`
 	DriftOptimizerCalls int64 `json:"drift_optimizer_calls"`

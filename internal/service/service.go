@@ -19,9 +19,11 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
+	"repro/internal/replay"
 	"repro/internal/workloads"
 )
 
@@ -84,6 +86,17 @@ type Options struct {
 	// MetricsBuckets overrides the Prometheus histogram bucket
 	// boundaries (zero value = defaults).
 	MetricsBuckets obs.TunerMetricsBuckets
+	// Replay, when set, enables ground-truth replays: Build materializes
+	// the sampled-scale substrate (catalog + rows) on first use; the
+	// result is cached for the service's lifetime. nil disables
+	// GET /calibration?ground_truth=1 and ReplayEachRetune at zero cost.
+	Replay *replay.Source
+	// ReplayOptions tune ground-truth replay runs (zero = defaults).
+	ReplayOptions replay.Options
+	// ReplayEachRetune runs a ground-truth replay after every successful
+	// retune, attaching the measurements to the session record and the
+	// calibration report. Requires Replay.
+	ReplayEachRetune bool
 }
 
 // CostCache shares per-statement what-if costs between services. Keys
@@ -158,6 +171,19 @@ type Service struct {
 	baseline  *Fingerprint
 	costCache map[string]float64
 	driftOpt  *optimizer.Optimizer
+	// calibration is the last retune's report (with ground-truth block
+	// attached once a replay ran); lastResult/lastSnap/lastSessionID keep
+	// what an on-demand replay needs to score that retune.
+	calibration   *obs.CalibrationReport
+	lastResult    *core.Result
+	lastSnap      *workloads.Workload
+	lastSessionID string
+
+	// replayMu serializes ground-truth replays and guards the lazily
+	// built substrate.
+	replayMu    sync.Mutex
+	replayDB    *catalog.Database
+	replayStore *exec.Store
 
 	// tuneMu serializes tuning sessions (one retune at a time).
 	tuneMu sync.Mutex
@@ -468,6 +494,7 @@ func (s *Service) retune(trigger string, budget int64, overrideBudget bool) (*Re
 	}
 
 	session := buildSessionRecord(sessionID, s.opts.Tenant, trigger, startedAt, warm, t, snap, res, opts.SpaceBudget)
+	s.groundTruthHook(res, snap, session)
 	if err := s.recorder.Record(session); err != nil {
 		s.warnf("service: flight recorder: %v", err)
 	}
@@ -494,6 +521,12 @@ func (s *Service) retune(trigger string, budget int64, overrideBudget bool) (*Re
 	s.mu.Lock()
 	s.rec = rec
 	s.explain = res.Explain
+	if res.Explain != nil {
+		s.calibration = res.Explain.Calibration
+	}
+	s.lastResult = res
+	s.lastSnap = snap
+	s.lastSessionID = sessionID
 	s.baseline = &Fingerprint{
 		Shares:        shapeHistogram(snap),
 		CostPerWeight: res.Best.Cost / snap.TotalWeight(),
@@ -545,8 +578,9 @@ func (s *Service) MetricsSnapshot() MetricsSnapshot {
 		DriftChecks: m.driftChecks,
 		DriftEvents: m.driftEvents,
 
-		Retunes:     m.retunes,
-		WarmRetunes: m.warmRetunes,
+		Retunes:            m.retunes,
+		WarmRetunes:        m.warmRetunes,
+		GroundTruthReplays: m.replays,
 
 		TuneOptimizerCalls:  m.tuneOptimizerCalls,
 		DriftOptimizerCalls: m.driftOptimizerCalls,

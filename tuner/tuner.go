@@ -26,9 +26,11 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/exec"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/physical"
+	"repro/internal/replay"
 	"repro/internal/workloads"
 )
 
@@ -279,6 +281,58 @@ func DiffSessions(from, to *SessionRecord) *SessionDiff { return obs.DiffSession
 // this entry point serves custom aggregation windows.
 func Calibrate(samples []CalibSample, economy WhatIfEconomy) *CalibrationReport {
 	return obs.Calibrate(samples, economy)
+}
+
+// Ground-truth replay, re-exported. A replay materializes the
+// recommended configuration's structures in the in-repo storage engine,
+// executes the workload under baseline, sampled intermediate, and
+// recommended configurations, and scores the optimizer's estimates
+// against measured wall time (speedup, rank correlation, per-kind
+// tightness).
+type (
+	// ExecStore holds materialized table data and secondary indexes for
+	// execution-backed replay.
+	ExecStore = exec.Store
+	// ExecStats counts the work one executed statement performed.
+	ExecStats = exec.ExecStats
+	// ReplaySource lazily builds a replay substrate (service option).
+	ReplaySource = replay.Source
+	// ReplayOptions bound a replay run (repetitions, sampled lineage
+	// steps, statement cap).
+	ReplayOptions = replay.Options
+	// GroundTruthReport is a replay's measured outcome.
+	GroundTruthReport = obs.GroundTruthReport
+	// ReplayConfig is one measured configuration within a replay.
+	ReplayConfig = obs.ReplayConfig
+	// ReplayStatement is one statement's measurement under a config.
+	ReplayStatement = obs.ReplayStatement
+)
+
+// TPCHData materializes the TPC-H-style database with row data, ready
+// for execution-backed replay. Keep sf small (≤ 0.01): this is a
+// sampled-scale measurement substrate, not a benchmark rig.
+func TPCHData(sf float64) (*Database, *ExecStore) { return datagen.TPCHData(sf) }
+
+// DS1Data materializes the star-schema database with row data.
+func DS1Data(sf float64) (*Database, *ExecStore) { return datagen.DS1Data(sf) }
+
+// BenchData materializes the generic benchmark database with row data.
+func BenchData(sf float64) (*Database, *ExecStore) { return datagen.BenchData(sf) }
+
+// Replay executes the workload against db/store under the tuning
+// result's baseline, sampled lineage, and recommended configurations,
+// returning measured ground truth. The store's secondary indexes are
+// reset afterwards.
+func Replay(db *Database, store *ExecStore, queries []*Query, res *Result, opts ReplayOptions) (*GroundTruthReport, error) {
+	return replay.Run(db, store, queries, res, opts)
+}
+
+// CalibrateGrounded is Calibrate plus an execution-grounded sample
+// stream: the replay's measured deltas are scored per transformation
+// kind alongside the optimizer's own samples, and the report carries
+// the ground-truth block.
+func CalibrateGrounded(samples []CalibSample, economy WhatIfEconomy, gt *GroundTruthReport) *CalibrationReport {
+	return obs.CalibrateGrounded(samples, economy, gt)
 }
 
 // Fleet types, re-exported. A fleet runs many online tuning services —
