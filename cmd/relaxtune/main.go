@@ -8,6 +8,7 @@
 //	relaxtune -db ds1 -workload /path/to/workload.sql -budget 128
 //	relaxtune -db bench -gen 12 -updates 0.3 -budget 32 -baseline
 //	relaxtune -db tpch -budget 8 -progress -frontier frontier.csv
+//	relaxtune -db tpch -workload tpch22 -budget 16 -workload-report
 package main
 
 import (
@@ -46,6 +47,7 @@ func main() {
 		profile  = flag.Bool("profile", false, "print the per-phase performance profile (p50/p95/p99 wall time, allocations) after tuning")
 		parallel = flag.Int("parallel", 0, "evaluation-engine workers (0 = all cores, 1 = exact serial algorithm)")
 		replay   = flag.Bool("replay", false, "after tuning, materialize the database at -sf, execute the workload under baseline and recommended configurations, and score the cost model against measured reality")
+		workRep  = flag.Bool("workload-report", false, "print the workload grouped by statement signature: weight/cost shares and the structures each signature demanded")
 	)
 	flag.Parse()
 
@@ -137,6 +139,10 @@ func main() {
 		if err := runReplay(*dbName, *sf, w, res); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *workRep {
+		printWorkloadReport(w, res)
 	}
 
 	if *explain && res.Explain != nil {
@@ -381,6 +387,48 @@ func runWhatIf(db *tuner.Database, w *tuner.Workload, opts tuner.Options, path s
 	for _, d := range res.PerQuery {
 		fmt.Printf("%-14s %12.1f %12.1f %8.1f%%\n", d.ID, d.BaseCost, d.TargetCost, d.ImprovementPct())
 	}
+}
+
+// printWorkloadReport renders the workload grouped by canonical
+// (S,N,O,A) statement signature: each group's weight share, the share of
+// the recommended configuration's cost it carries, and the structures
+// its plans demanded in the winning configuration.
+func printWorkloadReport(w *tuner.Workload, res *tuner.Result) {
+	costs := make([]float64, len(w.Queries))
+	for i := range w.Queries {
+		if i < len(res.Best.Results) {
+			costs[i] = res.Best.Results[i].TotalCost()
+		}
+	}
+	demanded := map[string][]string{}
+	if res.Explain != nil {
+		final := map[string]bool{}
+		for _, ix := range res.Best.Config.Indexes() {
+			final[ix.ID()] = true
+		}
+		for _, v := range res.Best.Config.Views() {
+			final[v.Name] = true
+		}
+		for _, sd := range res.Explain.Structures {
+			if !final[sd.ID] {
+				continue
+			}
+			for _, qid := range sd.DemandedBy {
+				demanded[qid] = append(demanded[qid], sd.ID)
+			}
+		}
+	}
+	groups := tuner.AttributeSignatures(w, costs, demanded)
+	fmt.Printf("workload by signature (%d groups over %d statements):\n", len(groups), len(w.Queries))
+	fmt.Printf("%-7s %-7s %-7s %-5s %s\n", "weight%", "cost%", "stmts", "upd", "signature")
+	for _, g := range groups {
+		fmt.Printf("%6.1f%% %6.1f%% %-7d %-5d %s\n",
+			100*g.WeightShare, 100*g.CostShare, g.Statements, g.Updates, g.Signature)
+		if len(g.Structures) > 0 {
+			fmt.Printf("        demands %s\n", strings.Join(g.Structures, ", "))
+		}
+	}
+	fmt.Println()
 }
 
 // printPlans renders each query's plan under the best configuration.

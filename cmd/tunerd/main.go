@@ -18,6 +18,10 @@
 //	                      {"budget_mb": N} overrides the budget once)
 //	GET  /progress        live per-iteration search events (SSE;
 //	                      ?timeout=30s / ?max=N bound the stream)
+//	GET  /workload        workload introspection: the window grouped by
+//	                      statement signature with weight/cost shares,
+//	                      demanded structures, sketch state, and the
+//	                      latest drift movers (?format=text for a table)
 //	GET  /sessions        flight-recorder session history
 //	GET  /sessions/{id}   one recorded session in full
 //	GET  /diff            structural delta between two sessions
@@ -101,6 +105,7 @@ func main() {
 		windowObs  = flag.Int("window", 4096, "sliding window size in observations")
 		maxUnique  = flag.Int("max-unique", 512, "max distinct statements kept in the window")
 		halfLife   = flag.Int("half-life", 0, "statement weight half-life in observations (0 = no decay)")
+		sketchSize = flag.Int("sketch-size", 0, "top-k signature sketch capacity for GET /workload (0 = default 128, negative = disable)")
 		driftEvery = flag.Duration("drift-interval", 30*time.Second, "background drift check interval (0 = off)")
 		driftMin   = flag.Int("drift-min", 8, "minimum window statements before drift can trigger")
 		driftShape = flag.Float64("drift-shape", 0.5, "shape-histogram L1 distance threshold")
@@ -166,6 +171,7 @@ func main() {
 			MaxObservations: *windowObs,
 			MaxUnique:       *maxUnique,
 			HalfLife:        *halfLife,
+			SketchSize:      *sketchSize,
 		},
 		Drift: service.DriftOptions{
 			MinStatements:  *driftMin,

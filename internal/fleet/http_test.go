@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Registry, *httptest.Server) {
@@ -213,6 +215,76 @@ func TestFleetHTTPMetrics(t *testing.T) {
 	}
 	if js.Fleet.FragmentCache.SharedHits == 0 {
 		t.Error("json metrics shared hits = 0")
+	}
+}
+
+// TestFleetWorkloadAndExpositionLint: the tenant passthrough must scope
+// GET /workload, and the merged fleet exposition must lint clean and
+// contain every sample a single-tenant labeled render would produce.
+func TestFleetWorkloadAndExpositionLint(t *testing.T) {
+	r, srv := newTestServer(t, Options{Workers: 2})
+	for _, id := range []string{"w1", "w2"} {
+		if _, err := r.Add(TenantSpec{ID: id, Database: "tpch"}); err != nil {
+			t.Fatalf("add %s: %v", id, err)
+		}
+		r.Get(id).Service.Ingest(sharedShapes)
+		retuneTenant(t, r, id)
+	}
+
+	// Tenant-scoped workload introspection, JSON and text.
+	resp, body := doJSON(t, "GET", srv.URL+"/tenants/w1/workload", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /tenants/w1/workload = %d: %s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Statements int `json:"statements"`
+		Signatures []struct {
+			Signature   string  `json:"signature"`
+			WeightShare float64 `json:"weight_share"`
+		} `json:"signatures"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("workload payload: %v", err)
+	}
+	if rep.Statements != len(sharedShapes) || len(rep.Signatures) == 0 {
+		t.Fatalf("workload payload: %s", body)
+	}
+	resp, body = doJSON(t, "GET", srv.URL+"/tenants/w1/workload?format=text", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "signature") {
+		t.Fatalf("text workload = %d: %s", resp.StatusCode, body)
+	}
+	if resp, body = doJSON(t, "GET", srv.URL+"/tenants/nope/workload", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant workload = %d: %s", resp.StatusCode, body)
+	}
+
+	// Merged exposition: structurally valid, and a superset of each
+	// tenant's own labeled render.
+	resp, body = doJSON(t, "GET", srv.URL+"/metrics?format=prometheus", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	merged := string(body)
+	if probs := obs.LintExposition(strings.NewReader(merged)); len(probs) != 0 {
+		t.Fatalf("fleet exposition lint: %v", probs)
+	}
+	var single bytes.Buffer
+	r.Get("w1").Service.PromRegistry().RenderLabeled(&single, "tenant", "w1")
+	for _, line := range strings.Split(strings.TrimSpace(single.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(merged, line) {
+			t.Errorf("merged exposition missing single-tenant sample %q", line)
+		}
+	}
+	for _, series := range []string{
+		`tuner_workload_signatures{tenant="w1"}`,
+		`tuner_workload_topk_weight_share{tenant="w2"}`,
+		`tuner_window_statements{tenant="w1",kind="select"}`,
+	} {
+		if !strings.Contains(merged, series) {
+			t.Errorf("merged exposition missing %s", series)
+		}
 	}
 }
 

@@ -46,6 +46,12 @@ type SessionDiff struct {
 	FromMeasuredSpeedup float64 `json:"from_measured_speedup,omitempty"`
 	ToMeasuredSpeedup   float64 `json:"to_measured_speedup,omitempty"`
 	MeasuredNanosDelta  int64   `json:"measured_nanos_delta,omitempty"`
+
+	// Drift digests of drift-triggered sessions: why each side fired
+	// (nil for manual/CLI sessions), so a diff between two auto retunes
+	// shows which signatures moved the workload each time.
+	FromDrift *DriftDigest `json:"from_drift,omitempty"`
+	ToDrift   *DriftDigest `json:"to_drift,omitempty"`
 }
 
 // structureKey identifies a structure across sessions. The kind joins
@@ -62,6 +68,8 @@ func DiffSessions(from, to *SessionRecord) *SessionDiff {
 		SizeDelta:        to.SizeBytes - from.SizeBytes,
 		BudgetDelta:      to.SpaceBudgetBytes - from.SpaceBudgetBytes,
 		ImprovementDelta: to.ImprovementPct - from.ImprovementPct,
+		FromDrift:        from.Drift,
+		ToDrift:          to.Drift,
 	}
 	if from.GroundTruth != nil && to.GroundTruth != nil {
 		d.FromMeasuredSpeedup = from.GroundTruth.SpeedupMeasured

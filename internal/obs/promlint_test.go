@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// lintTestRegistry builds a registry exercising every metric type.
+func lintTestRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.NewCounter("demo_ops_total", "Operations performed.")
+	c.Add(3)
+	g := reg.NewGauge("demo_depth", "Queue depth.")
+	g.Set(7)
+	cv := reg.NewCounterVec("demo_phase_total", "Per-phase operations.", "phase")
+	cv.Add("search", 2)
+	cv.Add("evaluate", 5)
+	gv := reg.NewGaugeVec("demo_share", "Per-kind share.", "kind")
+	gv.Set("select", 0.75)
+	gv.Set("update", 0.25)
+	h := reg.NewHistogram("demo_latency_seconds", "Latency distribution.", ExpBuckets(0.001, 10, 4))
+	h.Observe(0.004)
+	h.Observe(2)
+	hv := reg.NewHistogramVec("demo_phase_seconds", "Per-phase latency.", "phase", ExpBuckets(0.001, 10, 3))
+	hv.Observe("search", 0.01)
+	return reg
+}
+
+func TestLintCleanRegistry(t *testing.T) {
+	var b strings.Builder
+	lintTestRegistry().Render(&b)
+	if probs := LintExposition(strings.NewReader(b.String())); len(probs) != 0 {
+		t.Fatalf("clean registry flagged: %v\n%s", probs, b.String())
+	}
+}
+
+func TestLintCleanLabeledRegistry(t *testing.T) {
+	var b strings.Builder
+	lintTestRegistry().RenderLabeled(&b, "tenant", "acme")
+	if probs := LintExposition(strings.NewReader(b.String())); len(probs) != 0 {
+		t.Fatalf("labeled render flagged: %v\n%s", probs, b.String())
+	}
+	if !strings.Contains(b.String(), `tenant="acme"`) {
+		t.Fatalf("labeled render missing tenant label:\n%s", b.String())
+	}
+}
+
+func TestLintMergedMatchesSingleTenant(t *testing.T) {
+	regA, regB := lintTestRegistry(), lintTestRegistry()
+	var merged strings.Builder
+	RenderMerged(&merged, "tenant", []LabeledRegistry{
+		{Value: "a", Registry: regA},
+		{Value: "b", Registry: regB},
+	})
+	if probs := LintExposition(strings.NewReader(merged.String())); len(probs) != 0 {
+		t.Fatalf("merged exposition flagged: %v\n%s", probs, merged.String())
+	}
+
+	// Every sample a single-tenant render produces must appear verbatim in
+	// the merged exposition (same value, same labels plus tenant), and each
+	// family's HELP/TYPE must appear exactly once.
+	var single strings.Builder
+	regA.RenderLabeled(&single, "tenant", "a")
+	for _, line := range strings.Split(strings.TrimSpace(single.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if strings.Count(merged.String(), line) != 1 {
+				t.Errorf("header %q appears %d times in merged output, want 1",
+					line, strings.Count(merged.String(), line))
+			}
+			continue
+		}
+		if !strings.Contains(merged.String(), line) {
+			t.Errorf("merged exposition missing single-tenant sample %q", line)
+		}
+	}
+}
+
+func TestLintCatchesMissingType(t *testing.T) {
+	exp := "# HELP demo_x Stuff.\ndemo_x 1\n"
+	probs := LintExposition(strings.NewReader(exp))
+	if len(probs) == 0 {
+		t.Fatal("sample without TYPE not flagged")
+	}
+}
+
+func TestLintCatchesDuplicateFamily(t *testing.T) {
+	exp := "# HELP demo_x Stuff.\n# TYPE demo_x gauge\ndemo_x 1\n" +
+		"# HELP demo_x Stuff.\n# TYPE demo_x counter\ndemo_x 2\n"
+	probs := LintExposition(strings.NewReader(exp))
+	joined := strings.Join(probs, "; ")
+	if !strings.Contains(joined, "duplicate HELP") {
+		t.Errorf("duplicate HELP not flagged: %v", probs)
+	}
+	if !strings.Contains(joined, "redeclared") {
+		t.Errorf("conflicting TYPE not flagged: %v", probs)
+	}
+	if !strings.Contains(joined, "duplicate series") {
+		t.Errorf("duplicate series not flagged: %v", probs)
+	}
+}
+
+func TestLintCatchesInvalidTypeAndName(t *testing.T) {
+	exp := "# HELP 9bad Stuff.\n# TYPE 9bad thermometer\n9bad 1\n"
+	probs := LintExposition(strings.NewReader(exp))
+	joined := strings.Join(probs, "; ")
+	if !strings.Contains(joined, "invalid metric name") {
+		t.Errorf("invalid name not flagged: %v", probs)
+	}
+	if !strings.Contains(joined, "invalid type") {
+		t.Errorf("invalid type not flagged: %v", probs)
+	}
+}
+
+func TestLintCatchesNegativeCounter(t *testing.T) {
+	exp := "# HELP demo_total Stuff.\n# TYPE demo_total counter\ndemo_total -4\n"
+	probs := LintExposition(strings.NewReader(exp))
+	if len(probs) != 1 || !strings.Contains(probs[0], "negative") {
+		t.Fatalf("negative counter not flagged correctly: %v", probs)
+	}
+}
+
+func TestLintAllowsHistogramComponents(t *testing.T) {
+	exp := "# HELP demo_seconds Latency.\n# TYPE demo_seconds histogram\n" +
+		"demo_seconds_bucket{le=\"0.1\"} 1\ndemo_seconds_bucket{le=\"+Inf\"} 2\n" +
+		"demo_seconds_sum 0.3\ndemo_seconds_count 2\n"
+	if probs := LintExposition(strings.NewReader(exp)); len(probs) != 0 {
+		t.Fatalf("histogram components flagged: %v", probs)
+	}
+}

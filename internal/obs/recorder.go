@@ -49,6 +49,29 @@ type ExplainDigest struct {
 	Outcomes map[string]int `json:"outcomes,omitempty"`
 }
 
+// DriftDigest records the drift assessment that triggered a session —
+// the "why did this retune fire" answer the history serves (obs cannot
+// import service, so the service projects its DriftReport into this).
+type DriftDigest struct {
+	ShapeDistance float64 `json:"shape_distance"`
+	CostRatio     float64 `json:"cost_ratio,omitempty"`
+	Reason        string  `json:"reason,omitempty"`
+	// Movers rank the statement signatures whose share movement drove
+	// the distance; MoverShare is the fraction of it they explain.
+	Movers     []DriftMoverRecord `json:"movers,omitempty"`
+	MoverShare float64            `json:"mover_share,omitempty"`
+}
+
+// DriftMoverRecord is one signature's contribution to a recorded drift.
+type DriftMoverRecord struct {
+	Signature     string  `json:"signature"`
+	Direction     string  `json:"direction"` // "up", "down", or "churn"
+	BaselineShare float64 `json:"baseline_share"`
+	CurrentShare  float64 `json:"current_share"`
+	Delta         float64 `json:"delta"`
+	DistanceShare float64 `json:"distance_share"`
+}
+
 // CalibrationDigest summarizes a CalibrationReport for the history.
 type CalibrationDigest struct {
 	Samples         int     `json:"samples"`
@@ -97,6 +120,9 @@ type SessionRecord struct {
 	Frontier    []FrontierSample   `json:"frontier"`
 	Explain     *ExplainDigest     `json:"explain,omitempty"`
 	Calibration *CalibrationDigest `json:"calibration,omitempty"`
+	// Drift is the assessment that fired this session, present only on
+	// drift-triggered ("auto") retunes.
+	Drift *DriftDigest `json:"drift,omitempty"`
 	// GroundTruth is the execution-backed replay of this session's
 	// recommendation, present only when the service ran one.
 	GroundTruth *GroundTruthReport `json:"ground_truth,omitempty"`
@@ -120,11 +146,15 @@ type SessionSummary struct {
 	// MeasuredSpeedup is the replay's baseline/recommended measured wall
 	// ratio (0 when the session had no ground-truth replay).
 	MeasuredSpeedup float64 `json:"measured_speedup,omitempty"`
+	// DriftReason and DriftMovers surface why a drift-triggered session
+	// fired (empty/0 for manual and CLI sessions).
+	DriftReason string `json:"drift_reason,omitempty"`
+	DriftMovers int    `json:"drift_movers,omitempty"`
 }
 
 // Summary projects the record into its list view.
 func (r *SessionRecord) Summary() SessionSummary {
-	return SessionSummary{
+	s := SessionSummary{
 		ID:               r.ID,
 		Tenant:           r.Tenant,
 		StartedAt:        r.StartedAt,
@@ -140,6 +170,11 @@ func (r *SessionRecord) Summary() SessionSummary {
 		FrontierPoints:   len(r.Frontier),
 		MeasuredSpeedup:  r.measuredSpeedup(),
 	}
+	if r.Drift != nil {
+		s.DriftReason = r.Drift.Reason
+		s.DriftMovers = len(r.Drift.Movers)
+	}
+	return s
 }
 
 func (r *SessionRecord) measuredSpeedup() float64 {

@@ -195,6 +195,23 @@ func gateScenario(base, c ScenarioResult, tol Tolerance) []Violation {
 			float64(c.ReplayRowsBaseline),
 			"the recommended configuration scans more rows than the unindexed baseline")
 	}
+	// Workload-introspection lower bounds (online-drift). The signature
+	// count is deterministic for a fixed seed: fewer distinct signatures
+	// than the baseline means canonicalization started merging shapes it
+	// should keep apart, or the sketch lost streams. The top-k weight
+	// coverage dropping below the baseline (less 5% slack for decay
+	// timing) means the sketch evicts live traffic it used to track.
+	if base.WorkloadSignatures > 0 && c.WorkloadSignatures < base.WorkloadSignatures {
+		check("workload_signatures", float64(base.WorkloadSignatures), float64(c.WorkloadSignatures),
+			float64(base.WorkloadSignatures),
+			"the sketch tracks fewer distinct statement signatures than the baseline")
+	}
+	if base.TopKWeightShare > 0 {
+		if floor := base.TopKWeightShare * 0.95; c.TopKWeightShare < floor {
+			check("topk_weight_share", base.TopKWeightShare, c.TopKWeightShare, floor,
+				"the top-k sketch covers less of the window's weight than the baseline")
+		}
+	}
 	// The parallel evaluation engine must not run slower than the serial
 	// algorithm (ratio ≤ 1 + 5% noise slack). Only meaningful when the
 	// run actually had more than one worker; single-core runners record

@@ -40,6 +40,8 @@ func baselineBench() *Bench {
 				ProfileCoveragePct: 99.9,
 				FrontierPoints:     6,
 				RecordedSessions:   2,
+				WorkloadSignatures: 14,
+				TopKWeightShare:    1.0,
 			},
 		},
 	}
@@ -187,6 +189,45 @@ func TestGateGroundTruthLowerBounds(t *testing.T) {
 	cur.Scenarios[0].ReplayRowsRecommended = 1 << 40
 	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
 		t.Fatalf("gates fired without baseline replay data: %v", vs)
+	}
+}
+
+// TestGateWorkloadIntrospectionLowerBounds: the signature count and the
+// top-k weight coverage are lower bounds — losing tracked signatures or
+// sketch coverage is a regression of the introspection surface even
+// though tuning results stay identical.
+func TestGateWorkloadIntrospectionLowerBounds(t *testing.T) {
+	base := baselineBench()
+	cur := baselineBench()
+	cur.Scenarios[1].WorkloadSignatures = base.Scenarios[1].WorkloadSignatures - 2
+
+	vs := Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Metric != "workload_signatures" {
+		t.Fatalf("lost signatures not flagged: %v", vs)
+	}
+
+	cur = baselineBench()
+	cur.Scenarios[1].TopKWeightShare = 0.80 // below 0.95 × the 1.0 record
+	vs = Gate(base, cur, Tolerance{})
+	if len(vs) != 1 || vs[0].Metric != "topk_weight_share" {
+		t.Fatalf("lost sketch coverage not flagged: %v", vs)
+	}
+
+	// Within the 5% decay slack it must pass, as must a run tracking more
+	// signatures than the baseline.
+	cur = baselineBench()
+	cur.Scenarios[1].TopKWeightShare = 0.96
+	cur.Scenarios[1].WorkloadSignatures = base.Scenarios[1].WorkloadSignatures + 3
+	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("within-slack run flagged: %v", vs)
+	}
+	// A pre-v5 baseline without introspection counters gates nothing.
+	base.Scenarios[1].WorkloadSignatures = 0
+	base.Scenarios[1].TopKWeightShare = 0
+	cur.Scenarios[1].WorkloadSignatures = 0
+	cur.Scenarios[1].TopKWeightShare = 0
+	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("gates fired without baseline introspection data: %v", vs)
 	}
 }
 

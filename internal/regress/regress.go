@@ -29,8 +29,10 @@ import (
 // v2 added the flight-recorder counters (frontier_points,
 // recorded_sessions); v3 added the fleet-throughput scenario
 // (fleet_tenants, shared_cache_hits); v4 added the execution-grounded
-// replay of batch-tpch (measured_speedup, replay row counts).
-const SchemaVersion = 4
+// replay of batch-tpch (measured_speedup, replay row counts); v5 added
+// the workload-introspection counters of online-drift
+// (workload_signatures, topk_weight_share).
+const SchemaVersion = 5
 
 // Bench is the schema-versioned payload written to BENCH_tuner.json.
 type Bench struct {
@@ -109,6 +111,16 @@ type ScenarioResult struct {
 	// that as a violation.
 	FleetTenants    int   `json:"fleet_tenants,omitempty"`
 	SharedCacheHits int64 `json:"shared_cache_hits,omitempty"`
+	// WorkloadSignatures and TopKWeightShare record the introspection
+	// layer's view of the online-drift stream: the number of distinct
+	// statement signatures the top-k sketch tracks after both phases, and
+	// the fraction of the window's decayed weight those tracked signatures
+	// cover. Deterministic for a fixed seed. Signatures dropping below the
+	// baseline means signature canonicalization started merging distinct
+	// shapes (or the sketch lost streams); coverage dropping means the
+	// sketch is evicting live traffic. The gate lower-bounds both.
+	WorkloadSignatures int     `json:"workload_signatures,omitempty"`
+	TopKWeightShare    float64 `json:"topk_weight_share,omitempty"`
 }
 
 // Config parameterizes a suite run.
@@ -401,6 +413,8 @@ func runOnlineDrift(cfg Config) (ScenarioResult, error) {
 		ImprovementPct:     rec.ImprovementPct,
 		ProfileCoveragePct: rep.CoveragePct(),
 		RecordedSessions:   int(m.RecordedSessions),
+		WorkloadSignatures: int(m.WorkloadSignatures),
+		TopKWeightShare:    m.TopKWeightShare,
 	}
 	// The warm retune's frontier, read back from the flight recorder —
 	// proves recording survives the full service path, not just core.

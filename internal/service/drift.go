@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/workloads"
 )
@@ -36,11 +37,30 @@ func (o DriftOptions) withDefaults() DriftOptions {
 }
 
 // Fingerprint characterizes one windowed workload: the statement-shape
-// histogram (weight share per distinct statement) and the weighted cost
+// histogram (weight share per distinct statement), the statement-to-
+// signature mapping drift attribution groups by, and the weighted cost
 // per unit weight under a reference configuration.
 type Fingerprint struct {
 	Shares        map[string]float64
+	Sigs          map[string]string // canonical SQL -> signature
 	CostPerWeight float64
+}
+
+// fingerprintOf captures the window snapshot's shape histogram together
+// with each statement's signature, so a later drift assessment can
+// attribute share movement to signatures even after the statements
+// themselves left the window.
+func fingerprintOf(w *workloads.Workload) Fingerprint {
+	fp := Fingerprint{
+		Shares: shapeHistogram(w),
+		Sigs:   make(map[string]string, len(w.Queries)),
+	}
+	for _, q := range w.Queries {
+		if _, ok := fp.Sigs[q.SQL]; !ok {
+			fp.Sigs[q.SQL] = workloads.SignatureOf(q.Stmt)
+		}
+	}
+	return fp
 }
 
 // shapeHistogram builds the normalized weight-share histogram of w.
@@ -87,6 +107,116 @@ type DriftReport struct {
 	ShapeDistance float64 `json:"shape_distance"`
 	CostRatio     float64 `json:"cost_ratio"`
 	Reason        string  `json:"reason,omitempty"`
+	// Movers rank the signatures whose share movement drove
+	// ShapeDistance, largest contribution first; MoverShare is the
+	// fraction of the distance they jointly explain.
+	Movers     []DriftMover `json:"movers,omitempty"`
+	MoverShare float64      `json:"mover_share,omitempty"`
+}
+
+// DriftMover is one signature's contribution to the shape distance.
+type DriftMover struct {
+	Signature string `json:"signature"`
+	// Direction is "up" (grew), "down" (shrank), or "churn" (net share
+	// unchanged but statements moved within the signature).
+	Direction     string  `json:"direction"`
+	BaselineShare float64 `json:"baseline_share"`
+	CurrentShare  float64 `json:"current_share"`
+	// Delta is the net share change; DistanceShare the fraction of the
+	// total shape distance this signature's per-statement movement
+	// accounts for (all signatures' DistanceShares sum to 1).
+	Delta         float64 `json:"delta"`
+	DistanceShare float64 `json:"distance_share"`
+}
+
+// moverCoverageTarget is the fraction of the shape distance the reported
+// movers must jointly explain before the ranking is cut off.
+const moverCoverageTarget = 0.95
+
+// maxMovers caps the reported ranking; the tail beyond the coverage
+// target is noise for a human reader.
+const maxMovers = 12
+
+// computeMovers decomposes the shape distance into per-signature
+// contributions. Each per-statement |Δshare| term of the L1 distance is
+// attributed to that statement's signature, so the DistanceShares sum to
+// exactly 1 — grouping shares *before* differencing would let opposing
+// statement movements inside one signature cancel and the attribution
+// would no longer cover the distance.
+func computeMovers(baseline, cur Fingerprint, distance float64) ([]DriftMover, float64) {
+	if distance <= 0 {
+		return nil, 0
+	}
+	sigOf := func(sql string) string {
+		if s, ok := cur.Sigs[sql]; ok {
+			return s
+		}
+		if s, ok := baseline.Sigs[sql]; ok {
+			return s
+		}
+		return "?"
+	}
+	type agg struct {
+		base, cur, abs float64
+	}
+	groups := map[string]*agg{}
+	group := func(sig string) *agg {
+		g := groups[sig]
+		if g == nil {
+			g = &agg{}
+			groups[sig] = g
+		}
+		return g
+	}
+	for sql, cv := range cur.Shares {
+		g := group(sigOf(sql))
+		g.cur += cv
+		g.abs += abs(cv - baseline.Shares[sql])
+	}
+	for sql, bv := range baseline.Shares {
+		g := group(sigOf(sql))
+		g.base += bv
+		if _, ok := cur.Shares[sql]; !ok {
+			g.abs += bv
+		}
+	}
+	movers := make([]DriftMover, 0, len(groups))
+	for sig, g := range groups {
+		if g.abs == 0 {
+			continue
+		}
+		m := DriftMover{
+			Signature:     sig,
+			BaselineShare: g.base,
+			CurrentShare:  g.cur,
+			Delta:         g.cur - g.base,
+			DistanceShare: g.abs / distance,
+		}
+		switch {
+		case m.Delta > 1e-12:
+			m.Direction = "up"
+		case m.Delta < -1e-12:
+			m.Direction = "down"
+		default:
+			m.Direction = "churn"
+		}
+		movers = append(movers, m)
+	}
+	sort.Slice(movers, func(i, j int) bool {
+		if movers[i].DistanceShare != movers[j].DistanceShare {
+			return movers[i].DistanceShare > movers[j].DistanceShare
+		}
+		return movers[i].Signature < movers[j].Signature
+	})
+	covered := 0.0
+	for i, m := range movers {
+		if (covered >= moverCoverageTarget || i >= maxMovers) && i > 0 {
+			movers = movers[:i]
+			break
+		}
+		covered += m.DistanceShare
+	}
+	return movers, covered
 }
 
 // assess compares the current window fingerprint against the baseline
@@ -101,6 +231,7 @@ func assess(opts DriftOptions, baseline *Fingerprint, cur Fingerprint, observati
 		return DriftReport{Drifted: true, ShapeDistance: 2, Reason: "never tuned"}
 	}
 	rep := DriftReport{ShapeDistance: shapeDistance(cur.Shares, baseline.Shares)}
+	rep.Movers, rep.MoverShare = computeMovers(*baseline, cur, rep.ShapeDistance)
 	if baseline.CostPerWeight > 0 && cur.CostPerWeight > 0 {
 		rep.CostRatio = cur.CostPerWeight / baseline.CostPerWeight
 	}

@@ -68,6 +68,11 @@ type sessionsResponse struct {
 //	                      ?ground_truth=1 first replays the recommendation
 //	                      against materialized data and attaches the
 //	                      measured speedup / tightness / rank correlation
+//	GET  /workload        workload introspection: the window grouped by
+//	                      statement signature with weight/cost shares,
+//	                      demanded structures, sketch state, and the
+//	                      latest drift assessment (?format=text for a
+//	                      table)
 //	GET  /sessions        flight-recorder history (newest last)
 //	GET  /sessions/{id}   one recorded session in full
 //	GET  /diff            structural delta between two recorded sessions
@@ -192,6 +197,16 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, cal)
+	})
+
+	mux.HandleFunc("GET /workload", func(w http.ResponseWriter, r *http.Request) {
+		rep := s.WorkloadReport()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.WriteText(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
 	})
 
 	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {

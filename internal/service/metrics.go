@@ -14,8 +14,14 @@ type Metrics struct {
 	statementsIngested atomic.Int64
 	parseErrors        atomic.Int64
 
-	driftChecks atomic.Int64
-	driftEvents atomic.Int64
+	// Drift counters split by origin: "http" covers explicit GET /drift
+	// polling, "scheduler" the background worker and ingest-boundary
+	// checks — so dashboard polling never inflates the counters the
+	// auto-retune path is judged by.
+	driftChecksHTTP      atomic.Int64
+	driftChecksScheduler atomic.Int64
+	driftEventsHTTP      atomic.Int64
+	driftEventsScheduler atomic.Int64
 
 	retunes     atomic.Int64
 	warmRetunes atomic.Int64
@@ -42,7 +48,8 @@ func (m *Metrics) retuneSeconds() float64 {
 // of interleaving loads with concurrent updates.
 type metricsLocals struct {
 	ingestRequests, statementsIngested, parseErrors int64
-	driftChecks, driftEvents                        int64
+	driftChecksHTTP, driftChecksScheduler           int64
+	driftEventsHTTP, driftEventsScheduler           int64
 	retunes, warmRetunes, replays                   int64
 	tuneOptimizerCalls, driftOptimizerCalls         int64
 	lastRetuneCalls, lastRetuneMillis               int64
@@ -52,20 +59,22 @@ type metricsLocals struct {
 
 func (m *Metrics) snapshot() metricsLocals {
 	return metricsLocals{
-		ingestRequests:      m.ingestRequests.Load(),
-		statementsIngested:  m.statementsIngested.Load(),
-		parseErrors:         m.parseErrors.Load(),
-		driftChecks:         m.driftChecks.Load(),
-		driftEvents:         m.driftEvents.Load(),
-		retunes:             m.retunes.Load(),
-		warmRetunes:         m.warmRetunes.Load(),
-		replays:             m.replays.Load(),
-		tuneOptimizerCalls:  m.tuneOptimizerCalls.Load(),
-		driftOptimizerCalls: m.driftOptimizerCalls.Load(),
-		lastRetuneCalls:     m.lastRetuneCalls.Load(),
-		lastRetuneMillis:    m.lastRetuneMillis.Load(),
-		lastRetuneUnix:      m.lastRetuneUnix.Load(),
-		parallelWorkers:     m.parallelWorkers.Load(),
+		ingestRequests:       m.ingestRequests.Load(),
+		statementsIngested:   m.statementsIngested.Load(),
+		parseErrors:          m.parseErrors.Load(),
+		driftChecksHTTP:      m.driftChecksHTTP.Load(),
+		driftChecksScheduler: m.driftChecksScheduler.Load(),
+		driftEventsHTTP:      m.driftEventsHTTP.Load(),
+		driftEventsScheduler: m.driftEventsScheduler.Load(),
+		retunes:              m.retunes.Load(),
+		warmRetunes:          m.warmRetunes.Load(),
+		replays:              m.replays.Load(),
+		tuneOptimizerCalls:   m.tuneOptimizerCalls.Load(),
+		driftOptimizerCalls:  m.driftOptimizerCalls.Load(),
+		lastRetuneCalls:      m.lastRetuneCalls.Load(),
+		lastRetuneMillis:     m.lastRetuneMillis.Load(),
+		lastRetuneUnix:       m.lastRetuneUnix.Load(),
+		parallelWorkers:      m.parallelWorkers.Load(),
 	}
 }
 
@@ -81,9 +90,37 @@ type MetricsSnapshot struct {
 	WindowUnique       int64   `json:"window_unique"`
 	WindowWeight       float64 `json:"window_weight"`
 	WindowEvicted      int64   `json:"window_evicted"`
+	// Eviction split: oldest-out (ring overflow) vs. whole-statement
+	// drops (unique-cap overflow); WindowEvicted stays their sum.
+	WindowEvictedOldest int64 `json:"window_evicted_oldest"`
+	WindowEvictedUnique int64 `json:"window_evicted_unique"`
+	// Per-kind split of the stream: SELECTs vs. data-modifying
+	// statements, cumulative and currently in-window.
+	ObservedSelects int64 `json:"observed_selects"`
+	ObservedUpdates int64 `json:"observed_updates"`
+	WindowSelects   int64 `json:"window_selects"`
+	WindowUpdates   int64 `json:"window_updates"`
 
-	DriftChecks int64 `json:"drift_checks"`
-	DriftEvents int64 `json:"drift_events"`
+	// Signature-sketch introspection (all zero with the sketch disabled):
+	// signatures tracked, counters reassigned at capacity, and the
+	// fraction of the decayed stream weight the top-k counters cover.
+	WorkloadSignatures int64   `json:"workload_signatures,omitempty"`
+	SketchEvictions    int64   `json:"sketch_evictions,omitempty"`
+	TopKWeightShare    float64 `json:"topk_weight_share,omitempty"`
+
+	// DriftChecks/DriftEvents are totals across origins; the per-origin
+	// split separates dashboard polling (http) from the background
+	// checker and ingest-boundary checks (scheduler) that drive
+	// auto-retune.
+	DriftChecks          int64 `json:"drift_checks"`
+	DriftEvents          int64 `json:"drift_events"`
+	DriftChecksHTTP      int64 `json:"drift_checks_http,omitempty"`
+	DriftChecksScheduler int64 `json:"drift_checks_scheduler,omitempty"`
+	DriftEventsHTTP      int64 `json:"drift_events_http,omitempty"`
+	DriftEventsScheduler int64 `json:"drift_events_scheduler,omitempty"`
+	// DriftMoverShare is the fraction of the last drift assessment's
+	// shape distance its reported movers explain (0 before any check).
+	DriftMoverShare float64 `json:"drift_mover_share,omitempty"`
 
 	Retunes     int64 `json:"retunes"`
 	WarmRetunes int64 `json:"warm_retunes"`
@@ -128,9 +165,16 @@ type serviceGauges struct {
 	ingested         *obs.Gauge
 	windowObs        *obs.Gauge
 	windowUnique     *obs.Gauge
+	windowByKind     *obs.GaugeVec
 	retunes          *obs.Gauge
 	warmRetunes      *obs.Gauge
 	driftEvents      *obs.Gauge
+	driftChecksVec   *obs.GaugeVec
+	driftEventsVec   *obs.GaugeVec
+	driftMoverShare  *obs.Gauge
+	sketchSignatures *obs.Gauge
+	sketchShare      *obs.Gauge
+	sketchEvictions  *obs.Gauge
 	cacheEntries     *obs.Gauge
 	lastRetuneUnix   *obs.Gauge
 	parallelWorkers  *obs.Gauge
@@ -144,9 +188,16 @@ func newServiceGauges(reg *obs.Registry) *serviceGauges {
 		ingested:         reg.NewGauge("tuner_statements_ingested", "Statements ingested since start."),
 		windowObs:        reg.NewGauge("tuner_window_observations", "Statement observations in the sliding window."),
 		windowUnique:     reg.NewGauge("tuner_window_unique", "Distinct statements in the sliding window."),
+		windowByKind:     reg.NewGaugeVec("tuner_window_statements", "Observations in the sliding window by statement kind.", "kind"),
 		retunes:          reg.NewGauge("tuner_retunes", "Completed tuning sessions."),
 		warmRetunes:      reg.NewGauge("tuner_warm_retunes", "Tuning sessions that warm-started from the previous recommendation."),
-		driftEvents:      reg.NewGauge("tuner_drift_events", "Drift detections since start."),
+		driftEvents:      reg.NewGauge("tuner_drift_events", "Drift detections since start (all origins)."),
+		driftChecksVec:   reg.NewGaugeVec("tuner_drift_checks_origin", "Drift assessments since start, by origin (http = GET /drift polling, scheduler = background checker and ingest-boundary checks).", "origin"),
+		driftEventsVec:   reg.NewGaugeVec("tuner_drift_events_origin", "Drift detections since start, by origin.", "origin"),
+		driftMoverShare:  reg.NewGauge("tuner_drift_mover_share", "Fraction of the last drift assessment's shape distance explained by its reported movers."),
+		sketchSignatures: reg.NewGauge("tuner_workload_signatures", "Statement signatures tracked by the window's top-k sketch."),
+		sketchShare:      reg.NewGauge("tuner_workload_topk_weight_share", "Fraction of the decayed stream weight the top-k signature counters cover."),
+		sketchEvictions:  reg.NewGauge("tuner_workload_sketch_evictions", "Cumulative signature-sketch counters reassigned at capacity (space-saving evictions)."),
 		cacheEntries:     reg.NewGauge("tuner_fragment_cache_entries", "Entries in the per-statement optimal-fragment cache."),
 		lastRetuneUnix:   reg.NewGauge("tuner_last_retune_unix", "Unix timestamp of the last successful retune (0 = none)."),
 		parallelWorkers:  reg.NewGauge("tuner_parallel_workers", "Worker count of the last retune's parallel evaluation engine (1 = serial)."),
@@ -160,9 +211,19 @@ func (g *serviceGauges) update(snap MetricsSnapshot) {
 	g.ingested.Set(float64(snap.StatementsIngested))
 	g.windowObs.Set(float64(snap.WindowObservations))
 	g.windowUnique.Set(float64(snap.WindowUnique))
+	g.windowByKind.Set("select", float64(snap.WindowSelects))
+	g.windowByKind.Set("update", float64(snap.WindowUpdates))
 	g.retunes.Set(float64(snap.Retunes))
 	g.warmRetunes.Set(float64(snap.WarmRetunes))
 	g.driftEvents.Set(float64(snap.DriftEvents))
+	g.driftChecksVec.Set("http", float64(snap.DriftChecksHTTP))
+	g.driftChecksVec.Set("scheduler", float64(snap.DriftChecksScheduler))
+	g.driftEventsVec.Set("http", float64(snap.DriftEventsHTTP))
+	g.driftEventsVec.Set("scheduler", float64(snap.DriftEventsScheduler))
+	g.driftMoverShare.Set(snap.DriftMoverShare)
+	g.sketchSignatures.Set(float64(snap.WorkloadSignatures))
+	g.sketchShare.Set(snap.TopKWeightShare)
+	g.sketchEvictions.Set(float64(snap.SketchEvictions))
 	g.cacheEntries.Set(float64(snap.CacheEntries))
 	g.lastRetuneUnix.Set(float64(snap.LastRetuneUnix))
 	g.parallelWorkers.Set(float64(snap.ParallelWorkers))

@@ -171,6 +171,12 @@ type Service struct {
 	baseline  *Fingerprint
 	costCache map[string]float64
 	driftOpt  *optimizer.Optimizer
+	// lastDrift is the most recent drift assessment (any origin);
+	// pendingDrift is the drifted report that triggered the next "auto"
+	// retune, consumed into its session record so the history says why
+	// the session fired.
+	lastDrift    *DriftReport
+	pendingDrift *DriftReport
 	// calibration is the last retune's report (with ground-truth block
 	// attached once a replay ran); lastResult/lastSnap/lastSessionID keep
 	// what an on-demand replay needs to score that retune.
@@ -299,7 +305,7 @@ func (s *Service) Ingest(sqls []string) IngestResult {
 	if n := s.opts.DriftCheckEvery; n > 0 && res.Accepted > 0 {
 		before := s.metrics.statementsIngested.Load() - int64(len(sqls))
 		if before/int64(n) != s.metrics.statementsIngested.Load()/int64(n) {
-			rep := s.CheckDrift()
+			rep := s.checkDrift(driftOriginScheduler)
 			res.Drift = &rep
 		}
 	}
@@ -314,11 +320,27 @@ func (s *Service) Recommendation() *Recommendation {
 	return s.rec
 }
 
+// Drift-check origins: explicit HTTP polling vs. the scheduler paths
+// (background worker, ingest-count boundary) that drive auto-retune.
+const (
+	driftOriginHTTP      = "http"
+	driftOriginScheduler = "scheduler"
+)
+
 // CheckDrift assesses whether the windowed workload has drifted from the
 // last-tuned one; when it has and AutoRetune is set, an asynchronous
-// retune is triggered.
+// retune is triggered. Checks through this exported entry point count as
+// "http"-origin polling, so they never inflate the scheduler counters.
 func (s *Service) CheckDrift() DriftReport {
-	s.metrics.driftChecks.Add(1)
+	return s.checkDrift(driftOriginHTTP)
+}
+
+func (s *Service) checkDrift(origin string) DriftReport {
+	if origin == driftOriginScheduler {
+		s.metrics.driftChecksScheduler.Add(1)
+	} else {
+		s.metrics.driftChecksHTTP.Add(1)
+	}
 	snap := s.window.Snapshot()
 	st := s.window.Stats()
 
@@ -327,13 +349,23 @@ func (s *Service) CheckDrift() DriftReport {
 	rec := s.rec
 	s.mu.Unlock()
 
-	cur := Fingerprint{Shares: shapeHistogram(snap)}
+	cur := fingerprintOf(snap)
 	if rec != nil {
 		cur.CostPerWeight = s.windowCostPerWeight(snap, rec)
 	}
 	rep := assess(s.opts.Drift, baseline, cur, int64(st.InWindow))
+	s.mu.Lock()
+	s.lastDrift = &rep
+	if rep.Drifted && s.opts.AutoRetune {
+		s.pendingDrift = &rep
+	}
+	s.mu.Unlock()
 	if rep.Drifted {
-		s.metrics.driftEvents.Add(1)
+		if origin == driftOriginScheduler {
+			s.metrics.driftEventsScheduler.Add(1)
+		} else {
+			s.metrics.driftEventsHTTP.Add(1)
+		}
 		s.warnf("service: drift detected: %s", rep.Reason)
 		if s.opts.AutoRetune {
 			s.TriggerRetune()
@@ -494,6 +526,16 @@ func (s *Service) retune(trigger string, budget int64, overrideBudget bool) (*Re
 	}
 
 	session := buildSessionRecord(sessionID, s.opts.Tenant, trigger, startedAt, warm, t, snap, res, opts.SpaceBudget)
+	// A drift-triggered session records the assessment that fired it —
+	// the "why" /sessions and /diff surface. Any retune consumes the
+	// pending report: after installing a new baseline it is stale.
+	s.mu.Lock()
+	pending := s.pendingDrift
+	s.pendingDrift = nil
+	s.mu.Unlock()
+	if trigger == "auto" && pending != nil {
+		session.Drift = driftDigest(pending)
+	}
 	s.groundTruthHook(res, snap, session)
 	if err := s.recorder.Record(session); err != nil {
 		s.warnf("service: flight recorder: %v", err)
@@ -527,10 +569,9 @@ func (s *Service) retune(trigger string, budget int64, overrideBudget bool) (*Re
 	s.lastResult = res
 	s.lastSnap = snap
 	s.lastSessionID = sessionID
-	s.baseline = &Fingerprint{
-		Shares:        shapeHistogram(snap),
-		CostPerWeight: res.Best.Cost / snap.TotalWeight(),
-	}
+	fp := fingerprintOf(snap)
+	fp.CostPerWeight = res.Best.Cost / snap.TotalWeight()
+	s.baseline = &fp
 	s.costCache = make(map[string]float64, len(snap.Queries))
 	sharedPrefix := ""
 	if s.opts.CostCache != nil {
@@ -563,6 +604,12 @@ func (s *Service) MetricsSnapshot() MetricsSnapshot {
 		os := cs.Origins[s.opts.Tenant]
 		cacheHits, cacheShared = os.Hits, os.SharedHits
 	}
+	moverShare := 0.0
+	s.mu.Lock()
+	if s.lastDrift != nil {
+		moverShare = s.lastDrift.MoverShare
+	}
+	s.mu.Unlock()
 	return MetricsSnapshot{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 
@@ -570,13 +617,28 @@ func (s *Service) MetricsSnapshot() MetricsSnapshot {
 		StatementsIngested: m.statementsIngested,
 		ParseErrors:        m.parseErrors,
 
-		WindowObservations: int64(st.InWindow),
-		WindowUnique:       int64(st.Unique),
-		WindowWeight:       st.TotalWeight,
-		WindowEvicted:      st.EvictedOldest + st.EvictedUnique,
+		WindowObservations:  int64(st.InWindow),
+		WindowUnique:        int64(st.Unique),
+		WindowWeight:        st.TotalWeight,
+		WindowEvicted:       st.EvictedOldest + st.EvictedUnique,
+		WindowEvictedOldest: st.EvictedOldest,
+		WindowEvictedUnique: st.EvictedUnique,
+		ObservedSelects:     st.ObservedSelects,
+		ObservedUpdates:     st.ObservedUpdates,
+		WindowSelects:       int64(st.SelectsInWindow),
+		WindowUpdates:       int64(st.UpdatesInWindow),
 
-		DriftChecks: m.driftChecks,
-		DriftEvents: m.driftEvents,
+		WorkloadSignatures: int64(st.SketchSignatures),
+		SketchEvictions:    st.SketchEvictions,
+		TopKWeightShare:    st.SketchWeightShare,
+
+		DriftChecks:          m.driftChecksHTTP + m.driftChecksScheduler,
+		DriftEvents:          m.driftEventsHTTP + m.driftEventsScheduler,
+		DriftChecksHTTP:      m.driftChecksHTTP,
+		DriftChecksScheduler: m.driftChecksScheduler,
+		DriftEventsHTTP:      m.driftEventsHTTP,
+		DriftEventsScheduler: m.driftEventsScheduler,
+		DriftMoverShare:      moverShare,
 
 		Retunes:            m.retunes,
 		WarmRetunes:        m.warmRetunes,
@@ -652,7 +714,7 @@ func (s *Service) driftWorker() {
 		case <-s.ctx.Done():
 			return
 		case <-ticker.C:
-			s.CheckDrift()
+			s.checkDrift(driftOriginScheduler)
 		}
 	}
 }

@@ -157,6 +157,28 @@ func recordFrontier(frontier []core.FrontierPoint) []obs.FrontierSample {
 	return out
 }
 
+// driftDigest projects a DriftReport into the recorder's persistence
+// type (obs cannot import service).
+func driftDigest(rep *DriftReport) *obs.DriftDigest {
+	d := &obs.DriftDigest{
+		ShapeDistance: rep.ShapeDistance,
+		CostRatio:     rep.CostRatio,
+		Reason:        rep.Reason,
+		MoverShare:    rep.MoverShare,
+	}
+	for _, m := range rep.Movers {
+		d.Movers = append(d.Movers, obs.DriftMoverRecord{
+			Signature:     m.Signature,
+			Direction:     m.Direction,
+			BaselineShare: m.BaselineShare,
+			CurrentShare:  m.CurrentShare,
+			Delta:         m.Delta,
+			DistanceShare: m.DistanceShare,
+		})
+	}
+	return d
+}
+
 // explainDigest compresses an explain report to its recorded footprint.
 func explainDigest(rep *core.ExplainReport) *obs.ExplainDigest {
 	d := &obs.ExplainDigest{

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// WorkloadReport is the workload introspection surface behind
+// GET /workload: the windowed stream grouped by statement signature, with
+// each signature's weight share, the share of the last-tuned cost it
+// carries, the structures it demanded in the winning configuration, plus
+// the sketch state and the latest drift assessment.
+type WorkloadReport struct {
+	GeneratedAt time.Time `json:"generated_at"`
+
+	// Window state the report was computed from.
+	Observations int     `json:"observations"`
+	Statements   int     `json:"statements"`
+	TotalWeight  float64 `json:"total_weight"`
+	Selects      int     `json:"selects_in_window"`
+	Updates      int     `json:"updates_in_window"`
+
+	// Signatures is the attribution table, heaviest signature first.
+	// Cost shares and structures join against the last retune (zero /
+	// empty before the first one, or for signatures that appeared since).
+	Signatures []workloads.SignatureGroup `json:"signatures"`
+
+	// TunedSession is the session the cost attribution joins against.
+	TunedSession string `json:"tuned_session,omitempty"`
+
+	// Sketch state: the bounded top-k view of the stream (omitted when
+	// the sketch is disabled).
+	SketchSignatures int                    `json:"sketch_signatures,omitempty"`
+	SketchEvictions  int64                  `json:"sketch_evictions,omitempty"`
+	TopKWeightShare  float64                `json:"topk_weight_share,omitempty"`
+	Sketch           []workloads.SketchItem `json:"sketch,omitempty"`
+
+	// Drift is the most recent drift assessment, movers included.
+	Drift *DriftReport `json:"drift,omitempty"`
+}
+
+// WorkloadReport builds the introspection report for the current window.
+func (s *Service) WorkloadReport() *WorkloadReport {
+	snap := s.window.Snapshot()
+	st := s.window.Stats()
+
+	s.mu.Lock()
+	lastSnap := s.lastSnap
+	lastResult := s.lastResult
+	explain := s.explain
+	sessionID := s.lastSessionID
+	drift := s.lastDrift
+	s.mu.Unlock()
+
+	rep := &WorkloadReport{
+		GeneratedAt:      time.Now().UTC(),
+		Observations:     st.InWindow,
+		Statements:       st.Unique,
+		TotalWeight:      st.TotalWeight,
+		Selects:          st.SelectsInWindow,
+		Updates:          st.UpdatesInWindow,
+		SketchSignatures: st.SketchSignatures,
+		SketchEvictions:  st.SketchEvictions,
+		TopKWeightShare:  st.SketchWeightShare,
+		Sketch:           s.window.SketchItems(),
+		Drift:            drift,
+	}
+
+	// Weight shares come from the live window; cost shares and demanded
+	// structures from the last tuned snapshot, joined by signature so the
+	// attribution survives statements entering or leaving the window.
+	rep.Signatures = workloads.AttributeSignatures(snap, nil, nil)
+	if lastSnap != nil && lastResult != nil {
+		rep.TunedSession = sessionID
+		costs := make([]float64, len(lastSnap.Queries))
+		for i := range lastSnap.Queries {
+			if i < len(lastResult.Best.Results) {
+				costs[i] = lastResult.Best.Results[i].TotalCost()
+			}
+		}
+		tuned := workloads.AttributeSignatures(lastSnap, costs, demandedStructures(explain, lastResult))
+		bySig := make(map[string]workloads.SignatureGroup, len(tuned))
+		for _, g := range tuned {
+			bySig[g.Signature] = g
+		}
+		for i := range rep.Signatures {
+			if tg, ok := bySig[rep.Signatures[i].Signature]; ok {
+				rep.Signatures[i].CostShare = tg.CostShare
+				rep.Signatures[i].Structures = tg.Structures
+			}
+		}
+	}
+	return rep
+}
+
+// demandedStructures inverts the explain report's per-structure DemandedBy
+// lists into a query-ID → structure-IDs map, restricted to structures that
+// made the winning configuration.
+func demandedStructures(explain *core.ExplainReport, res *core.Result) map[string][]string {
+	if explain == nil || res == nil || res.Best == nil {
+		return nil
+	}
+	final := map[string]bool{}
+	for _, ix := range res.Best.Config.Indexes() {
+		final[ix.ID()] = true
+	}
+	for _, v := range res.Best.Config.Views() {
+		final[v.Name] = true
+	}
+	out := map[string][]string{}
+	for _, sd := range explain.Structures {
+		if !final[sd.ID] {
+			continue
+		}
+		for _, qid := range sd.DemandedBy {
+			out[qid] = append(out[qid], sd.ID)
+		}
+	}
+	return out
+}
+
+// WriteText renders the report as the aligned table served by
+// GET /workload?format=text and `relaxtune -workload-report`.
+func (r *WorkloadReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "workload: %d observations, %d statements (%d select / %d update), weight %.1f\n",
+		r.Observations, r.Statements, r.Selects, r.Updates, r.TotalWeight)
+	if r.SketchSignatures > 0 {
+		fmt.Fprintf(w, "sketch: %d signatures, %.1f%% of stream weight tracked, %d evictions\n",
+			r.SketchSignatures, 100*r.TopKWeightShare, r.SketchEvictions)
+	}
+	if r.TunedSession != "" {
+		fmt.Fprintf(w, "cost attribution against session %s\n", r.TunedSession)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-7s %-7s %-7s %-5s %s\n", "weight%", "cost%", "stmts", "upd", "signature")
+	for _, g := range r.Signatures {
+		fmt.Fprintf(w, "%6.1f%% %6.1f%% %-7d %-5d %s\n",
+			100*g.WeightShare, 100*g.CostShare, g.Statements, g.Updates, g.Signature)
+		if g.ExampleSQL != "" {
+			fmt.Fprintf(w, "        e.g. %s\n", truncateSQL(g.ExampleSQL, 100))
+		}
+		if len(g.Structures) > 0 {
+			fmt.Fprintf(w, "        demands %s\n", strings.Join(g.Structures, ", "))
+		}
+	}
+	if d := r.Drift; d != nil {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "drift: distance %.3f, cost ratio %.3f", d.ShapeDistance, d.CostRatio)
+		if d.Drifted {
+			fmt.Fprintf(w, " — DRIFTED (%s)", d.Reason)
+		}
+		fmt.Fprintln(w)
+		for _, m := range d.Movers {
+			fmt.Fprintf(w, "  %-5s %5.1f%% -> %5.1f%%  (%4.1f%% of distance)  %s\n",
+				m.Direction, 100*m.BaselineShare, 100*m.CurrentShare, 100*m.DistanceShare, m.Signature)
+		}
+		if len(d.Movers) > 0 {
+			fmt.Fprintf(w, "  movers explain %.1f%% of the shape distance\n", 100*d.MoverShare)
+		}
+	}
+}
+
+func truncateSQL(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,294 @@
+package workloads
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/sqlx"
+)
+
+// SignatureOf extracts a canonical signature for a statement, mirroring the
+// (S,N,O,A) shape of the index requests the instrumented optimizer emits
+// (§2): per referenced table, the sargable predicate columns with their
+// operator class (S), the columns of non-sargable or join conjuncts (N),
+// the required output order (O, from ORDER BY then GROUP BY), and the
+// additional referenced columns (A). Literal values never enter the
+// signature, so parameterized variants of one statement share it — the
+// compression key CoPhy-style workload summaries cluster on.
+//
+// The extraction is static (AST only, no optimizer round trip) so the
+// sliding window can compute it once per distinct statement at ingest.
+func SignatureOf(stmt sqlx.Statement) string {
+	switch s := stmt.(type) {
+	case *sqlx.SelectStmt:
+		return selectSignature(s)
+	case *sqlx.UpdateStmt:
+		return updateSignature(s)
+	case *sqlx.DeleteStmt:
+		b := newSigBuilder("del")
+		b.bind(s.Table)
+		b.classifyWhere(s.Where)
+		return b.String()
+	case *sqlx.InsertStmt:
+		b := newSigBuilder("ins")
+		b.bind(s.Table)
+		b.touch(s.Table.Binding())
+		return b.String()
+	default:
+		return "unknown"
+	}
+}
+
+// sigTable accumulates the per-table column classes before rendering.
+type sigTable struct {
+	s map[string]string // column -> operator class ("=", "~", "like", "in")
+	n map[string]bool   // non-sargable / join columns
+	o []string          // ordered: order-by then group-by columns
+	a map[string]bool   // additional referenced columns
+}
+
+type sigBuilder struct {
+	kind     string
+	bindings map[string]string // alias -> table name
+	single   string            // sole binding, for unqualified columns
+	tables   map[string]*sigTable
+}
+
+func newSigBuilder(kind string) *sigBuilder {
+	return &sigBuilder{kind: kind, bindings: map[string]string{}, tables: map[string]*sigTable{}}
+}
+
+func (b *sigBuilder) bind(refs ...sqlx.TableRef) {
+	for _, r := range refs {
+		b.bindings[r.Binding()] = r.Name
+	}
+	if len(b.bindings) == 1 {
+		for k := range b.bindings {
+			b.single = k
+		}
+	} else {
+		b.single = ""
+	}
+}
+
+// table resolves a column's binding to its sigTable, creating it on demand.
+// Unqualified columns resolve to the sole table when there is one;
+// otherwise they share a "?" bucket — static extraction has no catalog to
+// attribute them with, and a stable bucket keeps the signature canonical.
+func (b *sigBuilder) table(binding string) *sigTable {
+	if binding == "" {
+		binding = b.single
+	}
+	name, ok := b.bindings[binding]
+	if !ok {
+		name = binding // unresolvable alias: keep it, the signature stays stable
+		if name == "" {
+			name = "?"
+		}
+	}
+	t := b.tables[name]
+	if t == nil {
+		t = &sigTable{s: map[string]string{}, n: map[string]bool{}, a: map[string]bool{}}
+		b.tables[name] = t
+	}
+	return t
+}
+
+// touch ensures a table appears in the signature even with no columns.
+func (b *sigBuilder) touch(binding string) { b.table(binding) }
+
+func (b *sigBuilder) sarg(col sqlx.ColRef, class string) {
+	t := b.table(col.Table)
+	// Equality dominates range dominates the rest when a column appears in
+	// several conjuncts, matching how the request builder merges conditions.
+	if prev, ok := t.s[col.Column]; ok && sargRank(prev) >= sargRank(class) {
+		return
+	}
+	t.s[col.Column] = class
+}
+
+func sargRank(class string) int {
+	switch class {
+	case "=":
+		return 3
+	case "~":
+		return 2
+	default:
+		return 1
+	}
+}
+
+func (b *sigBuilder) nonSarg(cols []sqlx.ColRef) {
+	for _, c := range cols {
+		b.table(c.Table).n[c.Column] = true
+	}
+}
+
+func (b *sigBuilder) order(col sqlx.ColRef, desc bool) {
+	t := b.table(col.Table)
+	entry := col.Column
+	if desc {
+		entry += "-"
+	}
+	t.o = append(t.o, entry)
+}
+
+func (b *sigBuilder) additional(cols []sqlx.ColRef) {
+	for _, c := range cols {
+		b.table(c.Table).a[c.Column] = true
+	}
+}
+
+// classifyWhere splits the predicate into conjuncts and classifies each the
+// way the request builder does: single-column comparisons against
+// column-free expressions are sargable (S); everything else — join
+// predicates, arithmetic over columns, OR trees — contributes its columns
+// to the non-sargable set (N).
+func (b *sigBuilder) classifyWhere(where sqlx.Expr) {
+	for _, conj := range sqlx.Conjuncts(where) {
+		switch e := conj.(type) {
+		case *sqlx.CmpExpr:
+			if col, ok := e.L.(sqlx.ColRef); ok && len(e.R.Columns(nil)) == 0 {
+				b.sarg(col, cmpClass(e.Op))
+				continue
+			}
+			if col, ok := e.R.(sqlx.ColRef); ok && len(e.L.Columns(nil)) == 0 {
+				b.sarg(col, cmpClass(e.Op.Flip()))
+				continue
+			}
+			b.nonSarg(conj.Columns(nil))
+		case *sqlx.LikeExpr:
+			if e.Negated {
+				b.nonSarg(conj.Columns(nil))
+				continue
+			}
+			b.sarg(e.Col, "like")
+		case *sqlx.InExpr:
+			b.sarg(e.Col, "in")
+		default:
+			b.nonSarg(conj.Columns(nil))
+		}
+	}
+}
+
+func cmpClass(op sqlx.CmpOp) string {
+	switch op {
+	case sqlx.CmpEQ:
+		return "="
+	case sqlx.CmpLT, sqlx.CmpLE, sqlx.CmpGT, sqlx.CmpGE:
+		return "~"
+	default:
+		return "?"
+	}
+}
+
+func selectSignature(s *sqlx.SelectStmt) string {
+	b := newSigBuilder("sel")
+	b.bind(s.From...)
+	for _, ref := range s.From {
+		b.touch(ref.Binding())
+	}
+	b.classifyWhere(s.Where)
+	if len(s.OrderBy) > 0 {
+		for _, o := range s.OrderBy {
+			b.order(o.Col, o.Desc)
+		}
+	} else {
+		// No explicit order: a GROUP BY still induces an interesting order
+		// the optimizer can satisfy with an index, so it fills O.
+		for _, g := range s.GroupBy {
+			b.order(g, false)
+		}
+	}
+	for _, g := range s.GroupBy {
+		b.additional([]sqlx.ColRef{g})
+	}
+	for _, item := range s.Items {
+		if item.Expr != nil {
+			b.additional(item.Expr.Columns(nil))
+		}
+	}
+	return b.String()
+}
+
+func updateSignature(u *sqlx.UpdateStmt) string {
+	b := newSigBuilder("upd")
+	b.bind(u.Table)
+	b.touch(u.Table.Binding())
+	b.classifyWhere(u.Where)
+	for _, set := range u.Sets {
+		b.additional([]sqlx.ColRef{{Column: set.Column}})
+		b.additional(set.Value.Columns(nil))
+	}
+	return b.String()
+}
+
+// String renders the canonical form: kind, then each table sorted by name
+// with its S/N/O/A classes; within S, N, and A the columns sort; O keeps
+// clause order. Columns already captured by a stronger class are dropped
+// from the weaker ones so reformatted statements converge.
+func (b *sigBuilder) String() string {
+	names := make([]string, 0, len(b.tables))
+	for name := range b.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	sb.WriteString(b.kind)
+	for _, name := range names {
+		t := b.tables[name]
+		sb.WriteByte(' ')
+		sb.WriteString(name)
+		sb.WriteByte('{')
+		first := true
+		part := func(tag, body string) {
+			if body == "" {
+				return
+			}
+			if !first {
+				sb.WriteByte(';')
+			}
+			first = false
+			sb.WriteString(tag)
+			sb.WriteByte(':')
+			sb.WriteString(body)
+		}
+		part("S", renderSarg(t.s))
+		part("N", renderSet(t.n, t.s, nil))
+		part("O", strings.Join(t.o, ","))
+		inOrder := map[string]bool{}
+		for _, o := range t.o {
+			inOrder[strings.TrimSuffix(o, "-")] = true
+		}
+		part("A", renderSet(t.a, t.s, func(col string) bool { return t.n[col] || inOrder[col] }))
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+func renderSarg(s map[string]string) string {
+	cols := make([]string, 0, len(s))
+	for col, class := range s {
+		cols = append(cols, col+class)
+	}
+	sort.Strings(cols)
+	return strings.Join(cols, ",")
+}
+
+// renderSet renders a column set, skipping columns already in the sargable
+// set or matched by the extra filter.
+func renderSet(set map[string]bool, sarg map[string]string, skip func(string) bool) string {
+	cols := make([]string, 0, len(set))
+	for col := range set {
+		if _, ok := sarg[col]; ok {
+			continue
+		}
+		if skip != nil && skip(col) {
+			continue
+		}
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	return strings.Join(cols, ",")
+}

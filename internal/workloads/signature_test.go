@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlx"
+)
+
+func sigOf(t *testing.T, sql string) string {
+	t.Helper()
+	stmt, err := sqlx.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return SignatureOf(stmt)
+}
+
+// Literal values must not enter the signature: parameterized variants of
+// one statement are the compression unit the sketch clusters on.
+func TestSignatureIgnoresLiterals(t *testing.T) {
+	a := sigOf(t, `SELECT l_quantity FROM lineitem WHERE l_shipdate >= 9131 AND l_partkey = 7`)
+	b := sigOf(t, `SELECT l_quantity FROM lineitem WHERE l_shipdate >= 8000 AND l_partkey = 999`)
+	if a != b {
+		t.Errorf("literal change altered signature:\n  %s\n  %s", a, b)
+	}
+}
+
+// Formatting and conjunct order must not matter either.
+func TestSignatureCanonicalOrder(t *testing.T) {
+	a := sigOf(t, `SELECT l_quantity FROM lineitem WHERE l_partkey = 7 AND l_shipdate >= 9131`)
+	b := sigOf(t, `select l_quantity from lineitem where l_shipdate >= 8000 and l_partkey = 3`)
+	if a != b {
+		t.Errorf("conjunct order altered signature:\n  %s\n  %s", a, b)
+	}
+}
+
+// Different shapes must produce different signatures.
+func TestSignatureDistinguishesShapes(t *testing.T) {
+	sigs := map[string]string{}
+	for _, sql := range []string{
+		`SELECT l_quantity FROM lineitem WHERE l_partkey = 7`,
+		`SELECT l_quantity FROM lineitem WHERE l_partkey > 7`,
+		`SELECT l_quantity FROM lineitem WHERE l_suppkey = 7`,
+		`SELECT l_quantity FROM lineitem WHERE l_partkey = 7 ORDER BY l_shipdate`,
+		`SELECT l_quantity FROM lineitem WHERE l_partkey = 7 ORDER BY l_shipdate DESC`,
+		`SELECT l_extendedprice FROM lineitem WHERE l_partkey = 7`,
+		`UPDATE lineitem SET l_quantity = 1 WHERE l_partkey = 7`,
+		`DELETE FROM lineitem WHERE l_partkey = 7`,
+	} {
+		sig := sigOf(t, sql)
+		if prev, dup := sigs[sig]; dup {
+			t.Errorf("signature collision:\n  %s\n  %s\n  sig %s", prev, sql, sig)
+		}
+		sigs[sig] = sql
+	}
+}
+
+// The signature mirrors the (S,N,O,A) request shape: sargable columns with
+// operator class, non-sargable/join columns, order, additional columns.
+func TestSignatureSNOAClasses(t *testing.T) {
+	sig := sigOf(t, `SELECT o.o_totalprice FROM orders o, customer c `+
+		`WHERE o.o_custkey = c.c_custkey AND o.o_orderdate >= 9131 AND c.c_mktsegment = 'BUILDING' `+
+		`ORDER BY o.o_orderdate`)
+	for _, want := range []string{
+		"sel",
+		"customer{S:c_mktsegment=;N:c_custkey}",
+		"orders{S:o_orderdate~;N:o_custkey;O:o_orderdate;A:o_totalprice}",
+	} {
+		if !strings.Contains(sig, want) {
+			t.Errorf("signature %q missing %q", sig, want)
+		}
+	}
+}
+
+// Table aliases resolve to table names so differently-aliased copies of a
+// statement shape converge.
+func TestSignatureResolvesAliases(t *testing.T) {
+	a := sigOf(t, `SELECT l.l_quantity FROM lineitem l WHERE l.l_partkey = 7`)
+	b := sigOf(t, `SELECT x.l_quantity FROM lineitem x WHERE x.l_partkey = 9`)
+	if a != b {
+		t.Errorf("alias choice altered signature:\n  %s\n  %s", a, b)
+	}
+	if !strings.Contains(a, "lineitem{") {
+		t.Errorf("signature %q does not resolve alias to table name", a)
+	}
+}
+
+func TestSignatureGroupByInducesOrder(t *testing.T) {
+	sig := sigOf(t, `SELECT l_returnflag, SUM(l_quantity) FROM lineitem GROUP BY l_returnflag`)
+	if !strings.Contains(sig, "O:l_returnflag") {
+		t.Errorf("GROUP BY did not fill O: %q", sig)
+	}
+	// An explicit ORDER BY wins over the GROUP BY induced order.
+	sig = sigOf(t, `SELECT l_returnflag, SUM(l_quantity) FROM lineitem GROUP BY l_returnflag ORDER BY l_linestatus`)
+	if !strings.Contains(sig, "O:l_linestatus") {
+		t.Errorf("ORDER BY did not fill O: %q", sig)
+	}
+}

@@ -22,6 +22,11 @@ type WindowOptions struct {
 	// exponentially with age: an observation HalfLife arrivals old counts
 	// half. 0 disables decay (weight = occurrence count).
 	HalfLife int
+	// SketchSize bounds the signature top-k sketch: the window tracks at
+	// most this many statement signatures in a space-saving sketch with the
+	// window's decay. 0 = default 128; negative disables the sketch (and
+	// signature extraction) entirely.
+	SketchSize int
 }
 
 func (o WindowOptions) withDefaults() WindowOptions {
@@ -30,6 +35,9 @@ func (o WindowOptions) withDefaults() WindowOptions {
 	}
 	if o.MaxUnique <= 0 {
 		o.MaxUnique = 512
+	}
+	if o.SketchSize == 0 {
+		o.SketchSize = 128
 	}
 	return o
 }
@@ -51,13 +59,28 @@ type WindowStats struct {
 	EvictedOldest int64
 	EvictedUnique int64
 	TotalWeight   float64
+
+	// Per-kind split of the stream: cumulative arrivals and current
+	// in-window observations (summed over live entries, so wholesale
+	// unique-evictions drop out immediately).
+	ObservedSelects int64
+	ObservedUpdates int64 // UPDATE/INSERT/DELETE — anything that modifies data
+	SelectsInWindow int
+	UpdatesInWindow int
+
+	// Signature sketch counters; all zero when the sketch is disabled.
+	SketchSignatures  int     // signatures currently tracked
+	SketchEvictions   int64   // counters reassigned at capacity
+	SketchWeightShare float64 // fraction of total decayed weight tracked
 }
 
 // windowEntry is one distinct statement inside the window.
 type windowEntry struct {
-	stmt  sqlx.Statement
-	sql   string
-	count int // raw observations still in the window
+	stmt   sqlx.Statement
+	sql    string
+	sig    string // canonical signature; empty when the sketch is disabled
+	update bool   // statement modifies data
+	count  int    // raw observations still in the window
 	// weight is the decayed weight normalized to lastUpd; reading it at a
 	// later sequence number multiplies by decay^(now-lastUpd).
 	weight  float64
@@ -86,22 +109,35 @@ type SlidingWindow struct {
 	ring    []observation           // FIFO of in-window observations
 	head    int                     // index of the oldest observation
 	seq     int64                   // arrival counter
+	sketch  *TopKSketch             // nil when disabled
 
-	observed      int64
-	parseErrors   int64
-	evictedOldest int64
-	evictedUnique int64
+	// lastStmt/lastEntry memoize the most recent observation so hot loops
+	// re-observing the same parsed statement skip the SQL re-rendering —
+	// the property the zero-alloc duplicate path is pinned on.
+	lastStmt  sqlx.Statement
+	lastEntry *windowEntry
+
+	observed        int64
+	parseErrors     int64
+	observedSelects int64
+	observedUpdates int64
+	evictedOldest   int64
+	evictedUnique   int64
 }
 
 // NewSlidingWindow returns an empty window over the named database.
 func NewSlidingWindow(database string, opts WindowOptions) *SlidingWindow {
 	o := opts.withDefaults()
-	return &SlidingWindow{
+	w := &SlidingWindow{
 		database: database,
 		opts:     o,
 		decay:    o.decayFactor(),
 		entries:  map[string]*windowEntry{},
 	}
+	if o.SketchSize > 0 {
+		w.sketch = NewTopKSketch(o.SketchSize, w.decay)
+	}
+	return w
 }
 
 // Observe parses one SQL statement and adds it to the window.
@@ -122,25 +158,50 @@ func (w *SlidingWindow) Observe(sql string) error {
 // Statements are deduplicated by their canonical SQL rendering, so
 // differently formatted copies of the same statement compress together.
 func (w *SlidingWindow) ObserveStatement(stmt sqlx.Statement) {
-	key := stmt.SQL()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.observed++
 	w.seq++
 
-	e, ok := w.entries[key]
-	if !ok {
-		if len(w.entries) >= w.opts.MaxUnique {
-			w.evictLightest()
+	// Identity fast path: the same parsed statement re-observed back to
+	// back (replay loops, benchmarks) skips the canonical-SQL re-render.
+	// All Statement implementations are pointers, so the comparison is a
+	// cheap identity check and never panics.
+	var e *windowEntry
+	if stmt == w.lastStmt && w.lastEntry != nil && w.lastEntry.count > 0 &&
+		w.entries[w.lastEntry.sql] == w.lastEntry {
+		e = w.lastEntry
+	} else {
+		key := stmt.SQL()
+		var ok bool
+		e, ok = w.entries[key]
+		if !ok {
+			if len(w.entries) >= w.opts.MaxUnique {
+				w.evictLightest()
+			}
+			e = &windowEntry{stmt: stmt, sql: key, firstAt: w.seq}
+			e.update = stmt.Kind() != sqlx.StmtSelect
+			if w.sketch != nil {
+				e.sig = SignatureOf(stmt)
+			}
+			e.lastUpd = w.seq
+			w.entries[key] = e
 		}
-		e = &windowEntry{stmt: stmt, sql: key, firstAt: w.seq}
-		e.lastUpd = w.seq
-		w.entries[key] = e
+	}
+	w.lastStmt, w.lastEntry = stmt, e
+
+	if e.update {
+		w.observedUpdates++
+	} else {
+		w.observedSelects++
 	}
 	e.weight = e.weightAt(w.seq, w.decay) + 1
 	e.lastUpd = w.seq
 	e.count++
 	w.ring = append(w.ring, observation{entry: e, seq: w.seq})
+	if w.sketch != nil {
+		w.sketch.Observe(e.sig, w.seq)
+	}
 
 	for w.inWindow() > w.opts.MaxObservations {
 		w.evictOldest()
@@ -258,15 +319,38 @@ func (w *SlidingWindow) Stats() WindowStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	s := WindowStats{
-		Observed:      w.observed,
-		ParseErrors:   w.parseErrors,
-		InWindow:      w.inWindow(),
-		Unique:        len(w.entries),
-		EvictedOldest: w.evictedOldest,
-		EvictedUnique: w.evictedUnique,
+		Observed:        w.observed,
+		ParseErrors:     w.parseErrors,
+		InWindow:        w.inWindow(),
+		Unique:          len(w.entries),
+		EvictedOldest:   w.evictedOldest,
+		EvictedUnique:   w.evictedUnique,
+		ObservedSelects: w.observedSelects,
+		ObservedUpdates: w.observedUpdates,
 	}
 	for _, e := range w.entries {
 		s.TotalWeight += e.weightAt(w.seq, w.decay)
+		if e.update {
+			s.UpdatesInWindow += e.count
+		} else {
+			s.SelectsInWindow += e.count
+		}
+	}
+	if w.sketch != nil {
+		s.SketchSignatures = w.sketch.Len()
+		s.SketchEvictions = w.sketch.Evictions()
+		s.SketchWeightShare = w.sketch.WeightShare(w.seq)
 	}
 	return s
+}
+
+// SketchItems returns the signature sketch contents, heaviest first, or
+// nil when the sketch is disabled.
+func (w *SlidingWindow) SketchItems() []SketchItem {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sketch == nil {
+		return nil
+	}
+	return w.sketch.Items(w.seq)
 }

@@ -66,6 +66,9 @@ type (
 	BaselineResult = baseline.Result
 	// GenOptions parameterize random workload generation.
 	GenOptions = workloads.GenOptions
+	// SignatureGroup aggregates a workload's statements under one
+	// canonical (S,N,O,A) signature (see AttributeSignatures).
+	SignatureGroup = workloads.SignatureGroup
 )
 
 // TPCH builds the TPC-H-style synthetic database at the given scale
@@ -99,6 +102,14 @@ func GenerateWorkload(db *Database, opts GenOptions) (*Workload, error) {
 
 // TPCH22Workload returns the 22-query TPC-H-style batch.
 func TPCH22Workload() (*Workload, error) { return workloads.TPCH22() }
+
+// AttributeSignatures groups w's statements by canonical (S,N,O,A)
+// signature, heaviest group first. costs, when non-nil, must align with
+// w.Queries (per-statement unweighted cost); demanded, when non-nil,
+// maps query IDs to the structure IDs their plans demanded.
+func AttributeSignatures(w *Workload, costs []float64, demanded map[string][]string) []SignatureGroup {
+	return workloads.AttributeSignatures(w, costs, demanded)
+}
 
 // Session is a bound tuning session: a workload fixed against a
 // database, exposing evaluation and the instrumented-optimizer
