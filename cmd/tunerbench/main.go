@@ -36,7 +36,7 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress per-scenario progress lines")
 
 		wallTol     = flag.Float64("wall-tolerance", 0, "max wall-time factor vs baseline (0 = default 1.5)")
-		allocTol    = flag.Float64("alloc-tolerance", 0, "max allocation factor vs baseline (0 = default 1.6)")
+		allocTol    = flag.Float64("alloc-tolerance", 0, "max allocation factor vs baseline (0 = default 1.10)")
 		callsTol    = flag.Float64("calls-tolerance", 0, "max optimizer-call factor vs baseline (0 = default 1.05)")
 		qualityTol  = flag.Float64("quality-tolerance", 0, "allowed quality drop in percentage points (0 = default 0.5)")
 		coverageMin = flag.Float64("coverage-floor", 0, "minimum profile coverage percent (0 = default 80)")

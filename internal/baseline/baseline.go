@@ -191,8 +191,9 @@ func (c *candidateStruct) addTo(cfg *physical.Configuration) {
 		v := cfg.AddView(c.view)
 		for _, ix := range c.vidx {
 			if !strings.EqualFold(ix.Table, v.Name) {
-				ix = ix.Clone()
-				ix.Table = v.Name
+				// Rebuild instead of clone-and-mutate so the re-targeted
+				// index carries a sealed identity cache.
+				ix = physical.NewIndex(v.Name, ix.Keys, ix.Suffix, ix.Clustered)
 			}
 			cfg.AddIndex(ix)
 		}

@@ -162,7 +162,10 @@ func deepCloneConfig(cfg *physical.Configuration) *physical.Configuration {
 		out.AddView(v.Clone())
 	}
 	for _, ix := range cfg.Indexes() {
-		out.AddIndex(ix.Clone())
+		// NewIndex rather than Clone: the rebuilt copy carries a sealed
+		// identity cache, so configurations assembled from cached fragments
+		// keep allocation-free ID lookups on the search hot path.
+		out.AddIndex(physical.NewIndex(ix.Table, ix.Keys, ix.Suffix, ix.Clustered))
 	}
 	return out
 }

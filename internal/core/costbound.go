@@ -37,32 +37,67 @@ func (t *Tuner) BoundDelta(ec *EvaluatedConfig, tr *physical.Transformation) (De
 	return t.boundDelta(ec, tr)
 }
 
+// penaltyPhase maps a transformation kind to its profiler phase name,
+// precomputed so the per-candidate hot path never concatenates strings.
+var penaltyPhase = func() (a [physical.TransRemoveView + 1]string) {
+	for k := range a {
+		a[k] = "search/penalty/" + physical.TransKind(k).String()
+	}
+	return a
+}()
+
+func penaltyPhaseName(k physical.TransKind) string {
+	if int(k) < len(penaltyPhase) {
+		return penaltyPhase[k]
+	}
+	return "search/penalty/" + k.String()
+}
+
 func (t *Tuner) boundDelta(ec *EvaluatedConfig, tr *physical.Transformation) (Delta, error) {
 	if p := t.Options.Profile; p.Enabled() {
-		defer p.Since("search/penalty/"+tr.Kind.String(), time.Now())
+		defer p.Since(penaltyPhaseName(tr.Kind), time.Now())
 	}
 	cfgAfter := tr.Apply(ec.Config)
 	sizer := t.Opt.Sizer()
 	d := Delta{DS: ec.SizeBytes - sizer.ConfigBytes(cfgAfter)}
 
-	removedIdx := map[string]bool{}
-	for _, id := range tr.RemovedIndexIDs() {
-		if !cfgAfter.HasIndex(id) {
-			removedIdx[id] = true
+	// Removed structures, tracked in stack-backed slices: transformations
+	// remove at most two indexes and two views directly, so the maps this
+	// used to allocate per candidate were pure overhead (view-removal
+	// cascades may grow past the arrays, which append handles).
+	var remIdxArr [2]string
+	removedIdx := remIdxArr[:0]
+	if tr.I1 != nil {
+		if id := tr.I1.ID(); !cfgAfter.HasIndex(id) {
+			removedIdx = append(removedIdx, id)
 		}
 	}
-	removedViews := map[string]bool{}
+	if tr.I2 != nil {
+		if id := tr.I2.ID(); !cfgAfter.HasIndex(id) {
+			removedIdx = append(removedIdx, id)
+		}
+	}
+	var remViewArr [2]string
+	removedViews := remViewArr[:0]
 	for _, vn := range tr.RemovedViewNames() {
 		if cfgAfter.View(vn) == nil {
-			removedViews[vn] = true
+			removedViews = append(removedViews, vn)
 			// Cascaded view indexes count as removed too.
 			for _, ix := range ec.Config.IndexesOn(vn) {
-				removedIdx[ix.ID()] = true
+				removedIdx = append(removedIdx, ix.ID())
 			}
 		}
 	}
 	if len(removedIdx) == 0 && len(removedViews) == 0 {
 		return d, nil
+	}
+	contains := func(list []string, s string) bool {
+		for _, x := range list {
+			if x == s {
+				return true
+			}
+		}
+		return false
 	}
 
 	for i, tq := range t.Queries {
@@ -70,7 +105,7 @@ func (t *Tuner) boundDelta(ec *EvaluatedConfig, tr *physical.Transformation) (De
 		w := tq.Query.Weight
 		if res.Plan != nil {
 			for _, u := range res.Plan.Usages {
-				if !removedIdx[u.Index.ID()] && !(u.ViewName != "" && removedViews[u.ViewName]) {
+				if !contains(removedIdx, u.Index.ID()) && !(u.ViewName != "" && contains(removedViews, u.ViewName)) {
 					continue
 				}
 				inc, err := t.usageBound(ec, cfgAfter, tr, u)

@@ -21,6 +21,12 @@ type TunerMetrics struct {
 	// (tuner_phase_duration_seconds), fed by a Profiler observer — see
 	// Profiler.SetObserver.
 	PhaseDuration *HistogramVec
+	// PhaseAllocBytes attributes heap allocation to tuning phases
+	// (tuner_phase_alloc_bytes_total), fed by a Profiler alloc observer
+	// — see Profiler.SetAllocObserver. Only phases profiled with
+	// StartAlloc report; the what-if hot path is allocation-disciplined,
+	// so a phase's series creeping up is an alertable regression.
+	PhaseAllocBytes *CounterVec
 
 	Iterations       *Counter
 	Evaluations      *Counter
@@ -128,6 +134,8 @@ func NewTunerMetricsWith(reg *Registry, buckets TunerMetricsBuckets) *TunerMetri
 		PhaseDuration: reg.NewHistogramVec("tuner_phase_duration_seconds",
 			"Wall-clock distribution of tuning phases (fed by the phase profiler).", "phase",
 			buckets.PhaseDuration),
+		PhaseAllocBytes: reg.NewCounterVec("tuner_phase_alloc_bytes_total",
+			"Heap bytes allocated in each tuning phase (fed by the phase profiler).", "phase"),
 		Iterations: reg.NewCounter("tuner_search_iterations_total",
 			"Relaxation search loop iterations."),
 		Evaluations: reg.NewCounter("tuner_search_evaluations_total",

@@ -131,10 +131,11 @@ func (h *StreamHist) Quantile(q float64) float64 {
 // pointer comparison when profiling is disabled. All methods are safe
 // for concurrent use.
 type Profiler struct {
-	mu       sync.Mutex
-	phases   map[string]*phaseAgg
-	order    []string
-	observer func(phase string, seconds float64)
+	mu            sync.Mutex
+	phases        map[string]*phaseAgg
+	order         []string
+	observer      func(phase string, seconds float64)
+	allocObserver func(phase string, bytes uint64)
 }
 
 type phaseAgg struct {
@@ -165,6 +166,21 @@ func (p *Profiler) SetObserver(fn func(phase string, seconds float64)) {
 	}
 	p.mu.Lock()
 	p.observer = fn
+	p.mu.Unlock()
+}
+
+// SetAllocObserver mirrors the heap-allocation delta of every
+// StartAlloc-profiled phase execution to fn (phase, bytes) — the
+// bridge into a per-phase allocation counter family
+// (tuner_phase_alloc_bytes_total). fn must be safe for concurrent use;
+// it is called outside the profiler's lock, and only for observations
+// that actually measured an allocation delta.
+func (p *Profiler) SetAllocObserver(fn func(phase string, bytes uint64)) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.allocObserver = fn
 	p.mu.Unlock()
 }
 
@@ -238,9 +254,13 @@ func (p *Profiler) observe(phase string, secs float64, alloc uint64) {
 	a.count++
 	a.alloc += alloc
 	fn := p.observer
+	allocFn := p.allocObserver
 	p.mu.Unlock()
 	if fn != nil {
 		fn(phase, secs)
+	}
+	if allocFn != nil && alloc > 0 {
+		allocFn(phase, alloc)
 	}
 }
 

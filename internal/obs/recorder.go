@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -207,6 +208,12 @@ type Recorder struct {
 	nextSeq   int
 	f         *os.File
 	fileLines int
+	// encBuf/enc are the reused JSONL encode buffer for appends: session
+	// records marshal to kilobytes, so the buffer warms up once and
+	// subsequent Record calls encode without re-allocating a line each
+	// time. Guarded by mu like everything else.
+	encBuf bytes.Buffer
+	enc    *json.Encoder
 }
 
 // NewRecorder opens (or creates) a session history. path == "" keeps
@@ -317,11 +324,14 @@ func (r *Recorder) Record(rec *SessionRecord) error {
 	if r.f == nil {
 		return nil
 	}
-	line, err := json.Marshal(&cp)
-	if err != nil {
+	if r.enc == nil {
+		r.enc = json.NewEncoder(&r.encBuf)
+	}
+	r.encBuf.Reset()
+	if err := r.enc.Encode(&cp); err != nil {
 		return fmt.Errorf("obs: recorder marshal: %w", err)
 	}
-	if _, err := r.f.Write(append(line, '\n')); err != nil {
+	if _, err := r.f.Write(r.encBuf.Bytes()); err != nil {
 		return fmt.Errorf("obs: recorder append: %w", err)
 	}
 	r.fileLines++
@@ -367,15 +377,15 @@ func (r *Recorder) compactLocked() error {
 		return fmt.Errorf("obs: recorder compact: %w", err)
 	}
 	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
 	for _, rec := range r.sessions {
-		line, err := json.Marshal(rec)
-		if err != nil {
+		// Encode appends the JSONL newline itself and streams into the
+		// buffered writer, so compaction allocates no per-record line.
+		if err := enc.Encode(rec); err != nil {
 			f.Close()
 			os.Remove(tmp)
 			return fmt.Errorf("obs: recorder compact: %w", err)
 		}
-		w.Write(line)
-		w.WriteByte('\n')
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()

@@ -29,6 +29,19 @@ type accessSpec struct {
 	qual string
 	// width is the average byte width of the needed columns (sort sizing).
 	width int
+	// eqBound memoizes eqBoundCols — specs are per-call and
+	// single-threaded, and the set is consulted once per candidate plan.
+	eqBound map[string]bool
+}
+
+// findSarg returns the first sargable condition on col, or nil.
+func (s *accessSpec) findSarg(col string) *SargCond {
+	for i := range s.sargs {
+		if strings.EqualFold(s.sargs[i].Col, col) {
+			return &s.sargs[i]
+		}
+	}
+	return nil
 }
 
 // residCond is one residual (non-sargable) conjunct: its local columns and
@@ -50,13 +63,16 @@ func (s *accessSpec) qualify(cols []string) []string {
 // sargable predicates; such columns can be skipped when checking order
 // satisfaction.
 func (s *accessSpec) eqBoundCols() map[string]bool {
-	out := map[string]bool{}
-	for _, c := range s.sargs {
-		if c.Iv.IsPoint() {
-			out[strings.ToLower(s.qual+"."+c.Col)] = true
+	if s.eqBound == nil {
+		out := map[string]bool{}
+		for _, c := range s.sargs {
+			if c.Iv.IsPoint() {
+				out[strings.ToLower(s.qual+"."+c.Col)] = true
+			}
 		}
+		s.eqBound = out
 	}
-	return out
+	return s.eqBound
 }
 
 // accessResult couples a candidate plan with its index usage records.
@@ -78,8 +94,8 @@ const inf = 1e308
 // seeks, rid intersections, rid lookups, covering scans, heap scans,
 // residual filters and sorts — over the indexes available in cfg, and
 // returns the cheapest.
-func (o *Optimizer) bestAccess(cfg *physical.Configuration, spec *accessSpec) *accessResult {
-	indexes := cfg.IndexesOn(spec.table)
+func (o *Optimizer) bestAccess(oc *optCtx, cfg *physical.Configuration, spec *accessSpec) *accessResult {
+	indexes := oc.indexesOn(cfg, spec.table)
 	clustered := cfg.ClusteredOn(spec.table)
 
 	var best *accessResult
@@ -93,16 +109,22 @@ func (o *Optimizer) bestAccess(cfg *physical.Configuration, spec *accessSpec) *a
 		consider(o.seekPlan(cfg, spec, ix, clustered))
 		consider(o.scanPlan(cfg, spec, ix))
 	}
-	// Binary rid intersections between seekable secondary indexes.
+	// Binary rid intersections between seekable secondary indexes; seek
+	// prefixes are resolved once per index and shared across pairs.
 	var seekable []*physical.Index
+	var infos []seekInfo
 	for _, ix := range indexes {
-		if !ix.Clustered && len(o.seekPrefix(spec, ix).cols) > 0 {
+		if ix.Clustered {
+			continue
+		}
+		if k, _ := o.seekPrefixLen(spec, ix); k > 0 {
 			seekable = append(seekable, ix)
+			infos = append(infos, o.seekPrefix(spec, ix))
 		}
 	}
 	for i := 0; i < len(seekable); i++ {
 		for j := i + 1; j < len(seekable); j++ {
-			consider(o.intersectPlan(cfg, spec, seekable[i], seekable[j], clustered))
+			consider(o.intersectPlan(cfg, spec, seekable[i], seekable[j], infos[i], infos[j], clustered))
 		}
 	}
 	if clustered == nil {
@@ -111,47 +133,72 @@ func (o *Optimizer) bestAccess(cfg *physical.Configuration, spec *accessSpec) *a
 	return best
 }
 
-// seekInfo is the outcome of matching sargable predicates to a key prefix.
+// seekInfo is the outcome of matching sargable predicates to a key
+// prefix. The consumed sargable columns are exactly the matched prefix,
+// so no separate "used" set is tracked; prefixUses answers membership.
 type seekInfo struct {
-	cols    []string
+	cols    []string // matched key prefix (aliases the index's Keys)
 	colSels []float64
 	sel     float64
-	used    map[string]bool // lower-case sarg columns consumed
 }
 
-// seekPrefix finds the longest usable key prefix: equality-bound columns
-// extend the prefix; the first range-bound column is consumed and ends it.
-func (o *Optimizer) seekPrefix(spec *accessSpec, ix *physical.Index) seekInfo {
-	info := seekInfo{sel: 1, used: map[string]bool{}}
+// seekPrefixLen returns the length and combined selectivity of the
+// longest usable key prefix — equality-bound columns extend the prefix;
+// the first range-bound column is consumed and ends it — without
+// materializing per-column data.
+func (o *Optimizer) seekPrefixLen(spec *accessSpec, ix *physical.Index) (int, float64) {
+	k, sel := 0, 1.0
 	for _, key := range ix.Keys {
-		var cond *SargCond
-		for i := range spec.sargs {
-			if strings.EqualFold(spec.sargs[i].Col, key) {
-				cond = &spec.sargs[i]
-				break
-			}
-		}
+		cond := spec.findSarg(key)
 		if cond == nil {
 			break
 		}
-		info.cols = append(info.cols, key)
-		info.colSels = append(info.colSels, cond.Sel)
-		info.sel *= cond.Sel
-		info.used[strings.ToLower(cond.Col)] = true
+		k++
+		sel *= cond.Sel
 		if !cond.Iv.IsPoint() {
 			break // a range column ends the seekable prefix
 		}
 	}
+	return k, sel
+}
+
+// seekPrefix resolves the longest usable key prefix with its per-column
+// selectivities. The cols slice aliases the index's key list.
+func (o *Optimizer) seekPrefix(spec *accessSpec, ix *physical.Index) seekInfo {
+	k, _ := o.seekPrefixLen(spec, ix)
+	info := seekInfo{sel: 1}
+	if k == 0 {
+		return info
+	}
+	info.cols = ix.Keys[:k:k]
+	info.colSels = make([]float64, k)
+	for i := 0; i < k; i++ {
+		s := spec.findSarg(ix.Keys[i]).Sel
+		info.colSels[i] = s
+		info.sel *= s
+	}
 	return info
+}
+
+// prefixUses reports whether the matched key prefix consumed a sargable
+// predicate on col (the consumed columns are exactly the prefix).
+func prefixUses(prefix []string, col string) bool {
+	for _, c := range prefix {
+		if strings.EqualFold(c, col) {
+			return true
+		}
+	}
+	return false
 }
 
 // residualAfter splits the predicates not consumed by a seek into those
 // evaluable on the index (before any lookup) and those requiring fetched
-// columns, returning the combined selectivities.
-func (o *Optimizer) residualAfter(spec *accessSpec, ix *physical.Index, used map[string]bool) (onSel, offSel float64, any bool) {
+// columns, returning the combined selectivities. used is the seek's
+// matched key prefix.
+func (o *Optimizer) residualAfter(spec *accessSpec, ix *physical.Index, used []string) (onSel, offSel float64, any bool) {
 	onSel, offSel = 1, 1
 	for _, c := range spec.sargs {
-		if used[strings.ToLower(c.Col)] {
+		if prefixUses(used, c.Col) {
 			continue
 		}
 		any = true
@@ -209,7 +256,7 @@ func (o *Optimizer) seekPlan(cfg *physical.Configuration, spec *accessSpec, ix *
 	}
 	var node plan.Node = plan.NewIndexSeek(ix, info.cols, info.sel, rowsAfterSeek, access, spec.qualify(ix.Keys))
 
-	onSel, offSel, _ := o.residualAfter(spec, ix, info.used)
+	onSel, offSel, _ := o.residualAfter(spec, ix, info.cols)
 	if onSel < 1 {
 		node = plan.NewFilter(node, onSel, "index-residual", node.TotalCost().Add(plan.Cost{CPU: o.model.CPURow * node.OutRows()}))
 	}
@@ -262,9 +309,7 @@ func (o *Optimizer) heapScanPlan(cfg *physical.Configuration, spec *accessSpec) 
 	return &accessResult{node: node}
 }
 
-func (o *Optimizer) intersectPlan(cfg *physical.Configuration, spec *accessSpec, i1, i2 *physical.Index, clustered *physical.Index) *accessResult {
-	s1 := o.seekPrefix(spec, i1)
-	s2 := o.seekPrefix(spec, i2)
+func (o *Optimizer) intersectPlan(cfg *physical.Configuration, spec *accessSpec, i1, i2 *physical.Index, s1, s2 seekInfo, clustered *physical.Index) *accessResult {
 	if len(s1.cols) == 0 || len(s2.cols) == 0 {
 		return nil
 	}
@@ -295,16 +340,9 @@ func (o *Optimizer) intersectPlan(cfg *physical.Configuration, spec *accessSpec,
 	// Intersections produce rids; fetch the rows, then apply residuals.
 	lk := o.model.RidLookupCost(spec.rows, o.primaryPages(cfg, spec, clustered), outRows)
 	node = plan.NewRidLookup(node, spec.table, node.TotalCost().Add(lk))
-	used := map[string]bool{}
-	for c := range s1.used {
-		used[c] = true
-	}
-	for c := range s2.used {
-		used[c] = true
-	}
 	residSel := 1.0
 	for _, c := range spec.sargs {
-		if !used[strings.ToLower(c.Col)] {
+		if !prefixUses(s1.cols, c.Col) && !prefixUses(s2.cols, c.Col) {
 			residSel *= c.Sel
 		}
 	}

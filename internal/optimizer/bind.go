@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/physical"
@@ -86,6 +87,14 @@ type BoundQuery struct {
 	InsertRows  int
 
 	db *catalog.Database
+
+	// blockMemo caches the SPJG view blocks of table subsets (see
+	// Optimizer.viewBlock). Blocks depend only on the bound query and the
+	// catalog statistics, never on the configuration being costed, so they
+	// are computed once per query. Forked workers optimize the same bound
+	// query concurrently, hence the mutex.
+	blockMu   sync.Mutex
+	blockMemo map[uint64]viewBlockEntry
 }
 
 // Bind resolves and classifies a parsed statement against db. Statements

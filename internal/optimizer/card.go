@@ -94,7 +94,9 @@ func (o *Optimizer) groupCardinality(inputRows float64, groupCols []sqlx.ColRef)
 // cardinalities times the selectivities of every join predicate and
 // cross-table conjunct contained in the mask. The estimate is independent
 // of join order, so every plan for a subset agrees on its cardinality.
-func (o *Optimizer) selRows(q *BoundQuery, mask uint64) float64 {
+// idx is the query's table → FROM-position map (tableIndexMap), threaded
+// through by callers so the hot join-enumeration loop never rebuilds it.
+func (o *Optimizer) selRows(q *BoundQuery, idx map[string]int, mask uint64) float64 {
 	rows := 1.0
 	for i, t := range q.Tables {
 		if mask&(1<<uint(i)) == 0 {
@@ -107,7 +109,6 @@ func (o *Optimizer) selRows(q *BoundQuery, mask uint64) float64 {
 		}
 		rows *= tr * q.TablePred(t).TotalSelectivity()
 	}
-	idx := tableIndexMap(q)
 	for _, j := range q.Joins {
 		if maskHasCol(idx, mask, j.L) && maskHasCol(idx, mask, j.R) {
 			rows *= o.joinSelectivity(j)

@@ -15,6 +15,7 @@ package optimizer
 
 import (
 	"math"
+	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/physical"
@@ -98,10 +99,22 @@ func randomPages(rows, pages int64, k float64) float64 {
 // sizer can compute index sizes.
 type Resolver struct {
 	DB *catalog.Database
+
+	// cols caches each base table's column-name slice (keyed by lowercased
+	// table name): the sizer asks for it on every index resolve, and
+	// rebuilding the slice per call dominated resolve-path allocations.
+	cols map[string][]string
 }
 
-// NewResolver returns a width resolver over db.
-func NewResolver(db *catalog.Database) Resolver { return Resolver{DB: db} }
+// NewResolver returns a width resolver over db with the per-table column
+// lists precomputed.
+func NewResolver(db *catalog.Database) Resolver {
+	r := Resolver{DB: db, cols: make(map[string][]string)}
+	for _, t := range db.Tables() {
+		r.cols[strings.ToLower(t.Name)] = t.ColumnNames()
+	}
+	return r
+}
 
 // TableRows implements physical.WidthResolver.
 func (r Resolver) TableRows(table string) (int64, bool) {
@@ -127,6 +140,9 @@ func (r Resolver) ColWidth(table, col string) (int, bool) {
 
 // TableCols implements physical.WidthResolver.
 func (r Resolver) TableCols(table string) []string {
+	if cols, ok := r.cols[strings.ToLower(table)]; ok {
+		return cols
+	}
 	t := r.DB.Table(table)
 	if t == nil {
 		return nil

@@ -3,7 +3,9 @@ package optimizer
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/catalog"
@@ -39,11 +41,116 @@ type statCounters struct {
 	viewRequests  atomic.Int64
 }
 
-// optCtx carries the state of one Optimize call. reqSeen deduplicates
-// requests within the call so repeated probes of the same relation during
-// join enumeration count (and fire hooks) once.
+// optCtx carries the state of one Optimize call plus its reusable scratch
+// buffers. reqSeen deduplicates requests within the call so repeated
+// probes of the same relation during join enumeration count (and fire
+// hooks) once. Contexts are pooled: every Optimize call — including calls
+// from forked workers, which share the package-level pool — takes a
+// context whose maps, DP table, and dpEntry arena retain their capacity
+// from earlier calls, so the steady-state what-if loop allocates no
+// per-call bookkeeping.
 type optCtx struct {
-	reqSeen map[string]bool
+	reqSeen map[string]bool // request dedup keys seen this call
+	key     []byte          // request dedup key build scratch
+	idx     map[string]int  // table → FROM position for the current query
+	dp      []*dpEntry      // DP table over table subsets
+	arena   []dpEntry       // bump arena backing the dpEntries of one call
+
+	edges        []physical.JoinPred // join-edge scratch (one split live at a time)
+	lKeys, rKeys []string            // merge-join key scratch (cost phase only)
+
+	probeSpec   accessSpec // inner-probe spec scratch (innerProbe)
+	probeSargs  []SargCond
+	probeOthers []residCond
+
+	// ixOn memoizes Configuration.IndexesOn per table: the configuration
+	// is fixed for the duration of one call, and join enumeration probes
+	// the same tables once per split. views does the same for Views().
+	ixOn     map[string][]*physical.Index
+	views    []*physical.View
+	viewsSet bool
+}
+
+var ctxPool = sync.Pool{New: func() any {
+	return &optCtx{
+		reqSeen: make(map[string]bool, 64),
+		key:     make([]byte, 0, 160),
+		idx:     make(map[string]int, MaxJoinTables),
+		ixOn:    make(map[string][]*physical.Index, 8),
+	}
+}}
+
+func getOptCtx() *optCtx { return ctxPool.Get().(*optCtx) }
+
+// putOptCtx scrubs every reference the call left behind — plan nodes in
+// the DP table and arena, configuration indexes in the memo — so pooled
+// scratch never pins a finished plan tree, then returns the context.
+func putOptCtx(oc *optCtx) {
+	clear(oc.reqSeen)
+	clear(oc.idx)
+	clear(oc.ixOn)
+	clear(oc.dp)
+	oc.arena = oc.arena[:cap(oc.arena)]
+	clear(oc.arena)
+	oc.arena = oc.arena[:0]
+	oc.views = nil
+	oc.viewsSet = false
+	oc.probeSpec = accessSpec{}
+	ctxPool.Put(oc)
+}
+
+// dpTable returns a zeroed DP table of n slots backed by the context's
+// reusable buffer.
+func (oc *optCtx) dpTable(n int) []*dpEntry {
+	if cap(oc.dp) < n {
+		oc.dp = make([]*dpEntry, n)
+	} else {
+		oc.dp = oc.dp[:n]
+		clear(oc.dp)
+	}
+	return oc.dp
+}
+
+// newEntry hands out one dpEntry from the arena. Entries never escape
+// Optimize (only their node/usage fields do), so the arena is recycled
+// wholesale when the call finishes. When a chunk fills, a larger one
+// replaces it; entries already handed out stay valid in the old backing
+// array, which lives until the call returns.
+func (oc *optCtx) newEntry() *dpEntry {
+	if len(oc.arena) == cap(oc.arena) {
+		next := 2 * cap(oc.arena)
+		if next < 64 {
+			next = 64
+		}
+		oc.arena = make([]dpEntry, 0, next)
+	}
+	oc.arena = append(oc.arena, dpEntry{})
+	return &oc.arena[len(oc.arena)-1]
+}
+
+// indexesOn memoizes cfg.IndexesOn for the duration of one call.
+func (oc *optCtx) indexesOn(cfg *physical.Configuration, table string) []*physical.Index {
+	if oc == nil {
+		return cfg.IndexesOn(table)
+	}
+	if cached, ok := oc.ixOn[table]; ok {
+		return cached
+	}
+	ixs := cfg.IndexesOn(table)
+	oc.ixOn[table] = ixs
+	return ixs
+}
+
+// viewsOf memoizes cfg.Views for the duration of one call.
+func (oc *optCtx) viewsOf(cfg *physical.Configuration) []*physical.View {
+	if oc == nil {
+		return cfg.Views()
+	}
+	if !oc.viewsSet {
+		oc.views = cfg.Views()
+		oc.viewsSet = true
+	}
+	return oc.views
 }
 
 // New returns an optimizer over db with the default cost model.
@@ -99,11 +206,16 @@ func (o *Optimizer) Model() CostModel { return o.model }
 // DB exposes the catalog database.
 func (o *Optimizer) DB() *catalog.Database { return o.db }
 
-// dpEntry is the best plan found for one table subset.
+// dpEntry is the best plan found for one table subset. Join entries link
+// their inputs through left/right instead of concatenating usage and view
+// lists per split (which allocated quadratically); the winning tree is
+// flattened once by collectEntryLists. An entry's own usages/views hold
+// only the records it adds itself (leaf access, INL probe, view scan).
 type dpEntry struct {
-	node   plan.Node
-	usages []*plan.IndexUsage
-	views  []string
+	node        plan.Node
+	usages      []*plan.IndexUsage
+	views       []string
+	left, right *dpEntry
 	// grouped reports that the sub-plan already produced the query's
 	// aggregation (view-based plans may embed it).
 	grouped bool
@@ -126,7 +238,6 @@ func (e *dpEntry) cost() float64 {
 // INSERT statements have an empty select part.
 func (o *Optimizer) Optimize(q *BoundQuery, cfg *physical.Configuration) (*plan.QueryPlan, error) {
 	o.stats.optimizeCalls.Add(1)
-	oc := &optCtx{reqSeen: map[string]bool{}}
 	if q.Kind == sqlx.StmtInsert {
 		root := plan.NewHeapScan(q.UpdateTable, 0, plan.Cost{})
 		return &plan.QueryPlan{Root: root, Cost: plan.Cost{}}, nil
@@ -139,7 +250,9 @@ func (o *Optimizer) Optimize(q *BoundQuery, cfg *physical.Configuration) (*plan.
 		return nil, fmt.Errorf("optimizer: %d tables exceeds the %d-table join limit", n, MaxJoinTables)
 	}
 
-	dp := make([]*dpEntry, 1<<uint(n))
+	oc := getOptCtx()
+	defer putOptCtx(oc)
+	dp := oc.dpTable(1 << uint(n))
 
 	// Leaf level: one access-path request per table.
 	for i, t := range q.Tables {
@@ -148,10 +261,15 @@ func (o *Optimizer) Optimize(q *BoundQuery, cfg *physical.Configuration) (*plan.
 		if res == nil {
 			return nil, fmt.Errorf("optimizer: no access path for table %s", t)
 		}
-		dp[1<<uint(i)] = &dpEntry{node: res.node, usages: res.usages}
+		e := oc.newEntry()
+		e.node, e.usages = res.node, res.usages
+		dp[1<<uint(i)] = e
 	}
 
-	idx := tableIndexMap(q)
+	idx := oc.idx
+	for i, t := range q.Tables {
+		idx[t] = i
+	}
 	full := uint64(1<<uint(n)) - 1
 
 	// Join levels in increasing subset size, plus view-based alternatives.
@@ -171,7 +289,7 @@ func (o *Optimizer) Optimize(q *BoundQuery, cfg *physical.Configuration) (*plan.
 				if l == nil || r == nil {
 					continue
 				}
-				edges := o.joinEdges(q, idx, sub, other)
+				edges := o.joinEdges(oc, q, idx, sub, other)
 				if len(edges) == 0 && o.hasAnyEdge(q, idx, mask) {
 					continue // avoid cross products when the mask is joinable
 				}
@@ -194,13 +312,52 @@ func (o *Optimizer) Optimize(q *BoundQuery, cfg *physical.Configuration) (*plan.
 		return nil, fmt.Errorf("optimizer: join enumeration produced no plan (disconnected join graph?)")
 	}
 
+	usages, views := collectEntryLists(final)
 	root := o.finishRoot(q, final.node, rootState{grouped: final.grouped, ordered: final.ordered})
 	return &plan.QueryPlan{
 		Root:      root,
 		Cost:      root.TotalCost(),
-		Usages:    final.usages,
-		UsedViews: final.views,
+		Usages:    usages,
+		UsedViews: views,
 	}, nil
+}
+
+// collectEntryLists flattens the winning DP tree's deferred usage and
+// view lists. The order — left subtree, right subtree, then the entry's
+// own records — reproduces exactly what eager per-split concatenation
+// (l.usages ++ r.usages ++ extras) used to build.
+func collectEntryLists(e *dpEntry) ([]*plan.IndexUsage, []string) {
+	nu, nv := countEntry(e)
+	var us []*plan.IndexUsage
+	var vs []string
+	if nu > 0 {
+		us = make([]*plan.IndexUsage, 0, nu)
+	}
+	if nv > 0 {
+		vs = make([]string, 0, nv)
+	}
+	return appendEntry(e, us, vs)
+}
+
+func countEntry(e *dpEntry) (nu, nv int) {
+	nu, nv = len(e.usages), len(e.views)
+	if e.left != nil {
+		a, b := countEntry(e.left)
+		nu += a
+		nv += b
+		a, b = countEntry(e.right)
+		nu += a
+		nv += b
+	}
+	return nu, nv
+}
+
+func appendEntry(e *dpEntry, us []*plan.IndexUsage, vs []string) ([]*plan.IndexUsage, []string) {
+	if e.left != nil {
+		us, vs = appendEntry(e.left, us, vs)
+		us, vs = appendEntry(e.right, us, vs)
+	}
+	return append(us, e.usages...), append(vs, e.views...)
 }
 
 // rootState tracks what compensation the chosen subplan already performed.
@@ -265,13 +422,14 @@ func bestCost(e *dpEntry) float64 {
 func (o *Optimizer) tableSpec(q *BoundQuery, table string, root bool) *accessSpec {
 	t := o.db.Table(table)
 	tp := q.TablePred(table)
+	needed := q.NeededCols(table)
 	spec := &accessSpec{
 		table:  table,
 		rows:   t.Rows,
 		sargs:  tp.Sargs,
-		needed: q.NeededCols(table),
+		needed: needed,
 		qual:   table,
-		width:  o.neededWidth(table, q.NeededCols(table)),
+		width:  o.neededWidth(table, needed),
 	}
 	for _, oc := range tp.Others {
 		spec.others = append(spec.others, residCond{cols: localCols(oc.Cols), sel: oc.Sel})
@@ -323,24 +481,98 @@ func (o *Optimizer) neededWidth(table string, cols []string) int {
 // best access path with whatever structures the hook simulated.
 func (o *Optimizer) requestAccess(oc *optCtx, cfg *physical.Configuration, spec *accessSpec) *accessResult {
 	o.issueIndexRequest(oc, spec)
-	return o.bestAccess(cfg, spec)
+	return o.bestAccess(oc, cfg, spec)
 }
 
 // issueIndexRequest counts the request and fires the hook, deduplicating
-// identical requests within one optimization.
+// identical requests within one optimization. The dedup key is rendered
+// byte-by-byte into the call's scratch buffer; the full IndexRequest is
+// materialized only for first-seen requests with a hook installed, so
+// plain re-costing calls build no request objects at all.
 func (o *Optimizer) issueIndexRequest(oc *optCtx, spec *accessSpec) {
-	req := o.buildIndexRequest(spec)
-	key := "i|" + req.String()
-	if oc != nil && oc.reqSeen != nil {
-		if oc.reqSeen[key] {
+	if oc != nil {
+		oc.key = appendRequestKey(oc.key[:0], spec)
+		if oc.reqSeen[string(oc.key)] {
 			return
 		}
-		oc.reqSeen[key] = true
+		oc.reqSeen[string(oc.key)] = true
 	}
 	o.stats.indexRequests.Add(1)
 	if o.hooks != nil && o.hooks.OnIndexRequest != nil {
-		o.hooks.OnIndexRequest(req)
+		o.hooks.OnIndexRequest(o.buildIndexRequest(spec))
+		if oc != nil {
+			// The hook may have injected hypothetical indexes on the
+			// requested table (the §2 what-if interceptor does exactly
+			// that), so the per-call index memo for it is now stale.
+			delete(oc.ixOn, spec.table)
+		}
 	}
+}
+
+// appendRequestKey renders the request-identity key for spec: exactly the
+// bytes of "i|" + IndexRequest.String(), so the dedup partition is
+// unchanged — table, sargable columns with %.3g selectivities, the count
+// of non-sargable conjuncts, the requested order, and the additional
+// referenced columns.
+func appendRequestKey(key []byte, spec *accessSpec) []byte {
+	key = append(key, "i|idxreq{"...)
+	key = append(key, spec.table...)
+	key = append(key, " S=["...)
+	for i := range spec.sargs {
+		if i > 0 {
+			key = append(key, ',')
+		}
+		key = append(key, spec.sargs[i].Col...)
+		key = append(key, '(')
+		key = strconv.AppendFloat(key, spec.sargs[i].Sel, 'g', 3, 64)
+		key = append(key, ')')
+	}
+	key = append(key, "] N="...)
+	key = strconv.AppendInt(key, int64(len(spec.others)), 10)
+	key = append(key, " O=["...)
+	for i, c := range spec.order {
+		if i > 0 {
+			key = append(key, ' ')
+		}
+		key = append(key, c...)
+	}
+	key = append(key, "] A=["...)
+	first := true
+	for _, c := range spec.needed {
+		if specReferences(spec, c) {
+			continue
+		}
+		if !first {
+			key = append(key, ' ')
+		}
+		first = false
+		key = append(key, c...)
+	}
+	return append(key, "]}"...)
+}
+
+// specReferences reports whether col already appears in the spec's
+// sargable, non-sargable, or order column sets (the request's S/N/O);
+// the remaining needed columns form the request's A set.
+func specReferences(spec *accessSpec, col string) bool {
+	for i := range spec.sargs {
+		if strings.EqualFold(spec.sargs[i].Col, col) {
+			return true
+		}
+	}
+	for _, rc := range spec.others {
+		for _, c := range rc.cols {
+			if strings.EqualFold(c, col) {
+				return true
+			}
+		}
+	}
+	for _, c := range spec.order {
+		if strings.EqualFold(c, col) {
+			return true
+		}
+	}
+	return false
 }
 
 func (o *Optimizer) buildIndexRequest(spec *accessSpec) *IndexRequest {
@@ -378,8 +610,10 @@ func (o *Optimizer) buildIndexRequest(spec *accessSpec) *IndexRequest {
 }
 
 // joinEdges returns the join predicates connecting two disjoint masks.
-func (o *Optimizer) joinEdges(q *BoundQuery, idx map[string]int, a, b uint64) []physical.JoinPred {
-	var out []physical.JoinPred
+// The result is backed by the call's scratch buffer: it is valid until
+// the next joinEdges call, which matches its one-split lifetime.
+func (o *Optimizer) joinEdges(oc *optCtx, q *BoundQuery, idx map[string]int, a, b uint64) []physical.JoinPred {
+	out := oc.edges[:0]
 	for _, j := range q.Joins {
 		la, ra := maskHasCol(idx, a, j.L), maskHasCol(idx, a, j.R)
 		lb, rb := maskHasCol(idx, b, j.L), maskHasCol(idx, b, j.R)
@@ -387,6 +621,7 @@ func (o *Optimizer) joinEdges(q *BoundQuery, idx map[string]int, a, b uint64) []
 			out = append(out, j)
 		}
 	}
+	oc.edges = out
 	return out
 }
 
@@ -403,19 +638,33 @@ func (o *Optimizer) hasAnyEdge(q *BoundQuery, idx map[string]int, mask uint64) b
 	return false
 }
 
+// join candidate tags, in the evaluation order of the node-per-candidate
+// enumeration this replaces (ties keep the earliest candidate).
+const (
+	candNone = iota
+	candHashLR
+	candHashRL
+	candMerge
+	candINLInnerR // inner side = other mask, outer = l
+	candINLInnerL // inner side = sub mask, outer = r
+	candNLLR
+	candNLRL
+)
+
 // joinPlans builds the cheapest join of two sub-plans, considering hash
-// join (both build directions), index nested loops (single-table inner),
-// and plain nested loops as the universal fallback. Cross-table filters
-// that become evaluable at this mask are applied on top.
+// join (both build directions), merge join, index nested loops
+// (single-table inner), and plain nested loops as the universal fallback.
+// Cross-table filters that become evaluable at this mask are applied on
+// top. Candidates are priced first with plain cost arithmetic — mirroring
+// the build functions exactly — and only the winner materializes plan
+// nodes; losing candidates used to dominate what-if-path allocation.
 func (o *Optimizer) joinPlans(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, idx map[string]int, mask, sub, other uint64, l, r *dpEntry, edges []physical.JoinPred) *dpEntry {
-	outRows := o.selRows(q, mask)
+	outRows := o.selRows(q, idx, mask)
 	// Filters newly evaluable at this mask.
 	extraSel := 1.0
-	var extraDesc []string
-	for _, oc := range q.CrossOthers {
-		if maskHasAll(idx, mask, oc.Cols) && !maskHasAll(idx, sub, oc.Cols) && !maskHasAll(idx, other, oc.Cols) {
-			extraSel *= oc.Sel
-			extraDesc = append(extraDesc, oc.Expr.String())
+	for _, c := range q.CrossOthers {
+		if maskHasAll(idx, mask, c.Cols) && !maskHasAll(idx, sub, c.Cols) && !maskHasAll(idx, other, c.Cols) {
+			extraSel *= c.Sel
 		}
 	}
 	// outRows from selRows already includes every predicate in the mask;
@@ -425,41 +674,70 @@ func (o *Optimizer) joinPlans(oc *optCtx, q *BoundQuery, cfg *physical.Configura
 		joinRows = outRows / extraSel
 	}
 
-	on := joinDesc(edges)
-	var best plan.Node
-	var bestUsages []*plan.IndexUsage
-	consider := func(n plan.Node, extra []*plan.IndexUsage) {
-		if n != nil && (best == nil || n.TotalCost().Total() < best.TotalCost().Total()) {
-			best = n
-			bestUsages = extra
+	cand := candNone
+	bestTotal := inf
+	consider := func(kind int, c plan.Cost) {
+		if t := c.Total(); t < bestTotal {
+			cand, bestTotal = kind, t
 		}
 	}
-
+	var probeR, probeL probeResult
+	var colsR, colsL []string
 	if len(edges) > 0 {
-		consider(o.hashJoin(l, r, on, joinRows), nil)
-		consider(o.hashJoin(r, l, on, joinRows), nil)
-		consider(o.mergeJoin(q, idx, sub, l, r, edges, on, joinRows), nil)
+		consider(candHashLR, o.hashJoinCost(l, r))
+		consider(candHashRL, o.hashJoinCost(r, l))
+		lk, rk := oc.mergeKeys(idx, sub, edges)
+		consider(candMerge, o.mergeJoinCost(l, r, lk, rk))
 		// Index nested loops: inner side must be a single base table.
-		if n, u := o.indexNLJoin(oc, q, cfg, idx, other, l, edges, on, joinRows); n != nil {
-			consider(n, u)
+		if pr, pc, total, ok := o.indexNLCost(oc, q, cfg, other, l, edges, joinRows); ok {
+			probeR, colsR = pr, pc
+			consider(candINLInnerR, total)
 		}
-		if n, u := o.indexNLJoin(oc, q, cfg, idx, sub, r, edges, on, joinRows); n != nil {
-			consider(n, u)
+		if pr, pc, total, ok := o.indexNLCost(oc, q, cfg, sub, r, edges, joinRows); ok {
+			probeL, colsL = pr, pc
+			consider(candINLInnerL, total)
 		}
 	}
-	consider(o.nlJoin(l, r, on, joinRows), nil)
-	consider(o.nlJoin(r, l, on, joinRows), nil)
-	if best == nil {
+	consider(candNLLR, o.nlJoinCost(l, r, joinRows))
+	consider(candNLRL, o.nlJoinCost(r, l, joinRows))
+	if cand == candNone {
 		return nil
 	}
-	node := best
-	if extraSel < 1 {
-		node = plan.NewFilter(node, extraSel, strings.Join(extraDesc, " AND "), node.TotalCost().Add(plan.Cost{CPU: o.model.CPURow * node.OutRows()}))
+
+	on := joinDesc(edges)
+	var node plan.Node
+	var extra *plan.IndexUsage
+	switch cand {
+	case candHashLR:
+		node = o.hashJoin(l, r, on, joinRows)
+	case candHashRL:
+		node = o.hashJoin(r, l, on, joinRows)
+	case candMerge:
+		node = o.mergeJoin(q, idx, sub, l, r, edges, on, joinRows)
+	case candINLInnerR:
+		node, extra = o.buildIndexNL(probeR, l, colsR, on, joinRows)
+	case candINLInnerL:
+		node, extra = o.buildIndexNL(probeL, r, colsL, on, joinRows)
+	case candNLLR:
+		node = o.nlJoin(l, r, on, joinRows)
+	case candNLRL:
+		node = o.nlJoin(r, l, on, joinRows)
 	}
-	usages := append(append([]*plan.IndexUsage(nil), l.usages...), r.usages...)
-	usages = append(usages, bestUsages...)
-	views := append(append([]string(nil), l.views...), r.views...)
-	return &dpEntry{node: node, usages: usages, views: views}
+	if extraSel < 1 {
+		var descs []string
+		for _, c := range q.CrossOthers {
+			if maskHasAll(idx, mask, c.Cols) && !maskHasAll(idx, sub, c.Cols) && !maskHasAll(idx, other, c.Cols) {
+				descs = append(descs, c.Expr.String())
+			}
+		}
+		node = plan.NewFilter(node, extraSel, strings.Join(descs, " AND "), node.TotalCost().Add(plan.Cost{CPU: o.model.CPURow * node.OutRows()}))
+	}
+	e := oc.newEntry()
+	e.node, e.left, e.right = node, l, r
+	if extra != nil {
+		e.usages = []*plan.IndexUsage{extra}
+	}
+	return e
 }
 
 func joinDesc(edges []physical.JoinPred) string {
@@ -471,6 +749,62 @@ func joinDesc(edges []physical.JoinPred) string {
 		parts[i] = e.String()
 	}
 	return strings.Join(parts, " AND ")
+}
+
+// hashJoinCost prices hashJoin without building its node; the arithmetic
+// must stay in lockstep with hashJoin.
+func (o *Optimizer) hashJoinCost(probe, build *dpEntry) plan.Cost {
+	buildRows := build.node.OutRows()
+	probeRows := probe.node.OutRows()
+	cost := probe.node.TotalCost().Add(build.node.TotalCost()).
+		Add(plan.Cost{CPU: o.model.CPUHash * (buildRows + probeRows)})
+	buildPages := buildRows * 64 / 8192
+	if buildPages > float64(o.model.SortMemory) {
+		cost = cost.Add(plan.Cost{IO: 2 * buildPages * o.model.SeqPage})
+	}
+	return cost
+}
+
+// mergeKeys resolves each join edge's columns onto the left/right input
+// (left = the tables in lMask) as qualified names. The returned slices
+// are cost-phase scratch: mergeJoin rebuilds its own copies for the
+// winner because sort nodes retain their key slices.
+func (oc *optCtx) mergeKeys(idx map[string]int, lMask uint64, edges []physical.JoinPred) ([]string, []string) {
+	lk, rk := oc.lKeys[:0], oc.rKeys[:0]
+	for _, e := range edges {
+		lc, rc := e.L, e.R
+		if !maskHasCol(idx, lMask, lc) {
+			lc, rc = rc, lc
+		}
+		lk = append(lk, lc.Table+"."+lc.Column)
+		rk = append(rk, rc.Table+"."+rc.Column)
+	}
+	oc.lKeys, oc.rKeys = lk, rk
+	return lk, rk
+}
+
+// mergeJoinCost prices mergeJoin without building nodes; the arithmetic
+// must stay in lockstep with mergeJoin (sorts preserve cardinality, so
+// the post-prep row counts equal the input row counts).
+func (o *Optimizer) mergeJoinCost(l, r *dpEntry, lKeys, rKeys []string) plan.Cost {
+	prepCost := func(n plan.Node, keys []string) plan.Cost {
+		if plan.OrderSatisfies(n.OutOrder(), keys, nil) {
+			return n.TotalCost()
+		}
+		pages := n.OutRows() * 64 / 8192
+		return n.TotalCost().Add(o.model.SortCost(n.OutRows(), pages))
+	}
+	return prepCost(l.node, lKeys).Add(prepCost(r.node, rKeys)).
+		Add(plan.Cost{CPU: o.model.CPURow * (l.node.OutRows() + r.node.OutRows())})
+}
+
+// nlJoinCost prices nlJoin without building its node; the arithmetic must
+// stay in lockstep with nlJoin.
+func (o *Optimizer) nlJoinCost(outer, inner *dpEntry, rows float64) plan.Cost {
+	outerRows := outer.node.OutRows()
+	innerCost := inner.node.TotalCost()
+	return outer.node.TotalCost().Add(innerCost.Scale(maxf(1, outerRows))).
+		Add(plan.Cost{CPU: o.model.CPURow * rows})
 }
 
 // hashJoin builds on build and probes with probe; probe-side order is
@@ -526,12 +860,28 @@ func (o *Optimizer) nlJoin(outer, inner *dpEntry, on string, rows float64) plan.
 	return plan.NewJoin(plan.JoinNestedLoop, outer.node, inner.node, on, rows, outer.node.OutOrder(), cost)
 }
 
-// indexNLJoin probes an index on the (single-table) inner side once per
-// outer row. Returns nil when the inner mask is not a single table or no
-// suitable index exists.
-func (o *Optimizer) indexNLJoin(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, idx map[string]int, innerMask uint64, outer *dpEntry, edges []physical.JoinPred, on string, rows float64) (plan.Node, []*plan.IndexUsage) {
+// probeResult captures the winning inner-side index of an index
+// nested-loops candidate with everything needed to materialize its usage
+// record if the candidate wins the join.
+type probeResult struct {
+	cost     plan.Cost // per-probe access cost
+	ix       *physical.Index
+	cols     []string // matched key prefix (aliases the index's Keys)
+	colSels  []float64
+	sel      float64
+	rows     float64 // per-probe output rows
+	lookedUp bool
+	needed   []string
+}
+
+// indexNLCost prices an index nested-loops join whose inner side is
+// innerMask (which must be a single base table). It issues the
+// inner-side index request (§2) and selects the best probe index without
+// building plan nodes; ok reports whether the candidate applies.
+func (o *Optimizer) indexNLCost(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, innerMask uint64, outer *dpEntry, edges []physical.JoinPred, rows float64) (probeResult, []string, plan.Cost, bool) {
+	var none probeResult
 	if bits.OnesCount64(innerMask) != 1 {
-		return nil, nil
+		return none, nil, plan.Cost{}, false
 	}
 	innerTable := q.Tables[bits.TrailingZeros64(innerMask)]
 	// Join columns on the inner side.
@@ -544,26 +894,39 @@ func (o *Optimizer) indexNLJoin(oc *optCtx, q *BoundQuery, cfg *physical.Configu
 		}
 	}
 	if len(probeCols) == 0 {
-		return nil, nil
+		return none, nil, plan.Cost{}, false
 	}
-	probe, usage := o.innerProbe(oc, q, cfg, innerTable, probeCols)
-	if usage == nil {
-		return nil, nil
+	pr, ok := o.innerProbe(oc, q, cfg, innerTable, probeCols)
+	if !ok {
+		return none, nil, plan.Cost{}, false
 	}
 	outerRows := outer.node.OutRows()
-	perProbe := probe
-	total := outer.node.TotalCost().Add(perProbe.Scale(maxf(1, outerRows))).
+	total := outer.node.TotalCost().Add(pr.cost.Scale(maxf(1, outerRows))).
+		Add(plan.Cost{CPU: o.model.CPURow * rows})
+	return pr, probeCols, total, true
+}
+
+// buildIndexNL materializes the winning index nested-loops candidate; the
+// cost arithmetic must stay in lockstep with indexNLCost.
+func (o *Optimizer) buildIndexNL(pr probeResult, outer *dpEntry, probeCols []string, on string, rows float64) (plan.Node, *plan.IndexUsage) {
+	outerRows := outer.node.OutRows()
+	total := outer.node.TotalCost().Add(pr.cost.Scale(maxf(1, outerRows))).
 		Add(plan.Cost{CPU: o.model.CPURow * rows})
 	// The usage reflects the accumulated access over all probes.
-	usage.AccessCost = usage.AccessCost.Scale(maxf(1, outerRows))
-	usage.Rows *= maxf(1, outerRows)
+	usage := &plan.IndexUsage{
+		Index: pr.ix, Seek: true, SeekCols: pr.cols, SeekColSels: pr.colSels, Selectivity: pr.sel,
+		Rows: pr.rows * maxf(1, outerRows), AccessCost: pr.cost.Scale(maxf(1, outerRows)), NeededCols: pr.needed,
+		LookedUp: pr.lookedUp,
+	}
 	node := plan.NewJoin(plan.JoinIndexNL, outer.node, plan.NewIndexSeek(usage.Index, probeCols, usage.Selectivity, usage.Rows, usage.AccessCost, nil), on, rows, outer.node.OutOrder(), total)
-	return node, []*plan.IndexUsage{usage}
+	return node, usage
 }
 
 // innerProbe finds the best index to look up one join binding on the
-// inner table and returns the per-probe cost plus a usage template.
-func (o *Optimizer) innerProbe(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, table string, probeCols []string) (plan.Cost, *plan.IndexUsage) {
+// inner table. The probe spec lives in the call's scratch, so repeated
+// probes during join enumeration allocate nothing; per-column
+// selectivities are captured only when a new best index is found.
+func (o *Optimizer) innerProbe(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, table string, probeCols []string) (probeResult, bool) {
 	t := o.db.Table(table)
 	tp := q.TablePred(table)
 	needed := q.NeededCols(table)
@@ -571,27 +934,32 @@ func (o *Optimizer) innerProbe(oc *optCtx, q *BoundQuery, cfg *physical.Configur
 	// The inner side of an index nested-loops join is itself an access
 	// path request: the join columns appear as (parameterized) equality
 	// sargable predicates (§2 intercepts these like any other request).
-	probeSpec := &accessSpec{table: table, rows: t.Rows, needed: needed, qual: table}
+	spec := &oc.probeSpec
+	*spec = accessSpec{table: table, rows: t.Rows, needed: needed, qual: table}
+	sargs := oc.probeSargs[:0]
 	for _, pc := range probeCols {
 		dv := o.columnDistinct(sqlx.ColRef{Table: table, Column: pc})
-		probeSpec.sargs = append(probeSpec.sargs, SargCond{
+		sargs = append(sargs, SargCond{
 			Col: pc, Iv: physical.PointInterval(0), Sel: 1 / maxf(1, dv),
 		})
 	}
-	probeSpec.sargs = append(probeSpec.sargs, tp.Sargs...)
-	for _, oc := range tp.Others {
-		probeSpec.others = append(probeSpec.others, residCond{cols: localCols(oc.Cols), sel: oc.Sel})
+	sargs = append(sargs, tp.Sargs...)
+	others := oc.probeOthers[:0]
+	for _, c := range tp.Others {
+		others = append(others, residCond{cols: localCols(c.Cols), sel: c.Sel})
 	}
-	o.issueIndexRequest(oc, probeSpec)
+	spec.sargs, spec.others = sargs, others
+	oc.probeSargs, oc.probeOthers = sargs, others
+	o.issueIndexRequest(oc, spec)
 
-	var bestCostV plan.Cost
-	var bestU *plan.IndexUsage
+	var best probeResult
 	bestTotal := inf
-	for _, ix := range cfg.IndexesOn(table) {
-		info := o.seekPrefix(probeSpec, ix)
+	found := false
+	for _, ix := range oc.indexesOn(cfg, table) {
+		k, sel := o.seekPrefixLen(spec, ix)
 		usesProbe := false
 		for _, pc := range probeCols {
-			if info.used[strings.ToLower(pc)] {
+			if prefixUses(ix.Keys[:k], pc) {
 				usesProbe = true
 				break
 			}
@@ -599,7 +967,7 @@ func (o *Optimizer) innerProbe(oc *optCtx, q *BoundQuery, cfg *physical.Configur
 		if !usesProbe {
 			continue
 		}
-		matched := maxf(1e-9, float64(t.Rows)*info.sel)
+		matched := maxf(1e-9, float64(t.Rows)*sel)
 		height := o.sizer.IndexHeight(ix, cfg)
 		leafPages := o.sizer.IndexLeafPages(ix, cfg)
 		perLeaf := maxf(1, matched/maxf(1, float64(t.Rows)/maxf(1, float64(leafPages))))
@@ -607,27 +975,27 @@ func (o *Optimizer) innerProbe(oc *optCtx, q *BoundQuery, cfg *physical.Configur
 			IO:  (float64(height) + perLeaf) * o.model.RandPage,
 			CPU: o.model.CPURow * matched,
 		}
-		onSel, offSel, _ := o.residualAfter(probeSpec, ix, info.used)
+		onSel, offSel, _ := o.residualAfter(spec, ix, ix.Keys[:k])
 		if !ix.Covers(needed) {
 			clustered := cfg.ClusteredOn(table)
-			pp := o.primaryPages(cfg, &accessSpec{table: table, rows: t.Rows}, clustered)
+			pp := o.primaryPages(cfg, spec, clustered)
 			cost = cost.Add(o.model.RidLookupCost(t.Rows, pp, matched*onSel))
 		}
 		outRows := matched * onSel * offSel
 		if cost.Total() < bestTotal {
 			bestTotal = cost.Total()
-			bestCostV = cost
-			bestU = &plan.IndexUsage{
-				Index: ix, Seek: true, SeekCols: info.cols, SeekColSels: info.colSels, Selectivity: info.sel,
-				Rows: outRows, AccessCost: cost, NeededCols: needed,
-				LookedUp: !ix.Covers(needed),
+			colSels := make([]float64, k)
+			for i := 0; i < k; i++ {
+				colSels[i] = spec.findSarg(ix.Keys[i]).Sel
 			}
+			best = probeResult{
+				cost: cost, ix: ix, cols: ix.Keys[:k:k], colSels: colSels, sel: sel,
+				rows: outRows, lookedUp: !ix.Covers(needed), needed: needed,
+			}
+			found = true
 		}
 	}
-	if bestU == nil {
-		return plan.Cost{}, nil
-	}
-	return bestCostV, bestU
+	return best, found
 }
 
 func maxf(a, b float64) float64 {

@@ -61,7 +61,7 @@ func (o *Optimizer) subsetBlock(q *BoundQuery, idx map[string]int, mask uint64, 
 				addBlockCol(block, physical.BaseViewColumn(ob, o.colWidth(ob)))
 			}
 		}
-		block.EstRows = int64(o.groupCardinality(o.selRows(q, mask), q.GroupBy))
+		block.EstRows = int64(o.groupCardinality(o.selRows(q, idx, mask), q.GroupBy))
 	} else {
 		for _, t := range tables {
 			for _, c := range q.NeededCols(t) {
@@ -69,7 +69,7 @@ func (o *Optimizer) subsetBlock(q *BoundQuery, idx map[string]int, mask uint64, 
 				addBlockCol(block, physical.BaseViewColumn(ref, o.colWidth(ref)))
 			}
 		}
-		block.EstRows = int64(o.selRows(q, mask))
+		block.EstRows = int64(o.selRows(q, idx, mask))
 	}
 	if block.EstRows < 1 {
 		block.EstRows = 1
@@ -131,12 +131,13 @@ func (o *Optimizer) viewPlans(oc *optCtx, q *BoundQuery, cfg *physical.Configura
 		return nil
 	}
 
-	ungrouped := o.subsetBlock(q, idx, mask, false)
-	o.issueViewRequest(oc, &ViewRequest{Block: ungrouped})
+	ungrouped, ukey := o.viewBlock(q, idx, mask, false)
+	o.issueViewRequest(oc, ukey, ungrouped, false)
 	var grouped *physical.View
 	if queryGrouped {
-		grouped = o.subsetBlock(q, idx, mask, true)
-		o.issueViewRequest(oc, &ViewRequest{Block: grouped, Grouped: true})
+		var gkey string
+		grouped, gkey = o.viewBlock(q, idx, mask, true)
+		o.issueViewRequest(oc, gkey, grouped, true)
 	}
 
 	var best *dpEntry
@@ -145,28 +146,69 @@ func (o *Optimizer) viewPlans(oc *optCtx, q *BoundQuery, cfg *physical.Configura
 			best = e
 		}
 	}
-	for _, v := range cfg.Views() {
+	for _, v := range oc.viewsOf(cfg) {
 		if !v.HasTableSet(ungrouped.Tables) || v.EstRows <= 0 {
 			continue
 		}
-		if len(cfg.IndexesOn(v.Name)) == 0 {
+		if len(oc.indexesOn(cfg, v.Name)) == 0 {
 			continue // not materialized
 		}
 		if m := physical.MatchView(ungrouped, v); m != nil {
-			consider(o.viewAccessPlan(oc, q, cfg, v, m, mask, isFull, false))
+			consider(o.viewAccessPlan(oc, q, cfg, idx, v, m, mask, isFull, false))
 		}
 		if grouped != nil {
 			if m := physical.MatchView(grouped, v); m != nil {
-				consider(o.viewAccessPlan(oc, q, cfg, v, m, mask, isFull, true))
+				consider(o.viewAccessPlan(oc, q, cfg, idx, v, m, mask, isFull, true))
 			}
 		}
 	}
 	return best
 }
 
-func (o *Optimizer) issueViewRequest(oc *optCtx, req *ViewRequest) {
-	key := "v|" + req.Block.Signature()
-	if oc != nil && oc.reqSeen != nil {
+// viewBlockEntry is one memoized subsetBlock result (see viewBlock).
+type viewBlockEntry struct {
+	block *physical.View
+	key   string
+}
+
+// viewBlock returns the memoized SPJG block for (mask, grouped) together
+// with its request-dedup key. Blocks depend only on the bound query and
+// the catalog statistics — never on the configuration being optimized —
+// so each is computed once per query and shared across every what-if
+// call and every forked worker. Sharing the block with hooks is safe:
+// the interceptor clones it before storing it in a configuration.
+func (o *Optimizer) viewBlock(q *BoundQuery, idx map[string]int, mask uint64, grouped bool) (*physical.View, string) {
+	memoKey := mask << 1
+	if grouped {
+		memoKey |= 1
+	}
+	q.blockMu.Lock()
+	e, ok := q.blockMemo[memoKey]
+	q.blockMu.Unlock()
+	if ok {
+		return e.block, e.key
+	}
+	block := o.subsetBlock(q, idx, mask, grouped)
+	key := "v|" + block.Signature()
+	q.blockMu.Lock()
+	if prev, ok := q.blockMemo[memoKey]; ok {
+		// Lost a race with another worker: keep the first instance.
+		block, key = prev.block, prev.key
+	} else {
+		if q.blockMemo == nil {
+			q.blockMemo = map[uint64]viewBlockEntry{}
+		}
+		q.blockMemo[memoKey] = viewBlockEntry{block: block, key: key}
+	}
+	q.blockMu.Unlock()
+	return block, key
+}
+
+// issueViewRequest counts the request and fires the hook, deduplicating
+// by the block's signature within one optimization. The ViewRequest
+// wrapper is materialized only when a hook is installed.
+func (o *Optimizer) issueViewRequest(oc *optCtx, key string, block *physical.View, grouped bool) {
+	if oc != nil {
 		if oc.reqSeen[key] {
 			return
 		}
@@ -174,13 +216,20 @@ func (o *Optimizer) issueViewRequest(oc *optCtx, req *ViewRequest) {
 	}
 	o.stats.viewRequests.Add(1)
 	if o.hooks != nil && o.hooks.OnViewRequest != nil {
-		o.hooks.OnViewRequest(req)
+		o.hooks.OnViewRequest(&ViewRequest{Block: block, Grouped: grouped})
+		if oc != nil {
+			// The hook may have materialized the block as a hypothetical
+			// view with a clustered index, so both the per-call view list
+			// and the index memo for the view's name are now stale.
+			oc.viewsSet = false
+			delete(oc.ixOn, block.Name)
+		}
 	}
 }
 
 // viewAccessPlan builds an access path over a matched view, applying the
 // match's compensating filters and (when needed) re-aggregation.
-func (o *Optimizer) viewAccessPlan(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, v *physical.View, m *physical.ViewMatch, mask uint64, isFull, groupedMatch bool) *dpEntry {
+func (o *Optimizer) viewAccessPlan(oc *optCtx, q *BoundQuery, cfg *physical.Configuration, idx map[string]int, v *physical.View, m *physical.ViewMatch, mask uint64, isFull, groupedMatch bool) *dpEntry {
 	spec := &accessSpec{
 		table: v.Name,
 		view:  v,
@@ -295,7 +344,9 @@ func (o *Optimizer) viewAccessPlan(oc *optCtx, q *BoundQuery, cfg *physical.Conf
 		return nil
 	}
 	node := res.node
-	entry := &dpEntry{usages: res.usages, views: []string{v.Name}}
+	entry := oc.newEntry()
+	entry.usages = res.usages
+	entry.views = []string{v.Name}
 	// The view plan's order properties use view-local names; flag order
 	// delivery explicitly so the root does not add a redundant sort.
 	if len(spec.order) > 0 && plan.OrderSatisfies(node.OutOrder(), spec.qualify(spec.order), spec.eqBoundCols()) {
@@ -308,7 +359,7 @@ func (o *Optimizer) viewAccessPlan(oc *optCtx, q *BoundQuery, cfg *physical.Conf
 				keys = append(keys, v.Name+"."+vc.Name)
 			}
 		}
-		groups := o.groupCardinality(o.selRows(q, mask), q.GroupBy)
+		groups := o.groupCardinality(o.selRows(q, idx, mask), q.GroupBy)
 		if len(q.GroupBy) == 0 {
 			groups = 1
 		}

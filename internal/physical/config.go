@@ -24,9 +24,15 @@ func NewConfiguration() *Configuration {
 	}
 }
 
-// Clone returns a copy that can be mutated independently.
+// Clone returns a copy that can be mutated independently. The maps are
+// pre-sized from the source so cloning on the penalty-bound hot path
+// never rehashes.
 func (c *Configuration) Clone() *Configuration {
-	n := NewConfiguration()
+	n := &Configuration{
+		indexes:  make(map[string]*Index, len(c.indexes)),
+		views:    make(map[string]*View, len(c.views)),
+		viewSigs: make(map[string]string, len(c.viewSigs)),
+	}
 	for k, v := range c.indexes {
 		n.indexes[k] = v
 	}
@@ -47,6 +53,7 @@ func (c *Configuration) AddIndex(ix *Index) *Index {
 		if existing := c.ClusteredOn(ix.Table); existing != nil && existing.ID() != ix.ID() {
 			ix = ix.Clone()
 			ix.Clustered = false
+			ix.id = ix.buildID()
 		}
 	}
 	id := ix.ID()
@@ -133,25 +140,35 @@ func (c *Configuration) Views() []*View {
 	return out
 }
 
-// Indexes returns all indexes sorted by ID.
+// Indexes returns all indexes sorted by ID. The map keys are the IDs, so
+// sorting compares existing strings instead of rebuilding each ID per
+// comparison (the comparator used to dominate search-loop allocations).
 func (c *Configuration) Indexes() []*Index {
-	out := make([]*Index, 0, len(c.indexes))
-	for _, ix := range c.indexes {
-		out = append(out, ix)
+	ids := make([]string, 0, len(c.indexes))
+	for id := range c.indexes {
+		ids = append(ids, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	sort.Strings(ids)
+	out := make([]*Index, len(ids))
+	for i, id := range ids {
+		out[i] = c.indexes[id]
+	}
 	return out
 }
 
 // IndexesOn returns all indexes over the named table or view, sorted.
 func (c *Configuration) IndexesOn(table string) []*Index {
-	var out []*Index
-	for _, ix := range c.indexes {
+	var ids []string
+	for id, ix := range c.indexes {
 		if strings.EqualFold(ix.Table, table) {
-			out = append(out, ix)
+			ids = append(ids, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	sort.Strings(ids)
+	out := make([]*Index, len(ids))
+	for i, id := range ids {
+		out[i] = c.indexes[id]
+	}
 	return out
 }
 

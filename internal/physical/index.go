@@ -23,6 +23,12 @@ type Index struct {
 	// Required marks constraint-enforcing indexes that belong to the base
 	// configuration and can never be removed or transformed away.
 	Required bool
+	// id caches the canonical identity. It is filled once, before the
+	// index is shared (NewIndex, or the in-package mutate-after-Clone
+	// sites), so concurrent readers never observe a write. Hand-built or
+	// cloned values with an empty id recompute on every ID() call rather
+	// than cache lazily — a lazy store would race under parallel workers.
+	id string
 }
 
 // NewIndex builds an index, deduplicating key columns (first occurrence
@@ -30,12 +36,20 @@ type Index struct {
 func NewIndex(table string, keys, suffix []string, clustered bool) *Index {
 	idx := &Index{Table: table, Keys: dedupKeepOrder(keys), Clustered: clustered}
 	idx.Suffix = subtractCols(dedupKeepOrder(suffix), idx.Keys)
+	idx.id = idx.buildID()
 	return idx
 }
 
 // ID returns the canonical identity string of the index. Two indexes with
 // the same ID are interchangeable.
 func (ix *Index) ID() string {
+	if ix.id != "" {
+		return ix.id
+	}
+	return ix.buildID()
+}
+
+func (ix *Index) buildID() string {
 	var sb strings.Builder
 	if ix.Clustered {
 		sb.WriteString("cix:")
@@ -114,7 +128,10 @@ func (ix *Index) SharedKeyPrefixLen(other *Index) int {
 }
 
 // Clone returns a deep copy with Required cleared (derived indexes are
-// never constraint-enforcing).
+// never constraint-enforcing). The id cache is deliberately not copied:
+// callers clone precisely to mutate, and a stale cached identity would be
+// silently wrong. Mutating call sites within this package re-seal the id
+// before sharing the result.
 func (ix *Index) Clone() *Index {
 	return &Index{
 		Table:     ix.Table,
@@ -199,6 +216,7 @@ func PromoteToClustered(ix *Index) *Index {
 	}
 	p := ix.Clone()
 	p.Clustered = true
+	p.id = p.buildID()
 	return p
 }
 

@@ -176,8 +176,11 @@ func (s *Sizer) HeapPages(table string, cfg *Configuration) int64 {
 // Materialized views are counted through their indexes (a view's clustered
 // index stores the view rows), matching §3.3.1.
 func (s *Sizer) ConfigBytes(cfg *Configuration) int64 {
+	// Iterate the index map directly: integer summation is order-
+	// independent, and this accessor sits on the penalty-bound hot path
+	// where the sorted Indexes() slice would be pure allocation overhead.
 	var total int64
-	for _, ix := range cfg.Indexes() {
+	for _, ix := range cfg.indexes {
 		total += s.IndexBytes(ix, cfg)
 	}
 	return total

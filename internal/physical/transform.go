@@ -57,10 +57,24 @@ type Transformation struct {
 	V1, V2   *View    // inputs
 	VM       *View    // merged view (EstRows estimated by the caller)
 	Promoted []*Index // indexes promoted from V1/V2 onto VM
+
+	// id caches the canonical identity. Enumerate seals it while still
+	// single-threaded; the search then reads the ID every iteration for
+	// penalty caching and dedup without rebuilding the string. Hand-built
+	// transformations with an empty id recompute per call (no lazy store —
+	// that would race once the transformation is shared across workers).
+	id string
 }
 
 // ID is a stable identity for caching penalties across iterations.
 func (t *Transformation) ID() string {
+	if t.id != "" {
+		return t.id
+	}
+	return t.buildID()
+}
+
+func (t *Transformation) buildID() string {
 	var sb strings.Builder
 	sb.WriteString(t.Kind.String())
 	if t.I1 != nil {
@@ -157,6 +171,7 @@ func (t *Transformation) Apply(c *Configuration) *Configuration {
 			if !strings.EqualFold(ix.Table, vm.Name) {
 				ix = ix.Clone()
 				ix.Table = vm.Name
+				ix.id = ix.buildID()
 			}
 			n.AddIndex(ix)
 		}
@@ -184,6 +199,16 @@ type EnumerateOptions struct {
 // merges, and view removals. Required (constraint) indexes are untouchable.
 // The result is deterministic: inputs are drawn from sorted accessors.
 func Enumerate(c *Configuration, opts EnumerateOptions) []*Transformation {
+	out := enumerate(c, opts)
+	// Seal the identity strings while enumeration is still single-threaded;
+	// after this the transformations may be shared read-only across workers.
+	for _, t := range out {
+		t.id = t.buildID()
+	}
+	return out
+}
+
+func enumerate(c *Configuration, opts EnumerateOptions) []*Transformation {
 	var out []*Transformation
 	indexes := c.Indexes()
 

@@ -17,6 +17,9 @@ type Tolerance struct {
 	// slack). The default must stay below 2 so a 2× slowdown is caught.
 	WallFactor float64
 	// AllocFactor caps heap allocations at baseline×factor (+1 MiB).
+	// Allocation counts are deterministic up to GC timing, so the
+	// default is tight (1.10×): the what-if hot path is allocation-
+	// disciplined and a 10% creep is already a real regression.
 	AllocFactor float64
 	// CallsFactor caps optimizer calls and iterations — both
 	// deterministic for a fixed seed — at baseline×factor (+2).
@@ -29,12 +32,12 @@ type Tolerance struct {
 	CoverageFloorPct float64
 }
 
-// DefaultTolerance returns the gate defaults (wall 1.5×, alloc 1.6×,
+// DefaultTolerance returns the gate defaults (wall 1.5×, alloc 1.10×,
 // calls 1.05×, quality ±0.5 points, coverage floor 80%).
 func DefaultTolerance() Tolerance {
 	return Tolerance{
 		WallFactor:       1.5,
-		AllocFactor:      1.6,
+		AllocFactor:      1.10,
 		CallsFactor:      1.05,
 		QualityPoints:    0.5,
 		CoverageFloorPct: 80,

@@ -12,6 +12,7 @@ package regress
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/catalog"
@@ -31,8 +32,14 @@ import (
 // (fleet_tenants, shared_cache_hits); v4 added the execution-grounded
 // replay of batch-tpch (measured_speedup, replay row counts); v5 added
 // the workload-introspection counters of online-drift
-// (workload_signatures, topk_weight_share).
-const SchemaVersion = 5
+// (workload_signatures, topk_weight_share); v6 changed parallel_workers
+// to record the EFFECTIVE worker count — min(resolved workers,
+// GOMAXPROCS, NumCPU) — instead of the raw Parallelism knob, so the
+// parallel_wall_ratio gate no longer fires on runners without the
+// cores to honor the requested parallelism, and was regenerated after
+// the what-if hot path's allocation-discipline pass (alloc_bytes
+// dropped ~25× and is now gated at 1.10×).
+const SchemaVersion = 6
 
 // Bench is the schema-versioned payload written to BENCH_tuner.json.
 type Bench struct {
@@ -80,11 +87,13 @@ type ScenarioResult struct {
 	// must record two sessions).
 	FrontierPoints   int `json:"frontier_points,omitempty"`
 	RecordedSessions int `json:"recorded_sessions,omitempty"`
-	// ParallelWorkers records the worker count of the scenario's parallel
-	// leg (parallel-speedup only; 1 on single-core runners where the
-	// speedup assertion is vacuous). ParallelWallRatio is the parallel
+	// ParallelWorkers records the EFFECTIVE worker count of the
+	// scenario's parallel leg (parallel-speedup only): the resolved
+	// worker count clamped to min(GOMAXPROCS, NumCPU), so it is 1 on
+	// single-core runners where the speedup assertion is vacuous even
+	// if more workers were requested. ParallelWallRatio is the parallel
 	// leg's wall time over the serial leg's: below 1 means speedup. The
-	// gate bounds the ratio only when workers > 1.
+	// gate bounds the ratio only when effective workers > 1.
 	ParallelWorkers   int     `json:"parallel_workers,omitempty"`
 	ParallelWallRatio float64 `json:"parallel_wall_ratio,omitempty"`
 	// MeasuredSpeedup is the execution-grounded quality metric from the
@@ -342,11 +351,32 @@ func runParallelSpeedup(cfg Config) (ScenarioResult, error) {
 		return ScenarioResult{}, fmt.Errorf("parallel run recorded %d calibration samples, serial %d",
 			len(parallel.CalibSamples), len(serial.CalibSamples))
 	}
-	sr.ParallelWorkers = parallel.ParallelWorkers
+	sr.ParallelWorkers = effectiveWorkers(parallel.ParallelWorkers)
 	if sr.WallSeconds > 0 {
 		sr.ParallelWallRatio = parSr.WallSeconds / sr.WallSeconds
 	}
 	return sr, nil
+}
+
+// effectiveWorkers clamps a resolved worker count to the parallelism
+// the runner can actually deliver. Options.Workers takes a positive
+// Parallelism knob literally, so a run requesting 8 workers on a
+// 2-core runner still records 8 — and the baseline then carries a
+// wall-ratio expectation no amount of scheduling can meet. Recording
+// min(resolved, GOMAXPROCS, NumCPU) instead makes the gate's
+// "workers > 1" guard reflect real concurrency.
+func effectiveWorkers(resolved int) int {
+	eff := resolved
+	if g := runtime.GOMAXPROCS(0); g < eff {
+		eff = g
+	}
+	if n := runtime.NumCPU(); n < eff {
+		eff = n
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
 }
 
 // runOnlineDrift replays a two-phase workload through the service: a

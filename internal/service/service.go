@@ -228,6 +228,9 @@ func New(opts Options) (*Service, error) {
 	gauges := newServiceGauges(promReg)
 	profiler := obs.NewProfiler()
 	profiler.SetObserver(tm.PhaseDuration.Observe)
+	profiler.SetAllocObserver(func(phase string, bytes uint64) {
+		tm.PhaseAllocBytes.Add(phase, float64(bytes))
+	})
 	s := &Service{
 		opts:         opts,
 		db:           opts.DB,
