@@ -32,7 +32,13 @@
 //	                      replay first; requires -replay)
 //	GET  /metrics         activity counters (JSON; Prometheus text with
 //	                      Accept: text/plain or ?format=prometheus)
-//	GET  /healthz         liveness
+//	GET  /metrics/history windowed metric time series sampled every
+//	                      -history-interval (?series=a,b&points=N&since=5m)
+//	GET  /alerts          SLO alert engine state: rules, firing/pending
+//	                      instances, recent transitions (?format=text)
+//	GET  /healthz         liveness (shared single-tenant/fleet shape)
+//	GET  /readyz          readiness: 503 + Retry-After until the first
+//	                      retune completes
 //
 // Quickstart:
 //
@@ -121,6 +127,11 @@ func main() {
 		historyPath  = flag.String("history", "", "persist the session flight recorder to this JSONL file (empty = in-memory only)")
 		historyLimit = flag.Int("history-limit", 0, "sessions retained by the flight recorder (0 = default 256)")
 
+		monInterval = flag.Duration("history-interval", 10*time.Second, "self-monitoring sample/evaluation interval for GET /metrics/history and GET /alerts (0 = disable self-monitoring)")
+		monWindow   = flag.Duration("history-window", 15*time.Minute, "metric history retained for GET /metrics/history and alert lookbacks")
+		alertRules  = flag.String("alert-rules", "", "JSON alert rule file evaluated by the SLO engine (empty = built-in default ruleset)")
+		alertLog    = flag.String("alert-log", "", "persist alert transitions to this JSONL file so firings survive restarts (empty = in-memory only)")
+
 		fleetMode    = flag.Bool("fleet", false, "serve a multi-tenant fleet (tenants register via POST /tenants; -db/-sf become per-tenant)")
 		fleetWorkers = flag.Int("fleet-workers", 0, "retune worker pool size in fleet mode (0 = half of GOMAXPROCS)")
 		quotaRate    = flag.Float64("quota-rate", 0, "default per-tenant ingestion quota in statements/sec (0 = unlimited)")
@@ -189,9 +200,26 @@ func main() {
 		TraceSink:        traceSink,
 		MetricsBuckets:   buckets,
 		ReplayEachRetune: *replayEach,
+		Monitor: service.MonitorOptions{
+			HistoryInterval: *monInterval,
+			HistoryWindow:   *monWindow,
+			AlertLogPath:    *alertLog,
+		},
 	}
 	if *replayEach {
 		*replayOn = true
+	}
+	if *alertRules != "" {
+		data, err := os.ReadFile(*alertRules)
+		if err != nil {
+			fatal("tunerd: reading -alert-rules", err)
+		}
+		rules, err := obs.ParseAlertRules(data)
+		if err != nil {
+			fatal("tunerd: bad -alert-rules", err)
+		}
+		baseOpts.Monitor.Rules = rules
+		logger.Info("tunerd: alert rules loaded", "path", *alertRules, "rules", len(rules))
 	}
 
 	var (
@@ -201,6 +229,10 @@ func main() {
 	if *fleetMode {
 		if *historyPath != "" {
 			logger.Warn("tunerd: -history is ignored in fleet mode; tenant histories are in-memory")
+		}
+		if *alertLog != "" {
+			logger.Warn("tunerd: -alert-log is ignored in fleet mode; tenant alert transitions are in-memory")
+			baseOpts.Monitor.AlertLogPath = ""
 		}
 		fleetOpts := fleet.Options{
 			Workers:           *fleetWorkers,

@@ -212,6 +212,11 @@ func (r *Registry) Add(spec TenantSpec) (*Tenant, error) {
 	svcOpts.Cache = r.frags
 	svcOpts.CostCache = r.costs
 	svcOpts.Recorder = nil // per-tenant in-memory recorder, ID-prefixed by tenant
+	// Self-monitoring cadence and rules come from the fleet template, but
+	// a shared transition-log file would interleave every tenant's
+	// writes; per-tenant alerting stays in memory (the fleet rollup and
+	// /alerts aggregation are the durable surfaces).
+	svcOpts.Monitor.AlertLogPath = ""
 	// A Defaults-level replay source would point every tenant at the
 	// same substrate; rebuild it from this tenant's own spec instead.
 	svcOpts.Replay = nil
@@ -378,6 +383,16 @@ type TenantStatus struct {
 	CacheHits          int64     `json:"cache_hits"`
 	CacheSharedHits    int64     `json:"cache_shared_hits"`
 	HasRecommendation  bool      `json:"has_recommendation"`
+	AlertsFiring       int       `json:"alerts_firing"`
+}
+
+// AlertRollup is the fleet-level alert summary in GET /fleet: firing
+// instances across every tenant's alert engine, broken down by severity
+// and by tenant.
+type AlertRollup struct {
+	Firing     int            `json:"firing"`
+	BySeverity map[string]int `json:"by_severity,omitempty"`
+	ByTenant   map[string]int `json:"by_tenant,omitempty"`
 }
 
 // Status is the GET /fleet payload: the fleet-wide view a operator
@@ -390,6 +405,7 @@ type Status struct {
 	RetunesCompleted int64           `json:"retunes_completed"`
 	FragmentCache    core.CacheStats `json:"fragment_cache"`
 	CostCache        CostCacheStats  `json:"cost_cache"`
+	Alerts           AlertRollup     `json:"alerts"`
 }
 
 // Status assembles the fleet-wide status snapshot.
@@ -410,6 +426,21 @@ func (r *Registry) Status() Status {
 	for _, t := range r.List() {
 		snap := t.Service.MetricsSnapshot()
 		d := depths[t.Spec.ID]
+		firing := 0
+		for sev, n := range t.Service.Alerts().FiringBySeverity() {
+			firing += n
+			if st.Alerts.BySeverity == nil {
+				st.Alerts.BySeverity = map[string]int{}
+			}
+			st.Alerts.BySeverity[sev] += n
+		}
+		if firing > 0 {
+			if st.Alerts.ByTenant == nil {
+				st.Alerts.ByTenant = map[string]int{}
+			}
+			st.Alerts.ByTenant[t.Spec.ID] = firing
+		}
+		st.Alerts.Firing += firing
 		st.Tenants = append(st.Tenants, TenantStatus{
 			ID:                 t.Spec.ID,
 			Database:           t.Spec.Database,
@@ -425,9 +456,69 @@ func (r *Registry) Status() Status {
 			CacheHits:          snap.CacheHits,
 			CacheSharedHits:    snap.CacheSharedHits,
 			HasRecommendation:  t.Service.Recommendation() != nil,
+			AlertsFiring:       firing,
 		})
 	}
 	return st
+}
+
+// readyQueueFactor bounds the retune backlog readiness tolerates: the
+// fleet reports not-ready once more than readyQueueFactor sessions per
+// worker are queued — a saturated pool means new tenants' retunes wait
+// behind a long backlog, so a balancer should prefer another replica.
+const readyQueueFactor = 4
+
+// Ready reports whether the fleet is ready to take on tenant traffic —
+// the GET /readyz predicate. An empty fleet is ready (tenants register
+// at runtime); saturation of the shared retune pool is what flips it.
+func (r *Registry) Ready() (bool, []string) {
+	var reasons []string
+	r.mu.RLock()
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		reasons = append(reasons, "registry closed")
+	}
+	workers := r.pool.Workers()
+	depth := 0
+	for _, d := range r.pool.Depths() {
+		depth += d.Queued
+	}
+	if depth > readyQueueFactor*workers {
+		reasons = append(reasons, fmt.Sprintf(
+			"retune pool saturated: %d sessions queued over %d workers (limit %d)",
+			depth, workers, readyQueueFactor*workers))
+	}
+	return len(reasons) == 0, reasons
+}
+
+// Health assembles the shared /healthz payload — the same HealthStatus
+// shape the single-tenant service serves, with Mode "fleet" and the
+// tenant count present.
+func (r *Registry) Health() service.HealthStatus {
+	ready, _ := r.Ready()
+	sessions, firing := 0, 0
+	hasRec := false
+	for _, t := range r.List() {
+		sessions += t.Service.SessionCount()
+		for _, n := range t.Service.Alerts().FiringBySeverity() {
+			firing += n
+		}
+		if t.Service.Recommendation() != nil {
+			hasRec = true
+		}
+	}
+	tenants := r.Len()
+	return service.HealthStatus{
+		Status:        "ok",
+		Mode:          "fleet",
+		UptimeSeconds: time.Since(r.started).Seconds(),
+		Ready:         ready,
+		HasRec:        hasRec,
+		Sessions:      sessions,
+		Tenants:       &tenants,
+		AlertsFiring:  firing,
+	}
 }
 
 // Close shuts the fleet down: the pool drains its in-flight sessions,

@@ -40,12 +40,17 @@ type tenantsResponse struct {
 	Tenants []TenantStatus `json:"tenants"`
 }
 
-// fleetHealth is the GET /healthz payload.
-type fleetHealth struct {
-	Status        string  `json:"status"`
-	Mode          string  `json:"mode"`
-	Tenants       int     `json:"tenants"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+// readyResponse mirrors the single-tenant GET /readyz payload.
+type readyResponse struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// fleetAlerts is the GET /alerts payload: the rollup plus every
+// tenant's full alert-engine status.
+type fleetAlerts struct {
+	Rollup  AlertRollup                `json:"rollup"`
+	Tenants map[string]obs.AlertStatus `json:"tenants"`
 }
 
 // fleetMetricsJSON is the GET /metrics JSON payload: fleet-wide status
@@ -69,7 +74,11 @@ type fleetMetricsJSON struct {
 //	                               Prometheus text with a tenant label
 //	                               per series when Accept: text/plain
 //	                               or ?format=prometheus)
-//	GET    /healthz                liveness
+//	GET    /healthz                liveness (shared HealthStatus shape)
+//	GET    /readyz                 readiness: 503 + Retry-After while the
+//	                               shared retune pool is saturated
+//	GET    /alerts                 per-tenant alert statuses + rollup
+//	                               (?format=text for a plain rendering)
 //
 // Tenant-scoped ingest passes through the tenant's quota: over-rate
 // batches are rejected whole with 429 and a Retry-After header. Tenant
@@ -152,15 +161,71 @@ func NewHandler(r *Registry) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, fleetHealth{
-			Status:        "ok",
-			Mode:          "fleet",
-			Tenants:       r.Len(),
-			UptimeSeconds: time.Since(r.started).Seconds(),
-		})
+		writeJSON(w, http.StatusOK, r.Health())
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, req *http.Request) {
+		ready, reasons := r.Ready()
+		serveFleetReady(w, req, ready, reasons)
+	})
+
+	mux.HandleFunc("GET /alerts", func(w http.ResponseWriter, req *http.Request) {
+		if r.opts.Defaults.Monitor.HistoryInterval <= 0 {
+			writeJSON(w, http.StatusConflict, errorResponse{
+				Error: "self-monitoring disabled; start with -history-interval > 0",
+			})
+			return
+		}
+		out := fleetAlerts{Rollup: r.Status().Alerts, Tenants: map[string]obs.AlertStatus{}}
+		tenants := r.List()
+		for _, t := range tenants {
+			out.Tenants[t.Spec.ID] = t.Service.Alerts().Status()
+		}
+		if wantsText(req) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "fleet alerts: %d firing across %d tenants\n",
+				out.Rollup.Firing, len(tenants))
+			for _, t := range tenants {
+				st := out.Tenants[t.Spec.ID]
+				fmt.Fprintf(w, "\n=== tenant %s ===\n", t.Spec.ID)
+				st.WriteText(w)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 
 	return mux
+}
+
+// serveFleetReady mirrors the single-tenant /readyz contract: 200 when
+// ready, 503 + Retry-After when not, text or JSON by ?format.
+func serveFleetReady(w http.ResponseWriter, req *http.Request, ready bool, reasons []string) {
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
+	}
+	if wantsText(req) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(status)
+		if ready {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		fmt.Fprintln(w, "not ready")
+		for _, reason := range reasons {
+			fmt.Fprintf(w, "  - %s\n", reason)
+		}
+		return
+	}
+	writeJSON(w, status, readyResponse{Ready: ready, Reasons: reasons})
+}
+
+// wantsText reports whether the request asked for the plain-text
+// rendering of a JSON endpoint (?format=text).
+func wantsText(r *http.Request) bool {
+	return r.URL.Query().Get("format") == "text"
 }
 
 // tenantStatus builds one tenant's status row.

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+var fleetMonT0 = time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC)
+
+// monitorDefaults is testDefaults plus an enabled (but quiescent —
+// one-hour interval) self-monitoring subsystem; tests drive the
+// sampler and engine by hand for determinism.
+func monitorDefaults() service.Options {
+	opts := testDefaults()
+	opts.Monitor = service.MonitorOptions{HistoryInterval: time.Hour}
+	return opts
+}
+
+// TestFleetMonitorEndToEnd covers the fleet observability surface:
+// the shared health shape, fleet readiness, per-tenant alert rollup in
+// /fleet, the /alerts aggregation endpoint, tenant-scoped passthrough
+// of the single-tenant monitor endpoints, and a lint-clean merged
+// exposition with engine meta-series present.
+func TestFleetMonitorEndToEnd(t *testing.T) {
+	r, srv := newTestServer(t, Options{Workers: 2, Defaults: monitorDefaults()})
+
+	// Empty fleet: healthy, ready, zero tenants (key present).
+	resp, body := doJSON(t, "GET", srv.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", resp.StatusCode, body)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["mode"] != "fleet" || raw["tenants"] != float64(0) || raw["ready"] != true {
+		t.Fatalf("empty-fleet healthz: %v", raw)
+	}
+	if resp, _ = doJSON(t, "GET", srv.URL+"/readyz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-fleet readyz = %d", resp.StatusCode)
+	}
+
+	// Two tenants; alpha retunes, beta stays cold.
+	for _, id := range []string{"alpha", "beta"} {
+		if resp, body = doJSON(t, "POST", srv.URL+"/tenants", TenantSpec{ID: id, Database: "tpch"}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("add %s = %d: %s", id, resp.StatusCode, body)
+		}
+	}
+	alpha := r.Get("alpha")
+	alpha.Service.Ingest(sharedShapes)
+	retuneTenant(t, r, "alpha")
+	for _, tn := range r.List() {
+		tn.Service.History().Sample(fleetMonT0)
+		tn.Service.Alerts().Evaluate(fleetMonT0)
+	}
+
+	// Fleet status rolls alerts up; each tenant row carries its count.
+	st := r.Status()
+	if st.Alerts.Firing != 0 || st.Alerts.ByTenant == nil && len(st.Alerts.BySeverity) != 0 {
+		t.Fatalf("fleet alert rollup: %+v", st.Alerts)
+	}
+	for _, row := range st.Tenants {
+		if row.AlertsFiring != 0 {
+			t.Fatalf("tenant %s alerts_firing = %d", row.ID, row.AlertsFiring)
+		}
+	}
+
+	// Health after work: sessions and recommendation reach the payload.
+	var health service.HealthStatus
+	if resp, body = doJSON(t, "GET", srv.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Tenants == nil || *health.Tenants != 2 || !health.HasRec || health.Sessions < 1 {
+		t.Fatalf("fleet healthz: %s", body)
+	}
+
+	// Fleet /alerts aggregates every tenant's engine status.
+	var agg fleetAlerts
+	if resp, body = doJSON(t, "GET", srv.URL+"/alerts", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alerts = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Tenants) != 2 || len(agg.Tenants["alpha"].Rules) != len(obs.DefaultAlertRules()) {
+		t.Fatalf("alerts aggregation: %s", body)
+	}
+	if resp, body = doJSON(t, "GET", srv.URL+"/alerts?format=text", nil); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(string(body), "=== tenant alpha ===") {
+		t.Fatalf("alerts text: %d %s", resp.StatusCode, body)
+	}
+
+	// The single-tenant monitor surface passes through tenant-scoped.
+	if resp, _ = doJSON(t, "GET", srv.URL+"/tenants/alpha/readyz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alpha readyz = %d", resp.StatusCode)
+	}
+	if resp, _ = doJSON(t, "GET", srv.URL+"/tenants/beta/readyz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("beta readyz = %d, want 503", resp.StatusCode)
+	}
+	var snap obs.HistorySnapshot
+	if resp, body = doJSON(t, "GET", srv.URL+"/tenants/alpha/metrics/history?series=tuner_retunes", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alpha history = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Series) != 1 || snap.Series[0].Name != "tuner_retunes" {
+		t.Fatalf("alpha history: %s", body)
+	}
+
+	// Merged exposition carries tenant-labeled meta-series, lint-clean.
+	resp, body = doJSON(t, "GET", srv.URL+"/metrics?format=prometheus", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	text := string(body)
+	if !strings.Contains(text, `tuner_alerts_firing{tenant="alpha"`) {
+		t.Fatalf("merged exposition missing tenant-labeled meta-series:\n%s", text)
+	}
+	if problems := obs.LintExposition(strings.NewReader(text)); len(problems) != 0 {
+		t.Fatalf("merged exposition lint: %v", problems)
+	}
+}
+
+// TestFleetMonitorDisabled: a fleet whose defaults carry no history
+// interval answers 409 on /alerts with the enabling hint.
+func TestFleetMonitorDisabled(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1})
+	resp, body := doJSON(t, "GET", srv.URL+"/alerts", nil)
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(string(body), "-history-interval") {
+		t.Fatalf("disabled /alerts = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestFleetReadySaturation exercises the readiness predicate's two
+// not-ready branches: a saturated retune pool (stuffed white-box so the
+// test is deterministic) and a closed registry.
+func TestFleetReadySaturation(t *testing.T) {
+	r, srv := newTestServer(t, Options{Workers: 1})
+	if ok, reasons := r.Ready(); !ok {
+		t.Fatalf("idle fleet not ready: %v", reasons)
+	}
+
+	// Stuff a queue past readyQueueFactor*workers; inflight keeps the
+	// workers from picking it, so the depth is stable when read.
+	r.pool.mu.Lock()
+	ghost := &tenantQueue{inflight: true}
+	for i := 0; i < readyQueueFactor+2; i++ {
+		ghost.jobs = append(ghost.jobs, &job{tenant: "ghost", trigger: "test"})
+	}
+	r.pool.queues["ghost"] = ghost
+	r.pool.mu.Unlock()
+
+	ok, reasons := r.Ready()
+	if ok || len(reasons) != 1 || !strings.Contains(reasons[0], "retune pool saturated") {
+		t.Fatalf("saturated Ready() = %v, %v", ok, reasons)
+	}
+	resp, body := doJSON(t, "GET", srv.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("saturated readyz = %d (Retry-After %q)", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	var ready readyResponse
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Ready || len(ready.Reasons) != 1 {
+		t.Fatalf("saturated readyz payload: %s", body)
+	}
+
+	r.pool.mu.Lock()
+	delete(r.pool.queues, "ghost")
+	r.pool.mu.Unlock()
+	if ok, reasons := r.Ready(); !ok {
+		t.Fatalf("drained fleet not ready: %v", reasons)
+	}
+
+	r.Close()
+	if ok, reasons := r.Ready(); ok || !strings.Contains(strings.Join(reasons, ";"), "registry closed") {
+		t.Fatalf("closed Ready() = %v, %v", ok, reasons)
+	}
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// AlertLog persists alert transitions as append-only JSONL, one
+// AlertTransition per line — the flight-recorder discipline applied to
+// alerting, so "what fired last night" survives a restart. Loading
+// tolerates corrupt lines (a crashed writer loses at most its last
+// line), and the file compacts once it doubles the retention limit.
+//
+// A nil *AlertLog is a valid no-op log.
+type AlertLog struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	limit   int
+	lines   int // lines currently in the file (including dropped tail)
+	entries []AlertTransition
+}
+
+// DefaultAlertLogLimit bounds retained transitions when the caller
+// passes 0.
+const DefaultAlertLogLimit = 512
+
+// NewAlertLog opens (creating if needed) a transition log at path,
+// loading its tail. limit bounds the retained transitions (0 = 512);
+// an empty path keeps the log in memory only.
+func NewAlertLog(path string, limit int) (*AlertLog, error) {
+	if limit <= 0 {
+		limit = DefaultAlertLogLimit
+	}
+	l := &AlertLog{path: path, limit: limit}
+	if path == "" {
+		return l, nil
+	}
+	if err := l.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: alert log: %w", err)
+	}
+	l.f = f
+	return l, nil
+}
+
+func (l *AlertLog) load() error {
+	f, err := os.Open(l.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("obs: alert log: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		l.lines++
+		var tr AlertTransition
+		if err := json.Unmarshal(line, &tr); err != nil {
+			continue // torn or corrupt line; keep what parses
+		}
+		l.entries = append(l.entries, tr)
+		if len(l.entries) > l.limit {
+			l.entries = l.entries[1:]
+		}
+	}
+	return sc.Err()
+}
+
+// Append records one transition, best-effort: a write error never
+// breaks alerting (the in-memory tail stays correct either way).
+func (l *AlertLog) Append(tr AlertTransition) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, tr)
+	if len(l.entries) > l.limit {
+		l.entries = l.entries[1:]
+	}
+	if l.f == nil {
+		return
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		return
+	}
+	if _, err := l.f.Write(append(data, '\n')); err != nil {
+		return
+	}
+	l.lines++
+	if l.lines > 2*l.limit {
+		l.compactLocked()
+	}
+}
+
+// compactLocked rewrites the file with only the retained tail.
+func (l *AlertLog) compactLocked() {
+	tmp := l.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	w := bufio.NewWriter(f)
+	for _, tr := range l.entries {
+		data, err := json.Marshal(tr)
+		if err != nil {
+			continue
+		}
+		w.Write(data)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	_ = l.f.Close()
+	if nf, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+		l.f = nf
+	} else {
+		l.f = nil
+	}
+	l.lines = len(l.entries)
+}
+
+// Recent returns up to n retained transitions, oldest first (n <= 0 =
+// all).
+func (l *AlertLog) Recent(n int) []AlertTransition {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := l.entries
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return append([]AlertTransition(nil), out...)
+}
+
+// Len returns the number of retained transitions.
+func (l *AlertLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Close flushes and closes the backing file.
+func (l *AlertLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

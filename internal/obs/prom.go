@@ -325,6 +325,143 @@ func (v *GaugeVec) write(w io.Writer, extra string) {
 	}
 }
 
+// sampleFunc receives one current sample during VisitSamples: the
+// series name (a family may derive several — histograms contribute
+// _sum/_count plus quantile series), its rendered label pairs
+// (`phase="search"`, "" when unlabeled), and the value.
+type sampleFunc func(name, labels string, value float64)
+
+// sampler is the optional enumeration side of a metric: the numeric
+// view of the same samples write renders as text.
+type sampler interface {
+	sample(f sampleFunc)
+}
+
+// VisitSamples enumerates every metric's current samples as numbers, in
+// registration order. Counters and gauges yield one sample (vectors one
+// per label value, labels pre-rendered); histograms yield
+// <name>_sum, <name>_count, and — once observations exist — derived
+// <name>_p50/_p95/_p99 quantile series interpolated from the cumulative
+// buckets. This is how obs.History scrapes the registry without
+// round-tripping through the text exposition.
+func (r *Registry) VisitSamples(f func(name, labels string, value float64)) {
+	r.mu.Lock()
+	ms := make([]promMetric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	for _, m := range ms {
+		if s, ok := m.(sampler); ok {
+			s.sample(f)
+		}
+	}
+}
+
+func (c *Counter) sample(f sampleFunc) { f(c.name, "", c.v.load()) }
+func (g *Gauge) sample(f sampleFunc)   { f(g.name, "", g.v.load()) }
+
+func (v *CounterVec) sample(f sampleFunc) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	vals := make(map[string]float64, len(v.vals))
+	for k, x := range v.vals {
+		vals[k] = x
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		f(v.name, fmt.Sprintf("%s=%q", v.label, escapeLabel(k)), vals[k])
+	}
+}
+
+func (v *GaugeVec) sample(f sampleFunc) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	vals := make(map[string]float64, len(v.vals))
+	for k, x := range v.vals {
+		vals[k] = x
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		f(v.name, fmt.Sprintf("%s=%q", v.label, escapeLabel(k)), vals[k])
+	}
+}
+
+func (h *Histogram) sample(f sampleFunc) {
+	h.mu.Lock()
+	sum, total := h.sum, h.total
+	p50 := h.quantileLocked(0.50)
+	p95 := h.quantileLocked(0.95)
+	p99 := h.quantileLocked(0.99)
+	h.mu.Unlock()
+	f(h.name+"_sum", "", sum)
+	f(h.name+"_count", "", float64(total))
+	if total > 0 {
+		f(h.name+"_p50", "", p50)
+		f(h.name+"_p95", "", p95)
+		f(h.name+"_p99", "", p99)
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the cumulative
+// buckets, interpolating linearly within the bucket that crosses the
+// rank — the in-process analogue of PromQL's histogram_quantile.
+// Observations in the +Inf overflow bucket clamp to the highest finite
+// bound. Returns 0 before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	cum := uint64(0)
+	lower := 0.0
+	for i, b := range h.bounds {
+		prev := cum
+		cum += h.counts[i]
+		if float64(cum) >= rank {
+			if h.counts[i] == 0 {
+				return b
+			}
+			frac := (rank - float64(prev)) / float64(h.counts[i])
+			return lower + frac*(b-lower)
+		}
+		lower = b
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (v *HistogramVec) sample(f sampleFunc) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sums := make(map[string]float64, len(v.children))
+	totals := make(map[string]uint64, len(v.children))
+	for k, s := range v.children {
+		sums[k], totals[k] = s.sum, s.total
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		lbl := fmt.Sprintf("%s=%q", v.label, escapeLabel(k))
+		f(v.name+"_sum", lbl, sums[k])
+		f(v.name+"_count", lbl, float64(totals[k]))
+	}
+}
+
 // prefixLabel renders the injected label pair as a leading list element
 // ("" stays empty; `tenant="t1"` becomes `tenant="t1",`).
 func prefixLabel(extra string) string {
@@ -494,5 +631,142 @@ func (v *HistogramVec) write(w io.Writer, extra string) {
 		fmt.Fprintf(w, "%s_bucket{%s%s=%q,le=\"+Inf\"} %d\n", v.name, pre, v.label, lbl, s.total)
 		fmt.Fprintf(w, "%s_sum{%s%s=%q} %s\n", v.name, pre, v.label, lbl, formatFloat(s.sum))
 		fmt.Fprintf(w, "%s_count{%s%s=%q} %d\n", v.name, pre, v.label, lbl, s.total)
+	}
+}
+
+// vec2Key orders two-label series: primary label first, then secondary.
+type vec2Key struct{ a, b string }
+
+func sortedVec2Keys(vals map[vec2Key]float64) []vec2Key {
+	keys := make([]vec2Key, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	return keys
+}
+
+// GaugeVec2 is a gauge partitioned by two labels — the alert engine's
+// tuner_alerts_firing{rule,severity} meta-series needs exactly two, and
+// the one-label vecs stay the common case everywhere else.
+type GaugeVec2 struct {
+	name, help     string
+	label1, label2 string
+	mu             sync.Mutex
+	vals           map[vec2Key]float64
+}
+
+// NewGaugeVec2 registers a two-label gauge family.
+func (r *Registry) NewGaugeVec2(name, help, label1, label2 string) *GaugeVec2 {
+	v := &GaugeVec2{name: name, help: help, label1: label1, label2: label2, vals: map[vec2Key]float64{}}
+	r.register(v)
+	return v
+}
+
+// Set replaces the value of the (v1, v2) series.
+func (v *GaugeVec2) Set(v1, v2 string, x float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.vals[vec2Key{v1, v2}] = x
+}
+
+// Value returns the value of the (v1, v2) series.
+func (v *GaugeVec2) Value(v1, v2 string) float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.vals[vec2Key{v1, v2}]
+}
+
+// Delete removes one series.
+func (v *GaugeVec2) Delete(v1, v2 string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.vals, vec2Key{v1, v2})
+}
+
+func (v *GaugeVec2) meta() (string, string, string) { return v.name, v.help, "gauge" }
+func (v *GaugeVec2) write(w io.Writer, extra string) {
+	v.mu.Lock()
+	vals := make(map[vec2Key]float64, len(v.vals))
+	for k, x := range v.vals {
+		vals[k] = x
+	}
+	v.mu.Unlock()
+	for _, k := range sortedVec2Keys(vals) {
+		fmt.Fprintf(w, "%s{%s%s=%q,%s=%q} %s\n", v.name, prefixLabel(extra),
+			v.label1, escapeLabel(k.a), v.label2, escapeLabel(k.b), formatFloat(vals[k]))
+	}
+}
+
+func (v *GaugeVec2) sample(f sampleFunc) {
+	v.mu.Lock()
+	vals := make(map[vec2Key]float64, len(v.vals))
+	for k, x := range v.vals {
+		vals[k] = x
+	}
+	v.mu.Unlock()
+	for _, k := range sortedVec2Keys(vals) {
+		f(v.name, fmt.Sprintf("%s=%q,%s=%q", v.label1, escapeLabel(k.a), v.label2, escapeLabel(k.b)), vals[k])
+	}
+}
+
+// CounterVec2 is a counter partitioned by two labels (e.g.
+// tuner_alert_transitions_total{rule,to}).
+type CounterVec2 struct {
+	name, help     string
+	label1, label2 string
+	mu             sync.Mutex
+	vals           map[vec2Key]float64
+}
+
+// NewCounterVec2 registers a two-label counter family.
+func (r *Registry) NewCounterVec2(name, help, label1, label2 string) *CounterVec2 {
+	v := &CounterVec2{name: name, help: help, label1: label1, label2: label2, vals: map[vec2Key]float64{}}
+	r.register(v)
+	return v
+}
+
+// Add adds d to the (v1, v2) series.
+func (v *CounterVec2) Add(v1, v2 string, d float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.vals[vec2Key{v1, v2}] += d
+}
+
+// Value returns the count of the (v1, v2) series.
+func (v *CounterVec2) Value(v1, v2 string) float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.vals[vec2Key{v1, v2}]
+}
+
+func (v *CounterVec2) meta() (string, string, string) { return v.name, v.help, "counter" }
+func (v *CounterVec2) write(w io.Writer, extra string) {
+	v.mu.Lock()
+	vals := make(map[vec2Key]float64, len(v.vals))
+	for k, x := range v.vals {
+		vals[k] = x
+	}
+	v.mu.Unlock()
+	for _, k := range sortedVec2Keys(vals) {
+		fmt.Fprintf(w, "%s{%s%s=%q,%s=%q} %s\n", v.name, prefixLabel(extra),
+			v.label1, escapeLabel(k.a), v.label2, escapeLabel(k.b), formatFloat(vals[k]))
+	}
+}
+
+func (v *CounterVec2) sample(f sampleFunc) {
+	v.mu.Lock()
+	vals := make(map[vec2Key]float64, len(v.vals))
+	for k, x := range v.vals {
+		vals[k] = x
+	}
+	v.mu.Unlock()
+	for _, k := range sortedVec2Keys(vals) {
+		f(v.name, fmt.Sprintf("%s=%q,%s=%q", v.label1, escapeLabel(k.a), v.label2, escapeLabel(k.b)), vals[k])
 	}
 }

@@ -215,6 +215,24 @@ func gateScenario(base, c ScenarioResult, tol Tolerance) []Violation {
 				"the top-k sketch covers less of the window's weight than the baseline")
 		}
 	}
+	// Self-monitoring lower bounds (online-drift). The baseline records
+	// a populated metrics history and a synthetic rule left firing with
+	// at least one logged transition; any of them collapsing to zero
+	// means the sampler stopped capturing series or the alert engine
+	// stopped evaluating — observability regressions no quality metric
+	// would catch.
+	if base.HistorySeries > 0 && c.HistorySeries == 0 {
+		check("history_series", float64(base.HistorySeries), 0, 1,
+			"the metrics-history sampler retained no series")
+	}
+	if base.AlertsFired > 0 && c.AlertsFired == 0 {
+		check("alerts_fired", float64(base.AlertsFired), 0, 1,
+			"the synthetic retune-completed rule no longer fires")
+	}
+	if base.AlertTransitions > 0 && c.AlertTransitions == 0 {
+		check("alert_transitions", float64(base.AlertTransitions), 0, 1,
+			"the alert engine logged no state transitions")
+	}
 	// The parallel evaluation engine must not run slower than the serial
 	// algorithm (ratio ≤ 1 + 5% noise slack). Only meaningful when the
 	// run actually had more than one worker; single-core runners record

@@ -42,6 +42,9 @@ func baselineBench() *Bench {
 				RecordedSessions:   2,
 				WorkloadSignatures: 14,
 				TopKWeightShare:    1.0,
+				HistorySeries:      40,
+				AlertsFired:        1,
+				AlertTransitions:   1,
 			},
 		},
 	}
@@ -228,6 +231,44 @@ func TestGateWorkloadIntrospectionLowerBounds(t *testing.T) {
 	cur.Scenarios[1].TopKWeightShare = 0
 	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
 		t.Fatalf("gates fired without baseline introspection data: %v", vs)
+	}
+}
+
+func TestGateSelfMonitoringLowerBounds(t *testing.T) {
+	for _, tc := range []struct {
+		metric string
+		zero   func(sr *ScenarioResult)
+	}{
+		{"history_series", func(sr *ScenarioResult) { sr.HistorySeries = 0 }},
+		{"alerts_fired", func(sr *ScenarioResult) { sr.AlertsFired = 0 }},
+		{"alert_transitions", func(sr *ScenarioResult) { sr.AlertTransitions = 0 }},
+	} {
+		base := baselineBench()
+		cur := baselineBench()
+		tc.zero(&cur.Scenarios[1])
+		vs := Gate(base, cur, Tolerance{})
+		if len(vs) != 1 || vs[0].Metric != tc.metric {
+			t.Fatalf("zeroed %s not flagged: %v", tc.metric, vs)
+		}
+	}
+
+	// More series / transitions than the record is fine, and a pre-v7
+	// baseline without the counters gates nothing.
+	base := baselineBench()
+	cur := baselineBench()
+	cur.Scenarios[1].HistorySeries = base.Scenarios[1].HistorySeries + 5
+	cur.Scenarios[1].AlertTransitions = 3
+	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("healthier run flagged: %v", vs)
+	}
+	base.Scenarios[1].HistorySeries = 0
+	base.Scenarios[1].AlertsFired = 0
+	base.Scenarios[1].AlertTransitions = 0
+	cur.Scenarios[1].HistorySeries = 0
+	cur.Scenarios[1].AlertsFired = 0
+	cur.Scenarios[1].AlertTransitions = 0
+	if vs := Gate(base, cur, Tolerance{}); len(vs) != 0 {
+		t.Fatalf("gates fired without baseline monitor data: %v", vs)
 	}
 }
 

@@ -38,8 +38,13 @@ import (
 // parallel_wall_ratio gate no longer fires on runners without the
 // cores to honor the requested parallelism, and was regenerated after
 // the what-if hot path's allocation-discipline pass (alloc_bytes
-// dropped ~25× and is now gated at 1.10×).
-const SchemaVersion = 6
+// dropped ~25× and is now gated at 1.10×); v7 added the
+// self-monitoring counters of online-drift (history_series,
+// alerts_fired, alert_transitions): the scenario now runs the metrics-
+// history sampler and the SLO alert engine over the drift stream, so a
+// silently broken sampler or an engine that stops firing is a gated
+// regression.
+const SchemaVersion = 7
 
 // Bench is the schema-versioned payload written to BENCH_tuner.json.
 type Bench struct {
@@ -130,6 +135,18 @@ type ScenarioResult struct {
 	// sketch is evicting live traffic. The gate lower-bounds both.
 	WorkloadSignatures int     `json:"workload_signatures,omitempty"`
 	TopKWeightShare    float64 `json:"topk_weight_share,omitempty"`
+	// HistorySeries, AlertsFired, and AlertTransitions record the
+	// self-monitoring layer's view of the online-drift scenario: the
+	// number of distinct metric series the history sampler retains after
+	// both retunes, how many alert instances a synthetic
+	// retune-completed rule left firing, and how many state transitions
+	// the engine logged. Deterministic for a fixed seed (the scenario
+	// drives the sampler with fixed instants). Any of them dropping to
+	// zero means the sampler stopped capturing or the engine stopped
+	// evaluating; the gate treats that as a violation.
+	HistorySeries    int `json:"history_series,omitempty"`
+	AlertsFired      int `json:"alerts_fired,omitempty"`
+	AlertTransitions int `json:"alert_transitions,omitempty"`
 }
 
 // Config parameterizes a suite run.
@@ -413,6 +430,21 @@ func runOnlineDrift(cfg Config) (ScenarioResult, error) {
 			SpaceBudget:   budget,
 			Parallelism:   1,
 		},
+		// Self-monitoring rides the scenario: a quiescent (one-hour
+		// interval) sampler the scenario ticks by hand at fixed instants,
+		// plus one synthetic rule that must fire once retunes complete.
+		Monitor: service.MonitorOptions{
+			HistoryInterval: time.Hour,
+			Rules: []obs.AlertRule{{
+				Name:     "retune-completed",
+				Metric:   "tuner_retunes",
+				Kind:     obs.AlertKindThreshold,
+				Op:       ">=",
+				Value:    1,
+				Severity: obs.SeverityInfo,
+				Summary:  "at least one retune completed",
+			}},
+		},
 	})
 	if err != nil {
 		return ScenarioResult{}, err
@@ -433,6 +465,17 @@ func runOnlineDrift(cfg Config) (ScenarioResult, error) {
 	}
 	wall := time.Since(t0)
 
+	// Tick the monitor at fixed instants so its counters are
+	// deterministic: two samples straddle the completed retunes and the
+	// synthetic rule must be firing after the second evaluation.
+	monT := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 2; i++ {
+		now := monT.Add(time.Duration(i) * 10 * time.Second)
+		svc.History().Sample(now)
+		svc.Alerts().Evaluate(now)
+	}
+	alerts := svc.Alerts().Status()
+
 	m := svc.MetricsSnapshot()
 	rep := svc.Profile()
 	sr := ScenarioResult{
@@ -445,6 +488,9 @@ func runOnlineDrift(cfg Config) (ScenarioResult, error) {
 		RecordedSessions:   int(m.RecordedSessions),
 		WorkloadSignatures: int(m.WorkloadSignatures),
 		TopKWeightShare:    m.TopKWeightShare,
+		HistorySeries:      svc.History().SeriesCount(),
+		AlertsFired:        alerts.Firing,
+		AlertTransitions:   len(alerts.Transitions),
 	}
 	// The warm retune's frontier, read back from the flight recorder —
 	// proves recording survives the full service path, not just core.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/workloads"
@@ -244,4 +245,26 @@ func assess(opts DriftOptions, baseline *Fingerprint, cur Fingerprint, observati
 		rep.Reason = fmt.Sprintf("cost ratio %.3f >= %.3f", rep.CostRatio, o.CostThreshold)
 	}
 	return rep
+}
+
+// WriteText renders the report as the table served by
+// GET /drift?format=text.
+func (r *DriftReport) WriteText(w io.Writer) {
+	verdict := "no drift"
+	if r.Drifted {
+		verdict = "DRIFTED"
+	}
+	fmt.Fprintf(w, "drift: %s (shape distance %.3f, cost ratio %.3f)\n", verdict, r.ShapeDistance, r.CostRatio)
+	if r.Reason != "" {
+		fmt.Fprintf(w, "reason: %s\n", r.Reason)
+	}
+	if len(r.Movers) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nmovers (%.0f%% of distance):\n", r.MoverShare*100)
+	fmt.Fprintf(w, "%-28s %-6s %9s %9s %9s %9s\n", "SIGNATURE", "DIR", "BASE", "NOW", "DELTA", "DIST%")
+	for _, m := range r.Movers {
+		fmt.Fprintf(w, "%-28s %-6s %8.1f%% %8.1f%% %+8.1f%% %8.1f%%\n",
+			m.Signature, m.Direction, m.BaselineShare*100, m.CurrentShare*100, m.Delta*100, m.DistanceShare*100)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,13 +32,14 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// healthResponse is the GET /healthz payload.
-type healthResponse struct {
-	Status        string  `json:"status"`
-	Database      string  `json:"database"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	HasRec        bool    `json:"has_recommendation"`
-	Sessions      int     `json:"sessions"`
+// healthResponse is the GET /healthz payload — the HealthStatus shape
+// shared with fleet mode.
+type healthResponse = HealthStatus
+
+// readyResponse is the GET /readyz payload.
+type readyResponse struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
 }
 
 // retuneResponse wraps POST /retune results.
@@ -80,14 +82,23 @@ type sessionsResponse struct {
 //	GET  /metrics         activity counters (JSON by default; Prometheus
 //	                      text when the Accept header asks for text/plain
 //	                      or ?format=prometheus)
-//	GET  /healthz         liveness
+//	GET  /metrics/history windowed time series sampled from the registry
+//	                      (?series=a,b&points=N&since=5m; 409 when
+//	                      self-monitoring is disabled)
+//	GET  /alerts          SLO alert engine state: every rule, its firing/
+//	                      pending instances, and recent transitions
+//	                      (?format=text for a table; 409 when disabled)
+//	GET  /healthz         liveness (the HealthStatus shape shared with
+//	                      fleet mode)
+//	GET  /readyz          readiness: 503 + Retry-After until the first
+//	                      retune completed, 200 after
 //
 // Read endpoints that depend on a completed retune (/recommendation,
 // /explain, /profile, /diff) answer 503 with a Retry-After header and a
 // JSON error body until the data exists — "not ready yet" rather than
-// 404's "no such resource".
+// 404's "no such resource". JSON read endpoints uniformly accept
+// ?format=text for a terminal-friendly rendering.
 func NewHandler(s *Service) http.Handler {
-	start := time.Now()
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
@@ -107,6 +118,11 @@ func NewHandler(s *Service) http.Handler {
 		rec := s.Recommendation()
 		if rec == nil {
 			writeNoData(w, "no recommendation yet; ingest a workload and POST /retune")
+			return
+		}
+		if wantsText(r) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, rec.DDL)
 			return
 		}
 		writeJSON(w, http.StatusOK, rec)
@@ -138,6 +154,11 @@ func NewHandler(s *Service) http.Handler {
 
 	mux.HandleFunc("GET /drift", func(w http.ResponseWriter, r *http.Request) {
 		rep := s.CheckDrift()
+		if wantsText(r) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.WriteText(w)
+			return
+		}
 		writeJSON(w, http.StatusOK, rep)
 	})
 
@@ -145,6 +166,11 @@ func NewHandler(s *Service) http.Handler {
 		rep := s.Explain()
 		if rep == nil {
 			writeNoData(w, "no explain report yet; ingest a workload and POST /retune")
+			return
+		}
+		if wantsText(r) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.WriteText(w)
 			return
 		}
 		writeJSON(w, http.StatusOK, rep)
@@ -156,7 +182,7 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		rep := s.Profile()
-		if r.URL.Query().Get("format") == "text" {
+		if wantsText(r) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			rep.WriteText(w)
 			return
@@ -191,7 +217,7 @@ func NewHandler(s *Service) http.Handler {
 			writeNoData(w, "no calibration report yet; ingest a workload and POST /retune")
 			return
 		}
-		if r.URL.Query().Get("format") == "text" {
+		if wantsText(r) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			cal.WriteText(w)
 			return
@@ -201,7 +227,7 @@ func NewHandler(s *Service) http.Handler {
 
 	mux.HandleFunc("GET /workload", func(w http.ResponseWriter, r *http.Request) {
 		rep := s.WorkloadReport()
-		if r.URL.Query().Get("format") == "text" {
+		if wantsText(r) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			rep.WriteText(w)
 			return
@@ -213,6 +239,11 @@ func NewHandler(s *Service) http.Handler {
 		sums := s.Sessions()
 		if sums == nil {
 			sums = []obs.SessionSummary{} // an empty history is data, not an error
+		}
+		if wantsText(r) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeSessionsText(w, sums)
+			return
 		}
 		writeJSON(w, http.StatusOK, sessionsResponse{Sessions: sums})
 	})
@@ -251,16 +282,121 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthResponse{
-			Status:        "ok",
-			Database:      s.db.Name,
-			UptimeSeconds: time.Since(start).Seconds(),
-			HasRec:        s.Recommendation() != nil,
-			Sessions:      s.recorder.Len(),
-		})
+		writeJSON(w, http.StatusOK, s.Health())
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reasons := s.Ready()
+		serveReady(w, r, ready, reasons)
+	})
+
+	mux.HandleFunc("GET /alerts", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Alerts().Enabled() {
+			writeMonitorDisabled(w)
+			return
+		}
+		st := s.Alerts().Status()
+		if wantsText(r) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			st.WriteText(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		if !s.History().Enabled() {
+			writeMonitorDisabled(w)
+			return
+		}
+		q, err := parseHistoryQuery(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.History().Query(q))
 	})
 
 	return mux
+}
+
+// serveReady renders the readiness probe answer: 200 once ready, 503
+// with Retry-After and the blocking reasons until then — the same "not
+// ready yet" contract as the pre-retune data endpoints, so a load
+// balancer needs one convention, not two.
+func serveReady(w http.ResponseWriter, r *http.Request, ready bool, reasons []string) {
+	if wantsText(r) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ready {
+			w.Header().Set("Retry-After", "5")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "not ready: %s\n", strings.Join(reasons, "; "))
+			return
+		}
+		io.WriteString(w, "ready\n")
+		return
+	}
+	if !ready {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Ready: false, Reasons: reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyResponse{Ready: true})
+}
+
+// writeMonitorDisabled answers reads of /alerts and /metrics/history
+// when self-monitoring is off: 409 Conflict, because no amount of
+// retrying turns the subsystem on — unlike the 503 "not ready yet" of
+// pre-retune reads.
+func writeMonitorDisabled(w http.ResponseWriter) {
+	writeJSON(w, http.StatusConflict, errorResponse{
+		Error: "self-monitoring disabled; start with -history-interval > 0",
+	})
+}
+
+// parseHistoryQuery maps /metrics/history query parameters onto an
+// obs.HistoryQuery: ?series=a,b scopes to named series, ?points=N
+// downsamples, ?since= accepts an RFC3339 instant or a "5m"-style
+// lookback.
+func parseHistoryQuery(r *http.Request) (obs.HistoryQuery, error) {
+	var q obs.HistoryQuery
+	if v := r.URL.Query().Get("series"); v != "" {
+		q.Names = strings.Split(v, ",")
+	}
+	if v := r.URL.Query().Get("points"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return q, fmt.Errorf("invalid points: %s", v)
+		}
+		q.MaxPoints = n
+	}
+	if v := r.URL.Query().Get("since"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			q.Since = time.Now().Add(-d)
+		} else if t, err := time.Parse(time.RFC3339, v); err == nil {
+			q.Since = t
+		} else {
+			return q, fmt.Errorf("invalid since: %s (want RFC3339 or a duration)", v)
+		}
+	}
+	return q, nil
+}
+
+// writeSessionsText renders the flight-recorder history as the table
+// served by GET /sessions?format=text.
+func writeSessionsText(w io.Writer, sums []obs.SessionSummary) {
+	fmt.Fprintf(w, "%-16s %-8s %-20s %5s %10s %7s %7s %s\n",
+		"ID", "TRIGGER", "FINISHED", "STMTS", "COST", "IMPR%", "STRUCTS", "SPEEDUP")
+	for _, s := range sums {
+		speedup := "-"
+		if s.MeasuredSpeedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", s.MeasuredSpeedup)
+		}
+		fmt.Fprintf(w, "%-16s %-8s %-20s %5d %10.1f %7.1f %7d %s\n",
+			s.ID, s.Trigger, s.FinishedAt.Format(time.RFC3339), s.Statements,
+			s.Cost, s.ImprovementPct, s.Structures, speedup)
+	}
+	fmt.Fprintf(w, "%d session(s)\n", len(sums))
 }
 
 // progressSubscribeBuf is each SSE client's event buffer; a client
@@ -343,6 +479,13 @@ func serveProgress(s *Service, w http.ResponseWriter, r *http.Request) {
 func writeNoData(w http.ResponseWriter, msg string) {
 	w.Header().Set("Retry-After", "5")
 	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: msg})
+}
+
+// wantsText reports whether the client asked for the plain-text
+// rendering — the uniform ?format=text convention every JSON read
+// endpoint honors.
+func wantsText(r *http.Request) bool {
+	return r.URL.Query().Get("format") == "text"
 }
 
 // wantsPrometheus decides the /metrics representation: the text

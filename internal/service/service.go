@@ -97,6 +97,10 @@ type Options struct {
 	// retune, attaching the measurements to the session record and the
 	// calibration report. Requires Replay.
 	ReplayEachRetune bool
+	// Monitor configures self-monitoring: the metrics-history sampler
+	// behind GET /metrics/history and the SLO alert engine behind
+	// GET /alerts. Zero value = disabled at zero cost.
+	Monitor MonitorOptions
 }
 
 // CostCache shares per-statement what-if costs between services. Keys
@@ -162,6 +166,12 @@ type Service struct {
 	// /progress subscribers.
 	recorder *obs.Recorder
 	progress *obs.Progress
+	// Self-monitoring (Options.Monitor): history samples the registry on
+	// an interval, alerts evaluates SLO rules over it, alertLog persists
+	// the transitions. All nil when disabled — every use is nil-safe.
+	history  *obs.History
+	alerts   *obs.AlertEngine
+	alertLog *obs.AlertLog
 
 	// mu guards the recommendation state, drift baseline, and the
 	// drift-probe optimizer + per-statement cost cache.
@@ -251,11 +261,20 @@ func New(opts Options) (*Service, error) {
 		cancel:       cancel,
 		retuneCh:     make(chan struct{}, 1),
 	}
+	if err := s.initMonitor(); err != nil {
+		cancel()
+		_ = recorder.Close()
+		return nil, err
+	}
 	s.wg.Add(1)
 	go s.retuneWorker()
 	if opts.DriftCheckInterval > 0 {
 		s.wg.Add(1)
 		go s.driftWorker()
+	}
+	if s.history != nil {
+		s.wg.Add(1)
+		go s.monitorWorker()
 	}
 	return s, nil
 }
@@ -730,6 +749,7 @@ func (s *Service) Close() error {
 		s.wg.Wait()
 		_ = s.trace.Close()    // flushes the TraceSink, if any
 		_ = s.recorder.Close() // flushes the session history file, if any
+		_ = s.alertLog.Close() // flushes the alert transition log, if any
 	})
 	return nil
 }

@@ -194,3 +194,7 @@ func explainDigest(rep *core.ExplainReport) *obs.ExplainDigest {
 	}
 	return d
 }
+
+// SessionCount returns the number of recorded sessions — the cheap
+// cardinality accessor health surfaces use.
+func (s *Service) SessionCount() int { return s.recorder.Len() }
